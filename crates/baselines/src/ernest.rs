@@ -1,0 +1,212 @@
+//! Ernest [Venkataraman et al., NSDI'16] — the performance-prediction
+//! baseline of §7.3 and Figure 2.
+//!
+//! Ernest models the execution time of a run on a fraction `s` of the data
+//! with `m` machines as
+//!
+//! ```text
+//! T(s, m) = θ₀ + θ₁·(s/m) + θ₂·log(m) + θ₃·m
+//! ```
+//!
+//! fit with non-negative least squares over a handful of short,
+//! small-sample training runs chosen by optimal experiment design. The
+//! terms capture the serial part, the parallel part, tree-aggregation
+//! depth and per-machine overheads — but **not cache limitation**, which
+//! is why its predictions collapse in area A of Figure 2 and why it
+//! recommends a single machine for SVM.
+
+use serde::{Deserialize, Serialize};
+
+use modeling::{d_optimal_greedy, nnls, Matrix};
+
+/// A fitted Ernest model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErnestModel {
+    /// `[θ₀, θ₁, θ₂, θ₃]`.
+    pub coeffs: [f64; 4],
+}
+
+impl ErnestModel {
+    /// Feature row for `(scale, machines)`.
+    #[must_use]
+    pub fn features(scale: f64, machines: u32) -> [f64; 4] {
+        let m = f64::from(machines.max(1));
+        [1.0, scale / m, m.ln(), m]
+    }
+
+    /// Fits the model on `(scale, machines, seconds)` observations with
+    /// NNLS (Ernest's own choice, to keep the terms physically
+    /// meaningful).
+    #[must_use]
+    pub fn fit(points: &[(f64, u32, f64)]) -> Self {
+        let rows: Vec<Vec<f64>> = points
+            .iter()
+            .map(|&(s, m, _)| Self::features(s, m).to_vec())
+            .collect();
+        let y: Vec<f64> = points.iter().map(|&(_, _, t)| t).collect();
+        let theta = nnls(&Matrix::from_rows(&rows), &y);
+        ErnestModel {
+            coeffs: [theta[0], theta[1], theta[2], theta[3]],
+        }
+    }
+
+    /// Predicted time at `(scale, machines)`.
+    #[must_use]
+    pub fn predict(&self, scale: f64, machines: u32) -> f64 {
+        Self::features(scale, machines)
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(x, t)| x * t)
+            .sum()
+    }
+
+    /// The machine count in `1..=max_machines` minimizing predicted cost
+    /// `machines × time` at full scale.
+    #[must_use]
+    pub fn cheapest_machines(&self, scale: f64, max_machines: u32) -> u32 {
+        (1..=max_machines.max(1))
+            .min_by(|&a, &b| {
+                let ca = f64::from(a) * self.predict(scale, a);
+                let cb = f64::from(b) * self.predict(scale, b);
+                ca.partial_cmp(&cb).expect("finite costs")
+            })
+            .expect("range non-empty")
+    }
+}
+
+/// The training-side of Ernest: optimal experiment design over a candidate
+/// grid of (scale, machines) points, then short runs driven by a caller
+///-supplied runner.
+#[derive(Debug, Clone)]
+pub struct ErnestTrainer {
+    /// Data-scale candidates (fractions of the full input, e.g. 0.01–0.1).
+    pub scales: Vec<f64>,
+    /// Machine-count candidates.
+    pub machines: Vec<u32>,
+    /// Number of training runs to select (the paper uses 7).
+    pub budget: usize,
+}
+
+impl Default for ErnestTrainer {
+    fn default() -> Self {
+        ErnestTrainer {
+            scales: vec![0.01, 0.02, 0.04, 0.06, 0.08, 0.10],
+            machines: (1..=12).collect(),
+            budget: 7,
+        }
+    }
+}
+
+impl ErnestTrainer {
+    /// Selects the training points by greedy D-optimal design.
+    #[must_use]
+    pub fn design(&self) -> Vec<(f64, u32)> {
+        let mut candidates = Vec::new();
+        let mut rows = Vec::new();
+        for &s in &self.scales {
+            for &m in &self.machines {
+                candidates.push((s, m));
+                rows.push(ErnestModel::features(s, m).to_vec());
+            }
+        }
+        d_optimal_greedy(&rows, self.budget.min(candidates.len()))
+            .into_iter()
+            .map(|i| candidates[i])
+            .collect()
+    }
+
+    /// Runs the designed experiments through `runner(scale, machines) ->
+    /// seconds` and fits the model.
+    pub fn train(&self, mut runner: impl FnMut(f64, u32) -> f64) -> ErnestModel {
+        let points: Vec<(f64, u32, f64)> = self
+            .design()
+            .into_iter()
+            .map(|(s, m)| (s, m, runner(s, m)))
+            .collect();
+        ErnestModel::fit(&points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic cache-friendly application: T = serial + parallel·s/m +
+    /// overhead·m. Ernest must recover it accurately (its area-B story).
+    #[test]
+    fn recovers_amdahl_style_model() {
+        let truth = |s: f64, m: u32| 30.0 + 800.0 * s / f64::from(m) + 1.5 * f64::from(m);
+        let model = ErnestTrainer::default().train(&truth);
+        for &(s, m) in &[(1.0, 4u32), (1.0, 8), (0.5, 2), (1.0, 12)] {
+            let p = model.predict(s, m);
+            let t = truth(s, m);
+            assert!(
+                (p - t).abs() / t < 0.05,
+                "predict({s},{m}) = {p} vs {t}"
+            );
+        }
+    }
+
+    /// The Figure 2 failure mode: the true system pays a huge recompute
+    /// penalty below 7 machines (cache eviction), which Ernest cannot see
+    /// from small samples — it underestimates small clusters and
+    /// recommends 1 machine.
+    #[test]
+    fn blind_to_cache_limitation() {
+        let eviction_penalty = |s: f64, m: u32| {
+            // At full scale the cache only fits on ≥ 7 machines; training
+            // samples (s ≤ 0.1) always fit.
+            let deficit = (s - 0.15 * f64::from(m)).max(0.0);
+            3000.0 * deficit
+        };
+        let truth = |s: f64, m: u32| {
+            20.0 + 600.0 * s / f64::from(m) + 2.0 * f64::from(m) + eviction_penalty(s, m)
+        };
+        let model = ErnestTrainer::default().train(&truth);
+        // Accurate in area B (≥ 7 machines at full scale)…
+        let p12 = model.predict(1.0, 12);
+        let t12 = truth(1.0, 12);
+        assert!((p12 - t12).abs() / t12 < 0.2, "{p12} vs {t12}");
+        // …but badly wrong in area A.
+        let p1 = model.predict(1.0, 1);
+        let t1 = truth(1.0, 1);
+        assert!(p1 < t1 / 3.0, "Ernest should grossly underestimate: {p1} vs {t1}");
+        // And the cost-minimal recommendation collapses to one machine.
+        assert_eq!(model.cheapest_machines(1.0, 12), 1);
+    }
+
+    #[test]
+    fn design_spans_scales_and_machines() {
+        let design = ErnestTrainer::default().design();
+        assert_eq!(design.len(), 7);
+        let min_m = design.iter().map(|&(_, m)| m).min().unwrap();
+        let max_m = design.iter().map(|&(_, m)| m).max().unwrap();
+        assert!(min_m <= 2 && max_m >= 10, "{design:?}");
+        let mut uniq = design.clone();
+        uniq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        uniq.dedup();
+        assert_eq!(uniq.len(), 7);
+    }
+
+    #[test]
+    fn coefficients_are_nonnegative() {
+        // Even for decreasing data NNLS keeps θ ≥ 0.
+        let model = ErnestModel::fit(&[
+            (0.1, 1, 10.0),
+            (0.1, 2, 12.0),
+            (0.1, 4, 9.0),
+            (0.05, 1, 8.0),
+            (0.02, 8, 11.0),
+        ]);
+        assert!(model.coeffs.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn predict_guards_zero_machines() {
+        let model = ErnestModel {
+            coeffs: [1.0, 1.0, 1.0, 1.0],
+        };
+        // machines=0 is clamped to 1 in the features.
+        assert!((model.predict(1.0, 0) - model.predict(1.0, 1)).abs() < 1e-12);
+    }
+}

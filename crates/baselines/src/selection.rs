@@ -1,0 +1,344 @@
+//! Dataset-selection baselines (paper §7.2).
+//!
+//! Each policy produces an *incremental schedule family* the way the
+//! evaluation adapts it: "we select the first schedule, whose dataset has
+//! the highest rank. For the second schedule, we update the reference
+//! count with respect to the selected dataset in the first one, and
+//! successively select the highest-ranked dataset."
+//!
+//! None of these baselines unpersists, re-evaluates, or applies Juggler's
+//! single-child rule — those are exactly the deltas the §7.2 comparison
+//! quantifies.
+
+use std::collections::BTreeSet;
+
+use dagflow::{Application, DatasetId, JobId, LineageAnalysis, Schedule};
+
+/// Measured per-dataset metrics a selector may consume (the same
+/// instrumentation output Juggler's hotspot detection uses).
+#[derive(Debug, Clone)]
+pub struct SelectionMetrics {
+    /// `et[d]` — computation time of dataset `d`, seconds.
+    pub et: Vec<f64>,
+    /// `size[d]` — size of dataset `d`, bytes.
+    pub size: Vec<u64>,
+}
+
+/// No system materializes a dataset whose total recompute savings are
+/// below this floor (seconds): the same pruning Juggler's hotspot
+/// detection applies, granted to every baseline for a fair comparison.
+pub const MIN_BENEFIT_S: f64 = 0.005;
+
+/// A dataset-selection policy.
+pub trait DatasetSelector {
+    /// Display name as used in the figures.
+    fn name(&self) -> &'static str;
+
+    /// Rank of candidate `d` given what is already cached; `None` means
+    /// the candidate is no longer worth caching under this policy.
+    fn rank(
+        &self,
+        la: &LineageAnalysis<'_>,
+        metrics: &SelectionMetrics,
+        cached: &BTreeSet<DatasetId>,
+        pulls: &[u64],
+        d: DatasetId,
+    ) -> Option<f64>;
+
+    /// Produces the incremental schedule family.
+    fn schedules(&self, app: &Application, metrics: &SelectionMetrics) -> Vec<Schedule> {
+        let la = LineageAnalysis::new(app);
+        let mut pool: BTreeSet<DatasetId> = la.intermediates().into_iter().collect();
+        let mut cached: Vec<DatasetId> = Vec::new();
+        let mut out = Vec::new();
+        while !pool.is_empty() {
+            let cached_set: BTreeSet<DatasetId> = cached.iter().copied().collect();
+            let pulls = la.pulls(&cached_set);
+            let best = pool
+                .iter()
+                .filter(|&&d| {
+                    // Universal materialization floor: skip datasets whose
+                    // total recompute savings are negligible.
+                    let n = pulls[d.index()];
+                    n > 1
+                        && (n - 1) as f64 * la.chain_cost(d, &cached_set, &metrics.et)
+                            > MIN_BENEFIT_S
+                })
+                .filter_map(|&d| {
+                    self.rank(&la, metrics, &cached_set, &pulls, d)
+                        .filter(|r| *r > 0.0)
+                        .map(|r| (r, d))
+                })
+                .max_by(|a, b| {
+                    // Ties break toward the downstream (higher-id) dataset
+                    // — the one closer to its consumers.
+                    a.0.partial_cmp(&b.0)
+                        .expect("finite ranks")
+                        .then_with(|| a.1.cmp(&b.1))
+                });
+            let Some((_, d)) = best else { break };
+            pool.remove(&d);
+            cached.push(d);
+            // Persist order: first materialization, like Juggler's
+            // assembly (no unpersists — these baselines never drop data).
+            let mut ordered = cached.clone();
+            ordered.sort_by_key(|&x| (la.first_job_of(x), x));
+            out.push(Schedule::persist_all(ordered));
+        }
+        out
+    }
+}
+
+/// LRC [Yu et al., INFOCOM'17]: rank by *reference count* — how many times
+/// the dataset will still be computed/read — ignoring size and computation
+/// time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lrc;
+
+impl DatasetSelector for Lrc {
+    fn name(&self) -> &'static str {
+        "LRC"
+    }
+    fn rank(
+        &self,
+        _la: &LineageAnalysis<'_>,
+        _metrics: &SelectionMetrics,
+        _cached: &BTreeSet<DatasetId>,
+        pulls: &[u64],
+        d: DatasetId,
+    ) -> Option<f64> {
+        let n = pulls[d.index()];
+        (n > 1).then_some(n as f64)
+    }
+}
+
+/// MRD [Perez et al., ICPP'18]: rank by *reference distance* — prefer
+/// datasets whose next uses are closest together in job order (small mean
+/// gap ⇒ high rank). Ignores size and computation time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mrd;
+
+impl Mrd {
+    /// Mean distance (in jobs) between consecutive uses of `d`.
+    fn mean_reference_distance(la: &LineageAnalysis<'_>, d: DatasetId) -> Option<f64> {
+        let jobs: Vec<usize> = (0..la.app().jobs().len())
+            .filter(|&j| la.in_job(d, JobId(j as u32)))
+            .collect();
+        if jobs.len() < 2 {
+            return None;
+        }
+        let gaps: f64 = jobs.windows(2).map(|w| (w[1] - w[0]) as f64).sum();
+        Some(gaps / (jobs.len() - 1) as f64)
+    }
+}
+
+impl DatasetSelector for Mrd {
+    fn name(&self) -> &'static str {
+        "MRD"
+    }
+    fn rank(
+        &self,
+        la: &LineageAnalysis<'_>,
+        _metrics: &SelectionMetrics,
+        _cached: &BTreeSet<DatasetId>,
+        pulls: &[u64],
+        d: DatasetId,
+    ) -> Option<f64> {
+        if pulls[d.index()] <= 1 {
+            return None;
+        }
+        Mrd::mean_reference_distance(la, d).map(|dist| 1.0 / dist.max(1e-9))
+    }
+}
+
+/// Hagedorn & Sattler '18: materialization benefit = (n − 1) × chain
+/// computation time; sizes are ignored ("assumes the capacity of HDFS is
+/// sufficient").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hagedorn;
+
+impl DatasetSelector for Hagedorn {
+    fn name(&self) -> &'static str {
+        "Hagedorn'18"
+    }
+    fn rank(
+        &self,
+        la: &LineageAnalysis<'_>,
+        metrics: &SelectionMetrics,
+        cached: &BTreeSet<DatasetId>,
+        pulls: &[u64],
+        d: DatasetId,
+    ) -> Option<f64> {
+        let n = pulls[d.index()];
+        if n <= 1 {
+            return None;
+        }
+        Some((n - 1) as f64 * la.chain_cost(d, cached, &metrics.et))
+    }
+}
+
+/// Nagel et al. '13: benefit per byte (time, count and size like Juggler)
+/// but — per the §7.2 discussion — "it neither re-evaluates nor unpersists
+/// stored datasets in previous schedules".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Nagel;
+
+impl DatasetSelector for Nagel {
+    fn name(&self) -> &'static str {
+        "Nagel'13"
+    }
+    fn rank(
+        &self,
+        la: &LineageAnalysis<'_>,
+        metrics: &SelectionMetrics,
+        cached: &BTreeSet<DatasetId>,
+        pulls: &[u64],
+        d: DatasetId,
+    ) -> Option<f64> {
+        let n = pulls[d.index()];
+        if n <= 1 {
+            return None;
+        }
+        let benefit = (n - 1) as f64 * la.chain_cost(d, cached, &metrics.et);
+        Some(benefit / metrics.size[d.index()].max(1) as f64)
+    }
+}
+
+/// Jindal et al. '18: sub-expression *utility* — time saved across all
+/// workloads if materialized, using the dataset's own operator time (not
+/// the recursive chain) and ignoring size.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jindal;
+
+impl DatasetSelector for Jindal {
+    fn name(&self) -> &'static str {
+        "Jindal'18"
+    }
+    fn rank(
+        &self,
+        _la: &LineageAnalysis<'_>,
+        metrics: &SelectionMetrics,
+        _cached: &BTreeSet<DatasetId>,
+        pulls: &[u64],
+        d: DatasetId,
+    ) -> Option<f64> {
+        let n = pulls[d.index()];
+        if n <= 1 {
+            return None;
+        }
+        Some((n - 1) as f64 * metrics.et[d.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagflow::{AppBuilder, ComputeCost, NarrowKind, SourceFormat};
+
+    /// src → big (heavy, reused 3×) → small (cheap, reused 5×), plus a
+    /// rarely-reused sibling.
+    fn fixture() -> (Application, SelectionMetrics) {
+        let mut b = AppBuilder::new("sel");
+        let src = b.source("src", SourceFormat::DistributedFs, 100, 10_000_000, 4);
+        let big = b.narrow("big", NarrowKind::Map, &[src], 100, 8_000_000, ComputeCost::FREE);
+        let small = b.narrow("small", NarrowKind::Map, &[big], 100, 1_000_000, ComputeCost::FREE);
+        // Jobs: 5 over `small`, then 3 over `big` directly.
+        for i in 0..5 {
+            let v = b.narrow(format!("vs{i}"), NarrowKind::Map, &[small], 1, 8, ComputeCost::FREE);
+            b.job("count", v);
+        }
+        for i in 0..3 {
+            let v = b.narrow(format!("vb{i}"), NarrowKind::Map, &[big], 1, 8, ComputeCost::FREE);
+            b.job("count", v);
+        }
+        let app = b.build().unwrap();
+        let mut et = vec![0.0; app.dataset_count()];
+        et[src.index()] = 2.0;
+        et[big.index()] = 1.0;
+        et[small.index()] = 0.01;
+        let size = app.datasets().iter().map(|d| d.bytes).collect();
+        (app, SelectionMetrics { et, size })
+    }
+
+    use dagflow::Application;
+
+    const BIG: DatasetId = DatasetId(1);
+    const SMALL: DatasetId = DatasetId(2);
+
+    #[test]
+    fn lrc_prefers_reference_count() {
+        let (app, m) = fixture();
+        let schedules = Lrc.schedules(&app, &m);
+        // `big` is referenced 8 times (5 via small + 3 direct), `small` 5.
+        assert_eq!(schedules[0].persisted(), vec![BIG]);
+        assert!(!schedules.is_empty());
+    }
+
+    #[test]
+    fn nagel_prefers_benefit_per_byte() {
+        let (app, m) = fixture();
+        let schedules = Nagel.schedules(&app, &m);
+        // small: 4 × (0.01+1+2) / 1 MB ≈ 12; big: 7 × 3 / 8 MB ≈ 2.6.
+        assert_eq!(schedules[0].persisted(), vec![SMALL]);
+    }
+
+    #[test]
+    fn hagedorn_ignores_size() {
+        let (app, m) = fixture();
+        let schedules = Hagedorn.schedules(&app, &m);
+        // big: 7 × 3 = 21; small: 4 × 3.01 = 12.04 → big first despite bulk.
+        assert_eq!(schedules[0].persisted(), vec![BIG]);
+    }
+
+    #[test]
+    fn jindal_uses_own_time_only() {
+        let (app, m) = fixture();
+        let schedules = Jindal.schedules(&app, &m);
+        // big: 7 × 1.0 = 7; small: 4 × 0.01; src: 7 × 2 = 14 → src first!
+        assert_eq!(schedules[0].persisted(), vec![DatasetId(0)]);
+    }
+
+    #[test]
+    fn families_are_incremental() {
+        let (app, m) = fixture();
+        for sel in [&Lrc as &dyn DatasetSelector, &Mrd, &Hagedorn, &Nagel, &Jindal] {
+            let schedules = sel.schedules(&app, &m);
+            for w in schedules.windows(2) {
+                let a: BTreeSet<DatasetId> = w[0].persisted().into_iter().collect();
+                let b: BTreeSet<DatasetId> = w[1].persisted().into_iter().collect();
+                assert!(a.is_subset(&b), "{} not incremental", sel.name());
+            }
+            // No unpersists ever.
+            for s in &schedules {
+                assert!(s.unpersisted().is_empty(), "{}", sel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mrd_ranks_by_locality_of_reuse() {
+        // Dataset A used by jobs 0 and 1 (distance 1); dataset B used by
+        // jobs 0 and 5 (distance 5). MRD must pick A first.
+        let mut b = AppBuilder::new("mrd");
+        let src = b.source("src", SourceFormat::DistributedFs, 10, 1000, 1);
+        let a = b.narrow("a", NarrowKind::Map, &[src], 10, 1000, ComputeCost::FREE);
+        let bb = b.narrow("b", NarrowKind::Map, &[src], 10, 1000, ComputeCost::FREE);
+        let v0 = b.narrow("v0", NarrowKind::Zip, &[a, bb], 1, 8, ComputeCost::FREE);
+        b.job("count", v0); // job 0 uses both
+        let v1 = b.narrow("v1", NarrowKind::Map, &[a], 1, 8, ComputeCost::FREE);
+        b.job("count", v1); // job 1 uses A
+        for i in 0..3 {
+            let v = b.narrow(format!("f{i}"), NarrowKind::Map, &[src], 1, 8, ComputeCost::FREE);
+            b.job("count", v); // jobs 2-4: neither
+        }
+        let v5 = b.narrow("v5", NarrowKind::Map, &[bb], 1, 8, ComputeCost::FREE);
+        b.job("count", v5); // job 5 uses B
+        let app = b.build().unwrap();
+        let m = SelectionMetrics {
+            et: vec![0.1; app.dataset_count()],
+            size: vec![1000; app.dataset_count()],
+        };
+        let schedules = Mrd.schedules(&app, &m);
+        assert_eq!(schedules[0].persisted(), vec![a]);
+    }
+}

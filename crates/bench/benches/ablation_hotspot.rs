@@ -1,0 +1,99 @@
+//! Ablation — the design choices of Algorithm 1 (not a paper figure; this
+//! quantifies the deltas DESIGN.md calls out):
+//!
+//! 1. **BCR vs benefit-only ranking** — what the size denominator buys
+//!    (this is also the Juggler-vs-Hagedorn'18 delta);
+//! 2. **with vs without the unpersist optimization** — the memory-budget
+//!    (and hence machine-count and cost) reduction of `u(X) … p(Y)`;
+//! 3. **with vs without re-evaluation** — schedules assembled in plain
+//!    greedy order (Nagel'13-style) vs with parent-first reordering.
+
+use baselines::{DatasetSelector, Hagedorn, Nagel, SelectionMetrics};
+use bench::{minimal_cost, print_table};
+use cluster_sim::{ClusterConfig, MachineSpec};
+use instrument::profile_run;
+use juggler::{detect_hotspots, DatasetMetricsView, HotspotConfig};
+
+fn main() {
+    let spec = MachineSpec::private_cluster();
+    let mut rows = Vec::new();
+
+    for w in bench::workloads() {
+        let sample = w.sample_params();
+        let sample_app = w.build(&sample);
+        let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
+        let out = profile_run(
+            &sample_app,
+            &sample_app.default_schedule().clone(),
+            cluster,
+            w.sim_params(),
+        )
+        .expect("sample run succeeds");
+        let view = DatasetMetricsView::from_metrics(&out.metrics, sample_app.dataset_count());
+        let params = w.paper_params();
+
+        // Full Algorithm 1.
+        let full = detect_hotspots(&sample_app, &view, &HotspotConfig::default());
+        let full_best = full
+            .iter()
+            .map(|rs| minimal_cost(&bench::sweep(w.as_ref(), &params, &rs.schedule, spec)))
+            .fold(f64::INFINITY, f64::min);
+        let full_budget: u64 = full.last().map_or(0, |rs| rs.budget_bytes);
+
+        // Without unpersist: same persist sets, u(…) stripped.
+        let stripped_best = full
+            .iter()
+            .map(|rs| {
+                let s = dagflow::Schedule::persist_all(rs.schedule.persisted());
+                minimal_cost(&bench::sweep(w.as_ref(), &params, &s, spec))
+            })
+            .fold(f64::INFINITY, f64::min);
+        let stripped_budget: u64 = full.last().map_or(0, |rs| {
+            dagflow::Schedule::persist_all(rs.schedule.persisted())
+                .memory_budget(|d| view.size[d.index()])
+        });
+
+        // Benefit-only ranking (Hagedorn'18) and no-reevaluation greedy
+        // (Nagel'13) as the published stand-ins for those ablations.
+        let m = SelectionMetrics {
+            et: view.et.clone(),
+            size: view.size.clone(),
+        };
+        let benefit_only = Hagedorn
+            .schedules(&sample_app, &m)
+            .into_iter()
+            .take(full.len().max(1))
+            .map(|s| minimal_cost(&bench::sweep(w.as_ref(), &params, &s, spec)))
+            .fold(f64::INFINITY, f64::min);
+        let no_reeval = Nagel
+            .schedules(&sample_app, &m)
+            .into_iter()
+            .take(full.len().max(1))
+            .map(|s| minimal_cost(&bench::sweep(w.as_ref(), &params, &s, spec)))
+            .fold(f64::INFINITY, f64::min);
+
+        rows.push(vec![
+            w.name().to_owned(),
+            format!("{full_best:.1}"),
+            format!("{benefit_only:.1}"),
+            format!("{no_reeval:.1}"),
+            format!("{stripped_best:.1}"),
+            format!(
+                "{:.0}%",
+                (1.0 - full_budget as f64 / stripped_budget.max(1) as f64) * 100.0
+            ),
+        ]);
+    }
+    print_table(
+        "Ablation: Algorithm 1 design choices (best schedule cost, machine-min)",
+        &[
+            "app",
+            "full Alg.1",
+            "benefit-only",
+            "no re-eval",
+            "no unpersist",
+            "budget saved by u()",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,85 @@
+//! §6.2 extension — machine types (VMs).
+//!
+//! Demonstrates the paper's two claims about changing the machine type:
+//!
+//! 1. **Optimization models transfer as-is**: the recommended machine
+//!    count follows Eq. 5/6 with the new type's memory, no new
+//!    experiments — verified against sweeps on each type.
+//! 2. **Prediction models need a bridge**: reusing the base time model
+//!    directly mispredicts on dissimilar types; a CherryPick-style
+//!    transfer model fit from 3 probe runs restores accuracy.
+
+use bench::{optimal_config, print_table};
+use cluster_sim::{ClusterConfig, Engine, RunOptions};
+use juggler::InstanceCatalog;
+use modeling::accuracy_pct;
+use workloads::{LogisticRegression, Workload, WorkloadParams};
+
+fn main() {
+    let w = LogisticRegression;
+    let trained = bench::train(&w);
+    let params = w.paper_params();
+    let catalog = InstanceCatalog::aws_like();
+
+    let run_on = |spec: &cluster_sim::MachineSpec, p: &WorkloadParams, machines: u32, seed: u64| {
+        let app = w.build(p);
+        let mut sim = w.sim_params();
+        sim.seed = seed;
+        Engine::new(&app, ClusterConfig::new(machines, *spec), sim)
+            .run(&trained.schedules[0].schedule, RunOptions { collect_traces: false, partition_skew: 0.15 })
+            .expect("run succeeds")
+    };
+
+    // Probe candidate grid for transfer fitting.
+    let (e_axis, f_axis) = w.training_axes();
+    let mut candidates = Vec::new();
+    for &e in &e_axis {
+        for &f in &f_axis {
+            candidates.push((e, f));
+        }
+    }
+
+    let mut rows = Vec::new();
+    for itype in &catalog.types {
+        // 1. Optimization transfer: Eq. 6 with the new type's M.
+        let menu = trained.recommend_on(params.e(), params.f(), &itype.spec, None);
+        let rec = menu
+            .options
+            .iter()
+            .chain(menu.dominated.iter())
+            .find(|o| o.schedule_index == 0)
+            .expect("schedule 0 present");
+        // Ground truth optimum on this type.
+        let sweep: Vec<_> = (1..=12u32)
+            .map(|m| run_on(&itype.spec, &params, m, 0x77 ^ u64::from(m)))
+            .collect();
+        let (opt_m, _, _) = optimal_config(&sweep);
+
+        // 2. Prediction transfer: 3 probe runs on this type.
+        let transfer = trained.fit_transfer(&candidates, 3, &itype.spec, |e, f, m| {
+            let p = WorkloadParams::auto(e as u64, f as u64, params.iterations);
+            run_on(&itype.spec, &p, m, 0xBEEF ^ (e as u64)).total_time_s
+        });
+        let actual = sweep[(rec.machines - 1) as usize].total_time_s;
+        let naive_pred = trained.time_models[0].predict(params.e(), params.f());
+        let bridged_pred = transfer.predict(naive_pred);
+
+        rows.push(vec![
+            itype.name.clone(),
+            format!("{:.0} GB", itype.spec.ram_bytes as f64 / 1e9),
+            rec.machines.to_string(),
+            opt_m.to_string(),
+            format!("{:.0}%", accuracy_pct(naive_pred, actual)),
+            format!("{:.0}%", accuracy_pct(bridged_pred, actual)),
+        ]);
+    }
+    print_table(
+        "§6.2: LOR schedule #1 across machine types",
+        &["type", "RAM", "rec. machines", "optimal", "naive acc", "transfer acc (3 probes)"],
+        &rows,
+    );
+    println!(
+        "\nOptimization models (machine counts) transfer with zero new experiments; \
+         prediction needs the 3-probe CherryPick-style bridge on dissimilar types."
+    );
+}

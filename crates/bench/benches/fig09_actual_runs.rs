@@ -1,0 +1,58 @@
+//! Figure 9 — "Actual runs with Juggler and HiBench schedules".
+//!
+//! For every application: every Juggler schedule plus the HiBench default,
+//! each run on 1–12 machines at the paper-scale parameters. Per
+//! configuration the cost in machine-minutes is printed; Juggler's
+//! recommended configuration for each schedule is marked with `*`, the
+//! sweep's actual optimum with `!` (both with `*!` when they coincide —
+//! the paper's "optimal in 50 % of cases").
+
+use bench::{optimal_config, print_table, MACHINE_RANGE};
+
+fn main() {
+    for w in bench::workloads() {
+        let trained = bench::train(w.as_ref());
+        let params = w.paper_params();
+        let spec = trained.target_spec;
+
+        let mut entries: Vec<(String, dagflow::Schedule, Option<u32>)> = trained
+            .schedules
+            .iter()
+            .enumerate()
+            .map(|(i, rs)| {
+                let rec = trained.machines_for(i, params.e(), params.f());
+                (format!("SCHEDULE #{}", i + 1), rs.schedule.clone(), Some(rec))
+            })
+            .collect();
+        let default = w.build(&params).default_schedule().clone();
+        entries.push(("Default".to_owned(), default, None));
+
+        let mut rows = Vec::new();
+        for (label, schedule, recommended) in &entries {
+            let sweep = bench::sweep(w.as_ref(), &params, schedule, spec);
+            let (opt_m, _, _) = optimal_config(&sweep);
+            let mut row = vec![label.clone(), schedule.notation()];
+            for r in &sweep {
+                let mut cell = format!("{:.0}", r.cost_machine_minutes());
+                if Some(r.machines) == *recommended {
+                    cell.push('*');
+                }
+                if r.machines == opt_m {
+                    cell.push('!');
+                }
+                row.push(cell);
+            }
+            rows.push(row);
+        }
+
+        let machine_headers: Vec<String> = MACHINE_RANGE.map(|m| format!("{m}m")).collect();
+        let mut header: Vec<&str> = vec!["schedule", "ops"];
+        header.extend(machine_headers.iter().map(String::as_str));
+        print_table(
+            &format!("Figure 9: {} cost (machine-min) on 1-12 machines", w.name()),
+            &header,
+            &rows,
+        );
+    }
+    println!("\nLegend: * = Juggler's recommended configuration, ! = sweep optimum.");
+}

@@ -1,0 +1,76 @@
+//! Figure 10 — "Juggler vs related components: Dataset selection".
+//!
+//! For every application, every dataset-selection baseline (LRC, MRD,
+//! Hagedorn'18, Nagel'13, Jindal'18) produces its incremental schedule
+//! family from the same instrumented sample-run metrics Juggler's hotspot
+//! detection uses. Each schedule is then run on all configurations and
+//! judged by its minimal cost — "we select the optimal cluster
+//! configuration for each schedule … by running it on all cluster
+//! configurations and selecting the one with minimal execution cost".
+
+use baselines::{DatasetSelector, Hagedorn, Jindal, Lrc, Mrd, Nagel, SelectionMetrics};
+use bench::{minimal_cost, print_table};
+use cluster_sim::{ClusterConfig, MachineSpec};
+use instrument::profile_run;
+use juggler::{detect_hotspots, DatasetMetricsView, HotspotConfig};
+
+fn main() {
+    let selectors: Vec<Box<dyn DatasetSelector>> = vec![
+        Box::new(Nagel),
+        Box::new(Jindal),
+        Box::new(Hagedorn),
+        Box::new(Lrc),
+        Box::new(Mrd),
+    ];
+
+    for w in bench::workloads() {
+        let sample = w.sample_params();
+        let sample_app = w.build(&sample);
+        let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
+        let out = profile_run(
+            &sample_app,
+            &sample_app.default_schedule().clone(),
+            cluster,
+            w.sim_params(),
+        )
+        .expect("sample run succeeds");
+        let view = DatasetMetricsView::from_metrics(&out.metrics, sample_app.dataset_count());
+        let params = w.paper_params();
+        let spec = MachineSpec::private_cluster();
+
+        let mut rows = Vec::new();
+        // Juggler's schedules.
+        let juggler_schedules = detect_hotspots(&sample_app, &view, &HotspotConfig::default());
+        for (i, rs) in juggler_schedules.iter().enumerate() {
+            let sweep = bench::sweep(w.as_ref(), &params, &rs.schedule, spec);
+            rows.push(vec![
+                "Juggler".to_owned(),
+                format!("#{}", i + 1),
+                rs.schedule.notation(),
+                format!("{:.1}", minimal_cost(&sweep)),
+            ]);
+        }
+        // Baselines (capped at 3 schedules each, like the figure).
+        let sel_metrics = SelectionMetrics {
+            et: view.et.clone(),
+            size: view.size.clone(),
+        };
+        for sel in &selectors {
+            let schedules = sel.schedules(&sample_app, &sel_metrics);
+            for (i, s) in schedules.iter().take(3).enumerate() {
+                let sweep = bench::sweep(w.as_ref(), &params, s, spec);
+                rows.push(vec![
+                    sel.name().to_owned(),
+                    format!("#{}", i + 1),
+                    s.notation(),
+                    format!("{:.1}", minimal_cost(&sweep)),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Figure 10: {} dataset selection (minimal cost, machine-min)", w.name()),
+            &["approach", "schedule", "ops", "min cost"],
+            &rows,
+        );
+    }
+}

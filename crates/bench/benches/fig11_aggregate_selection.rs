@@ -1,0 +1,98 @@
+//! Figure 11 — "Juggler vs related components: Aggregated view of dataset
+//! selection": per application, the average of each approach's
+//! per-schedule minimal costs. Juggler must have the lowest average cost
+//! for every application.
+
+use baselines::{DatasetSelector, Hagedorn, Jindal, Lrc, Mrd, Nagel, SelectionMetrics};
+use bench::{minimal_cost, print_table};
+use cluster_sim::{ClusterConfig, MachineSpec};
+use dagflow::Schedule;
+use instrument::profile_run;
+use juggler::{detect_hotspots, DatasetMetricsView, HotspotConfig};
+
+fn avg_min_cost(
+    w: &dyn workloads::Workload,
+    schedules: &[Schedule],
+    spec: MachineSpec,
+) -> Option<f64> {
+    if schedules.is_empty() {
+        return None;
+    }
+    let params = w.paper_params();
+    let total: f64 = schedules
+        .iter()
+        .map(|s| minimal_cost(&bench::sweep(w, &params, s, spec)))
+        .sum();
+    Some(total / schedules.len() as f64)
+}
+
+fn main() {
+    let selectors: Vec<Box<dyn DatasetSelector>> = vec![
+        Box::new(Nagel),
+        Box::new(Jindal),
+        Box::new(Hagedorn),
+        Box::new(Lrc),
+        Box::new(Mrd),
+    ];
+    let spec = MachineSpec::private_cluster();
+
+    let mut rows = Vec::new();
+    let mut juggler_wins = 0usize;
+    let mut apps = 0usize;
+    for w in bench::workloads() {
+        let sample = w.sample_params();
+        let sample_app = w.build(&sample);
+        let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
+        let out = profile_run(
+            &sample_app,
+            &sample_app.default_schedule().clone(),
+            cluster,
+            w.sim_params(),
+        )
+        .expect("sample run succeeds");
+        let view = DatasetMetricsView::from_metrics(&out.metrics, sample_app.dataset_count());
+        let sel_metrics = SelectionMetrics {
+            et: view.et.clone(),
+            size: view.size.clone(),
+        };
+
+        let juggler: Vec<Schedule> = detect_hotspots(&sample_app, &view, &HotspotConfig::default())
+            .into_iter()
+            .map(|rs| rs.schedule)
+            .collect();
+        let jcost = avg_min_cost(w.as_ref(), &juggler, spec).expect("juggler finds schedules");
+
+        let mut row = vec![w.name().to_owned(), format!("{jcost:.1}")];
+        let mut all_above = true;
+        for sel in &selectors {
+            let schedules: Vec<Schedule> = sel
+                .schedules(&sample_app, &sel_metrics)
+                .into_iter()
+                .take(3)
+                .collect();
+            match avg_min_cost(w.as_ref(), &schedules, spec) {
+                Some(c) => {
+                    if c < jcost - 1e-9 {
+                        all_above = false;
+                    }
+                    row.push(format!("{c:.1}"));
+                }
+                None => row.push("-".to_owned()),
+            }
+        }
+        apps += 1;
+        if all_above {
+            juggler_wins += 1;
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 11: average minimal cost per approach (machine-min)",
+        &["app", "Juggler", "Nagel'13", "Jindal'18", "Hagedorn'18", "LRC", "MRD"],
+        &rows,
+    );
+    println!(
+        "\nJuggler has the lowest average cost in {juggler_wins}/{apps} applications \
+         (paper: all applications)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Figure 14 — "Juggler's recommendation compared to optimal cluster
+//! configuration".
+//!
+//! For every schedule of every application: Juggler's Eq. 6 recommendation
+//! vs the true optimum found by sweeping 1–12 machines. The paper finds
+//! the recommendation optimal in 50 % of cases and near-to-optimal
+//! otherwise, with an average extra cost of 7.3 %.
+
+use bench::{optimal_config, print_table};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut optimal_hits = 0usize;
+    let mut total = 0usize;
+    let mut extra_cost_pct = Vec::new();
+
+    for w in bench::workloads() {
+        let trained = bench::train(w.as_ref());
+        let params = w.paper_params();
+        let spec = trained.target_spec;
+
+        for (i, rs) in trained.schedules.iter().enumerate() {
+            let recommended = trained.machines_for(i, params.e(), params.f());
+            let sweep = bench::sweep(w.as_ref(), &params, &rs.schedule, spec);
+            let (opt_m, opt_cost, _) = optimal_config(&sweep);
+            let rec_cost = sweep[(recommended - 1) as usize].cost_machine_minutes();
+            let extra = (rec_cost / opt_cost - 1.0) * 100.0;
+            total += 1;
+            if recommended == opt_m {
+                optimal_hits += 1;
+            }
+            extra_cost_pct.push(extra);
+            rows.push(vec![
+                w.name().to_owned(),
+                format!("#{}", i + 1),
+                recommended.to_string(),
+                opt_m.to_string(),
+                format!("{rec_cost:.1}"),
+                format!("{opt_cost:.1}"),
+                format!("{extra:+.1}%"),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 14: recommended vs optimal cluster configuration",
+        &["app", "schedule", "recommended", "optimal", "cost@rec", "cost@opt", "extra cost"],
+        &rows,
+    );
+    let avg_extra = extra_cost_pct.iter().sum::<f64>() / extra_cost_pct.len() as f64;
+    println!(
+        "\nOptimal in {optimal_hits}/{total} cases ({:.0}%; paper: 50%), average extra cost {avg_extra:.1}% (paper: 7.3%)",
+        optimal_hits as f64 / total as f64 * 100.0
+    );
+    bench::save_results("fig14_cluster_config", &serde_json::json!({
+        "optimal_cases": optimal_hits,
+        "total_cases": total,
+        "avg_extra_cost_pct": avg_extra,
+        "paper": {"optimal_fraction": 0.5, "avg_extra_cost_pct": 7.3},
+    }));
+}

@@ -1,0 +1,46 @@
+//! Figure 16 — "Training cost of Juggler's stages".
+//!
+//! Per application, the share of the total offline-training cost spent in
+//! each of the four stages. The paper's observation: "For all
+//! applications, most of the overall offline training cost comes from
+//! building the execution time model."
+
+use bench::print_table;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut exec_dominates = 0usize;
+    let mut apps = 0usize;
+
+    for w in bench::workloads() {
+        let trained = bench::train(w.as_ref());
+        let c = &trained.costs;
+        let total = c.total_machine_minutes().max(1e-9);
+        let pct = |x: f64| format!("{:.1}%", x / total * 100.0);
+        apps += 1;
+        if c.time_models.machine_minutes
+            > c.hotspot.machine_minutes
+                + c.param_calibration.machine_minutes
+                + c.memory_calibration.machine_minutes
+        {
+            exec_dominates += 1;
+        }
+        rows.push(vec![
+            w.name().to_owned(),
+            pct(c.hotspot.machine_minutes),
+            pct(c.param_calibration.machine_minutes),
+            pct(c.memory_calibration.machine_minutes),
+            pct(c.time_models.machine_minutes),
+            format!("{total:.1}"),
+        ]);
+    }
+    print_table(
+        "Figure 16: training cost share per stage",
+        &["app", "hotspot", "param calib", "memory calib", "time models", "total (m-min)"],
+        &rows,
+    );
+    println!(
+        "\nExecution-time modeling dominates in {exec_dominates}/{apps} applications \
+         (paper: all applications)."
+    );
+}

@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks of the core algorithms: hotspot detection on
+//! growing DAGs, lineage analysis, NNLS fitting with model selection, the
+//! simulator's task throughput, and one full offline training.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cluster_sim::{ClusterConfig, Engine, MachineSpec, NoiseParams, RunOptions, SimParams};
+use dagflow::{
+    AppBuilder, Application, ComputeCost, LineageAnalysis, NarrowKind, Schedule, SourceFormat,
+    WideKind,
+};
+use juggler::pipeline::{OfflineTraining, TrainingConfig};
+use juggler::{detect_hotspots, DatasetMetricsView, HotspotConfig};
+use modeling::{fit_best, ModelSpec, Sample};
+use workloads::{LogisticRegression, Pca, Workload};
+
+/// Synthetic iterative app with `iters` iterations and a reusable chain.
+fn synthetic_app(iters: usize) -> Application {
+    let mut b = AppBuilder::new("synthetic");
+    let src = b.source("in", SourceFormat::DistributedFs, 10_000, 1 << 30, 16);
+    let parsed = b.narrow("parsed", NarrowKind::Map, &[src], 10_000, 1 << 30, ComputeCost::new(0.001, 0.0, 1e-10));
+    let points = b.narrow("points", NarrowKind::Map, &[parsed], 10_000, 1 << 29, ComputeCost::new(0.001, 0.0, 1e-10));
+    for i in 0..iters {
+        let m = b.narrow(format!("m{i}"), NarrowKind::Map, &[points], 10_000, 1 << 20, ComputeCost::new(0.001, 0.0, 1e-9));
+        let g = b.wide_with_partitions(format!("g{i}"), WideKind::TreeAggregate, &[m], 1, 1 << 12, 1, ComputeCost::new(0.001, 0.0, 1e-9));
+        b.job("agg", g);
+    }
+    b.build().unwrap()
+}
+
+fn bench_lineage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lineage_analysis");
+    for iters in [50usize, 200, 800] {
+        let app = synthetic_app(iters);
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &app, |b, app| {
+            b.iter(|| LineageAnalysis::new(app).computation_counts()[2]);
+        });
+    }
+    group.finish();
+}
+
+fn bench_hotspot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotspot_detection");
+    for iters in [50usize, 200, 800] {
+        let app = synthetic_app(iters);
+        let metrics = DatasetMetricsView {
+            et: (0..app.dataset_count()).map(|i| 0.01 + (i % 7) as f64 * 0.02).collect(),
+            size: app.datasets().iter().map(|d| d.bytes).collect(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &(), |b, ()| {
+            b.iter(|| detect_hotspots(&app, &metrics, &HotspotConfig::default()).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_fitting(c: &mut Criterion) {
+    let samples: Vec<Sample> = {
+        let mut v = Vec::new();
+        for &e in &[1.0e4, 4.0e4, 7.0e4] {
+            for &f in &[1.0e4, 3.0e4, 5.0e4] {
+                v.push(Sample::ef(e, f, 10.0 + 96.0 * e + 0.008 * e * f));
+            }
+        }
+        v
+    };
+    c.bench_function("fit_best_size_models", |b| {
+        b.iter(|| fit_best(&ModelSpec::size_candidates(), &samples).unwrap().cv_error);
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = LogisticRegression;
+    let params = w.sample_params();
+    let app = w.build(&params);
+    let cluster = ClusterConfig::new(4, MachineSpec::private_cluster());
+    let sim = SimParams {
+        noise: NoiseParams::NONE,
+        ..SimParams::default()
+    };
+    c.bench_function("simulate_lor_sample_run", |b| {
+        b.iter(|| {
+            let engine = Engine::new(&app, cluster, sim);
+            engine.run(&Schedule::empty(), RunOptions::default()).unwrap().total_time_s
+        });
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_training");
+    group.sample_size(10);
+    group.bench_function("pca_full_pipeline", |b| {
+        b.iter(|| {
+            OfflineTraining::run(&Pca, &TrainingConfig::default())
+                .unwrap()
+                .schedules
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lineage,
+    bench_hotspot,
+    bench_model_fitting,
+    bench_simulator,
+    bench_training
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Table 3 — "Extra cost and time of related components compared to
+//! Juggler: Dataset selection".
+//!
+//! Aggregates, across all applications and schedules, how much more
+//! execution cost and time each baseline's schedule family incurs relative
+//! to Juggler's, both measured at their per-schedule optimal cluster
+//! configurations. The paper reports +17–33 % cost and +10–49 % time.
+
+use baselines::{DatasetSelector, Hagedorn, Jindal, Lrc, Mrd, Nagel, SelectionMetrics};
+use bench::{optimal_config, print_table};
+use cluster_sim::{ClusterConfig, MachineSpec};
+use dagflow::Schedule;
+use instrument::profile_run;
+use juggler::{detect_hotspots, DatasetMetricsView, HotspotConfig};
+
+fn family_stats(
+    w: &dyn workloads::Workload,
+    schedules: &[Schedule],
+    spec: MachineSpec,
+) -> Option<(f64, f64)> {
+    if schedules.is_empty() {
+        return None;
+    }
+    let params = w.paper_params();
+    let mut cost = 0.0;
+    let mut time = 0.0;
+    for s in schedules {
+        let sweep = bench::sweep(w, &params, s, spec);
+        let (_, c, t) = optimal_config(&sweep);
+        cost += c;
+        time += t;
+    }
+    let n = schedules.len() as f64;
+    Some((cost / n, time / n))
+}
+
+fn main() {
+    let selectors: Vec<Box<dyn DatasetSelector>> = vec![
+        Box::new(Nagel),
+        Box::new(Jindal),
+        Box::new(Hagedorn),
+        Box::new(Lrc),
+        Box::new(Mrd),
+    ];
+    let spec = MachineSpec::private_cluster();
+
+    // Accumulate per-selector relative overheads across applications.
+    let mut extra_cost = vec![0.0f64; selectors.len()];
+    let mut extra_time = vec![0.0f64; selectors.len()];
+    let mut counted = vec![0u32; selectors.len()];
+
+    for w in bench::workloads() {
+        let sample = w.sample_params();
+        let sample_app = w.build(&sample);
+        let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
+        let out = profile_run(
+            &sample_app,
+            &sample_app.default_schedule().clone(),
+            cluster,
+            w.sim_params(),
+        )
+        .expect("sample run succeeds");
+        let view = DatasetMetricsView::from_metrics(&out.metrics, sample_app.dataset_count());
+        let sel_metrics = SelectionMetrics {
+            et: view.et.clone(),
+            size: view.size.clone(),
+        };
+
+        let juggler: Vec<Schedule> = detect_hotspots(&sample_app, &view, &HotspotConfig::default())
+            .into_iter()
+            .map(|rs| rs.schedule)
+            .collect();
+        let Some((jc, jt)) = family_stats(w.as_ref(), &juggler, spec) else {
+            continue;
+        };
+
+        for (si, sel) in selectors.iter().enumerate() {
+            let schedules: Vec<Schedule> = sel
+                .schedules(&sample_app, &sel_metrics)
+                .into_iter()
+                .take(3)
+                .collect();
+            if let Some((c, t)) = family_stats(w.as_ref(), &schedules, spec) {
+                extra_cost[si] += (c / jc - 1.0) * 100.0;
+                extra_time[si] += (t / jt - 1.0) * 100.0;
+                counted[si] += 1;
+            }
+        }
+    }
+
+    let rows: Vec<Vec<String>> = selectors
+        .iter()
+        .enumerate()
+        .map(|(si, sel)| {
+            let n = f64::from(counted[si].max(1));
+            vec![
+                sel.name().to_owned(),
+                format!("{:+.0}%", extra_cost[si] / n),
+                format!("{:+.0}%", extra_time[si] / n),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3: extra cost and time vs Juggler (dataset selection)",
+        &["approach", "extra cost", "extra time"],
+        &rows,
+    );
+    println!(
+        "\nPaper reference: Nagel'13 +29%/+22%, Jindal'18 +32%/+30%, Hagedorn'18 +17%/+10%, \
+         LRC +32%/+37%, MRD +33%/+49%."
+    );
+}

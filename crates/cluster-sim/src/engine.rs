@@ -1,0 +1,539 @@
+//! The run engine: sequential jobs, stage pruning against the cache,
+//! schedule enforcement, driver overheads, and report assembly.
+//!
+//! This is the reproduction's stand-in for both vanilla Spark (run with the
+//! application's default schedule) and the paper's *Juggler engine* — "a
+//! modified version of Spark that overwrites the developer-cached datasets
+//! with the recommended schedule by injecting cache/unpersist instructions
+//! into the DAG" (§5.3) — run with any other schedule.
+
+use std::collections::HashMap;
+
+use dagflow::{Application, DagError, DatasetId, JobId, Schedule, ScheduleOp, StagePlan};
+
+use crate::config::{ClusterConfig, SimParams};
+use crate::executor::{run_stage, ExecutorState};
+use crate::memory::BlockStore;
+use crate::report::{CacheStats, RunReport, StageTiming};
+use crate::rng::TaskNoise;
+use crate::task::{Sizing, TaskEnv};
+
+/// Per-run options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Collect per-task pipeline traces (needed by the `instrument` crate;
+    /// costs memory proportional to total tasks).
+    pub collect_traces: bool,
+    /// Per-partition size skew amplitude (0 = perfectly even partitions).
+    pub partition_skew: f64,
+}
+
+/// The simulation engine. Construct once per (application, cluster,
+/// parameters) and call [`Engine::run`] per schedule.
+#[derive(Debug)]
+pub struct Engine<'a> {
+    app: &'a Application,
+    cluster: ClusterConfig,
+    params: SimParams,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine.
+    #[must_use]
+    pub fn new(app: &'a Application, cluster: ClusterConfig, params: SimParams) -> Self {
+        Engine {
+            app,
+            cluster,
+            params,
+        }
+    }
+
+    /// The application this engine runs.
+    #[must_use]
+    pub fn app(&self) -> &'a Application {
+        self.app
+    }
+
+    /// Runs the application under `schedule`, overriding whatever the
+    /// developers cached (pass [`Application::default_schedule`] to
+    /// reproduce the baseline behaviour).
+    pub fn run(&self, schedule: &Schedule, options: RunOptions) -> Result<RunReport, DagError> {
+        self.app.check_schedule(schedule)?;
+        let machines = self.cluster.machines.max(1);
+
+        // Unpack the schedule: active persist set plus u(X)-before-p(Y)
+        // swap pairs.
+        let mut persisted = vec![false; self.app.dataset_count()];
+        let mut swap: HashMap<DatasetId, DatasetId> = HashMap::new();
+        let mut pending_unpersist: Option<DatasetId> = None;
+        for op in schedule.ops() {
+            match *op {
+                ScheduleOp::Persist(d) => {
+                    persisted[d.index()] = true;
+                    if let Some(x) = pending_unpersist.take() {
+                        swap.insert(d, x);
+                    }
+                }
+                ScheduleOp::Unpersist(d) => pending_unpersist = Some(d),
+            }
+        }
+
+        let mut store = BlockStore::with_policy(&self.cluster, self.params.eviction_policy);
+        // Per-dataset job-use lists for the DAG-aware eviction policies'
+        // hints (only persisted datasets can ever be victims).
+        let la = dagflow::LineageAnalysis::new(self.app);
+        let persisted_ids: Vec<DatasetId> = (0..self.app.dataset_count() as u32)
+            .map(DatasetId)
+            .filter(|d| persisted[d.index()])
+            .collect();
+        let job_uses: HashMap<DatasetId, Vec<usize>> = persisted_ids
+            .iter()
+            .map(|&d| {
+                let uses: Vec<usize> = (0..self.app.jobs().len())
+                    .filter(|&j| la.in_job(d, JobId(j as u32)))
+                    .collect();
+                (d, uses)
+            })
+            .collect();
+        let mut noise = TaskNoise::new(self.params.seed, self.params.noise);
+        // Absolute cluster-dynamics jitter: drawn once per run (container
+        // provisioning, JVM warm-up), dominating short sample runs.
+        let startup_jitter = noise.uniform() * self.params.cluster_jitter_s;
+        let mut state = ExecutorState::new(machines, self.cluster.spec.cores, noise);
+        let env = TaskEnv {
+            app: self.app,
+            cluster: &self.cluster,
+            params: &self.params,
+            persisted: &persisted,
+            swap: &swap,
+            sizing: Sizing {
+                skew: options.partition_skew,
+            },
+            trace: options.collect_traces,
+        };
+
+        let mut now = self.params.app_startup_s + startup_jitter;
+        let mut job_times = Vec::with_capacity(self.app.jobs().len());
+        let mut per_job_cache = Vec::with_capacity(self.app.jobs().len());
+        let mut stage_times = Vec::new();
+        let mut traces = Vec::new();
+
+        let mut pending_failure = self.params.failure;
+        for ji in 0..self.app.jobs().len() {
+            let job = JobId(ji as u32);
+            let job_start = now;
+            // Injected executor loss: all cached blocks on the machine are
+            // gone; the replacement container keeps computing.
+            if let Some(f) = pending_failure {
+                if now >= f.at_seconds && (f.machine as usize) < store.machine_count() {
+                    store.lose_machine(f.machine as usize);
+                    pending_failure = None;
+                }
+            }
+            // Refresh DAG-aware eviction hints: remaining references and
+            // next-use distance from this job onward.
+            let hints: HashMap<DatasetId, crate::eviction::DatasetHints> = job_uses
+                .iter()
+                .map(|(&d, uses)| {
+                    let remaining = uses.iter().filter(|&&u| u >= ji).count() as u64;
+                    let next = uses
+                        .iter()
+                        .find(|&&u| u >= ji)
+                        .map_or(u32::MAX, |&u| (u - ji) as u32);
+                    (d, crate::eviction::DatasetHints {
+                        remaining_refs: remaining,
+                        next_use_distance: next,
+                    })
+                })
+                .collect();
+            store.set_hints(hints);
+            let before: HashMap<DatasetId, (u64, u64)> = store
+                .stats()
+                .iter()
+                .map(|(&d, s)| (d, (s.hits, s.misses)))
+                .collect();
+
+            let plan = StagePlan::build(self.app, job);
+            let needed = needed_stages(self.app, &plan, &persisted, &store);
+            for stage in &plan.stages {
+                if !needed[stage.id.index()] {
+                    continue;
+                }
+                // Wide datasets of needed downstream stages that read this
+                // stage's output.
+                let consumers: Vec<DatasetId> = plan
+                    .stages
+                    .iter()
+                    .filter(|s| needed[s.id.index()])
+                    .flat_map(|s| s.shuffle_reads(self.app))
+                    .filter(|&w| self.app.dataset(w).parents.contains(&stage.output))
+                    .collect();
+                let stage_start = now;
+                now = run_stage(
+                    &env, &mut store, &mut state, job, stage, &consumers, now, &mut traces,
+                );
+                stage_times.push(StageTiming {
+                    job,
+                    stage: stage.id,
+                    start: stage_start,
+                    finish: now,
+                    tasks: stage.num_tasks,
+                });
+            }
+            // Serial driver work: job bookkeeping plus per-machine
+            // coordination (the area-B term), with a small absolute wobble
+            // from cluster dynamics.
+            now += self.params.driver_per_job_s
+                + self.params.driver_per_machine_s * f64::from(machines)
+                + state.noise.uniform() * self.params.cluster_jitter_s * 0.02;
+            job_times.push(now - job_start);
+
+            let deltas: Vec<(DatasetId, u64, u64)> = store
+                .stats()
+                .iter()
+                .filter(|(&d, _)| persisted[d.index()])
+                .map(|(&d, s)| {
+                    let (h0, m0) = before.get(&d).copied().unwrap_or((0, 0));
+                    (d, s.hits - h0, s.misses - m0)
+                })
+                .collect();
+            per_job_cache.push(deltas);
+        }
+
+        let cache = CacheStats {
+            peak_storage_bytes: store.peak_storage(),
+            peak_exec_bytes: store.peak_exec(),
+            per_dataset: store.into_stats(),
+        };
+        Ok(RunReport {
+            app: self.app.name().to_owned(),
+            schedule: schedule.clone(),
+            machines,
+            total_time_s: now,
+            job_times_s: job_times,
+            cache,
+            per_job_cache,
+            stage_times,
+            traces,
+            spilled_tasks: state.spilled_tasks,
+            total_tasks: state.total_tasks,
+        })
+    }
+}
+
+/// Determines which stages of a job must actually run, given current cache
+/// residency: the result stage always runs; a map stage is skipped when
+/// every wide dataset consuming it is fully resident (Spark would read the
+/// cached blocks and skip the parent stages entirely).
+fn needed_stages(
+    app: &Application,
+    plan: &StagePlan,
+    persisted: &[bool],
+    store: &BlockStore,
+) -> Vec<bool> {
+    let mut needed = vec![false; plan.stages.len()];
+    // Walk top-down from the result stage.
+    let mut stack = vec![plan.stages.len() - 1];
+    while let Some(si) = stack.pop() {
+        if needed[si] {
+            continue;
+        }
+        needed[si] = true;
+        let stage = &plan.stages[si];
+        for wide in stage.shuffle_reads(app) {
+            let fully_resident = persisted[wide.index()]
+                && store.resident_count(wide) == app.dataset(wide).partitions;
+            if fully_resident {
+                continue;
+            }
+            // Parent stages producing this wide dataset's inputs must run.
+            for &parent_ds in &app.dataset(wide).parents {
+                if let Some(ps) = plan.stages.iter().position(|s| s.output == parent_ds) {
+                    stack.push(ps);
+                }
+            }
+        }
+    }
+    needed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagflow::{AppBuilder, ComputeCost, NarrowKind, SourceFormat, WideKind};
+
+    use crate::config::{MachineSpec, NoiseParams};
+
+    /// A small iterative app: input → parsed (cacheable) → k gradient jobs.
+    fn iterative_app(iterations: usize) -> Application {
+        let mut b = AppBuilder::new("iter");
+        let src = b.source("in", SourceFormat::DistributedFs, 8_000, 1_120_000_000, 8);
+        let parsed = b.narrow(
+            "parsed",
+            NarrowKind::Map,
+            &[src],
+            8_000,
+            800_000_000,
+            ComputeCost::new(0.05, 1e-5, 4e-9),
+        );
+        for i in 0..iterations {
+            let g = b.wide_with_partitions(
+                format!("grad[{i}]"),
+                WideKind::TreeAggregate,
+                &[parsed],
+                8,
+                1024,
+                1,
+                ComputeCost::new(0.01, 0.0, 1e-9),
+            );
+            b.job("aggregate", g);
+        }
+        b.build().unwrap()
+    }
+
+    fn quiet_params() -> SimParams {
+        SimParams {
+            noise: NoiseParams::NONE,
+            cluster_jitter_s: 0.0,
+            seed: 1,
+            ..SimParams::default()
+        }
+    }
+
+    #[test]
+    fn caching_speeds_up_iterative_runs() {
+        let app = iterative_app(10);
+        let cluster = ClusterConfig::new(2, MachineSpec::paper_example());
+        let engine = Engine::new(&app, cluster, quiet_params());
+        let cold = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        let hot = engine
+            .run(&Schedule::persist_all([DatasetId(1)]), RunOptions::default())
+            .unwrap();
+        assert!(
+            hot.total_time_s < cold.total_time_s * 0.6,
+            "cached {} vs uncached {}",
+            hot.total_time_s,
+            cold.total_time_s
+        );
+        // Cache stats: 8 partitions resident, later jobs all hits.
+        let stats = hot.cache.per_dataset.get(&DatasetId(1)).unwrap();
+        assert_eq!(stats.resident_partitions, 8);
+        assert!(stats.hits > 0);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn job_times_sum_to_total() {
+        let app = iterative_app(5);
+        let cluster = ClusterConfig::new(2, MachineSpec::paper_example());
+        let engine = Engine::new(&app, cluster, quiet_params());
+        let r = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        let sum: f64 = r.job_times_s.iter().sum();
+        assert!((r.total_time_s - (sum + quiet_params().app_startup_s)).abs() < 1e-9);
+        assert_eq!(r.job_times_s.len(), 5);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let app = iterative_app(4);
+        let cluster = ClusterConfig::new(3, MachineSpec::paper_example());
+        let params = SimParams {
+            seed: 99,
+            ..SimParams::default()
+        };
+        let engine = Engine::new(&app, cluster, params);
+        let s = Schedule::persist_all([DatasetId(1)]);
+        let a = engine.run(&s, RunOptions::default()).unwrap();
+        let b = engine.run(&s, RunOptions::default()).unwrap();
+        assert_eq!(a.total_time_s, b.total_time_s);
+        assert_eq!(a.job_times_s, b.job_times_s);
+    }
+
+    #[test]
+    fn memory_limited_cluster_evicts_and_recomputes() {
+        // Dataset (800 MB) exceeds one tiny machine's cache: partial
+        // residency, recomputation misses every iteration — area A.
+        let app = iterative_app(6);
+        let spec = MachineSpec {
+            ram_bytes: 1_000_000_000, // M = 420 MB, holds 4/8 blocks
+            ..MachineSpec::paper_example()
+        };
+        let cluster = ClusterConfig::new(1, spec);
+        let params = SimParams {
+            exec_mem_per_task_factor: 0.0,
+            noise: NoiseParams::NONE,
+            ..SimParams::default()
+        };
+        let engine = Engine::new(&app, cluster, params);
+        let r = engine
+            .run(&Schedule::persist_all([DatasetId(1)]), RunOptions::default())
+            .unwrap();
+        let stats = r.cache.per_dataset.get(&DatasetId(1)).unwrap();
+        assert_eq!(stats.resident_partitions, 4, "capacity/size fraction stays");
+        assert!(stats.insert_failures > 0);
+        assert_eq!(stats.evictions, 0, "no self-eviction thrash");
+        // Per-job cache deltas show steady-state misses in later jobs.
+        let last = r.per_job_cache.last().unwrap();
+        let (_, hits, misses) = last.iter().find(|(d, _, _)| *d == DatasetId(1)).unwrap();
+        assert_eq!(*hits, 4);
+        assert_eq!(*misses, 4);
+        // More machines: everything fits, misses vanish after job 1.
+        let big = Engine::new(&app, ClusterConfig::new(2, spec), params);
+        let r2 = big
+            .run(&Schedule::persist_all([DatasetId(1)]), RunOptions::default())
+            .unwrap();
+        let last2 = r2.per_job_cache.last().unwrap();
+        let (_, hits2, misses2) = last2.iter().find(|(d, _, _)| *d == DatasetId(1)).unwrap();
+        assert_eq!(*hits2, 8);
+        assert_eq!(*misses2, 0);
+        assert!(r2.total_time_s < r.total_time_s);
+    }
+
+    #[test]
+    fn traces_only_when_requested() {
+        let app = iterative_app(2);
+        let cluster = ClusterConfig::new(1, MachineSpec::paper_example());
+        let engine = Engine::new(&app, cluster, quiet_params());
+        let quiet = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        assert!(quiet.traces.is_empty());
+        let traced = engine
+            .run(
+                &Schedule::empty(),
+                RunOptions {
+                    collect_traces: true,
+                    partition_skew: 0.0,
+                },
+            )
+            .unwrap();
+        assert_eq!(traced.traces.len() as u64, traced.total_tasks);
+    }
+
+    #[test]
+    fn stage_times_tile_the_run() {
+        let app = iterative_app(4);
+        let cluster = ClusterConfig::new(2, MachineSpec::paper_example());
+        let engine = Engine::new(&app, cluster, quiet_params());
+        let r = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        assert!(!r.stage_times.is_empty());
+        let startup = quiet_params().app_startup_s;
+        for st in &r.stage_times {
+            assert!(st.start >= startup - 1e-9);
+            assert!(st.finish <= r.total_time_s + 1e-9);
+            assert!(st.duration() >= 0.0);
+            assert!(st.tasks >= 1);
+        }
+        // Stages are reported in execution order.
+        for w in r.stage_times.windows(2) {
+            assert!(w[1].start >= w[0].start - 1e-9);
+        }
+        // Per job, stage durations fit inside the job time.
+        for ji in 0..r.job_times_s.len() {
+            let stage_total: f64 = r
+                .stage_times
+                .iter()
+                .filter(|st| st.job.index() == ji)
+                .map(StageTiming::duration)
+                .sum();
+            assert!(
+                stage_total <= r.job_times_s[ji] + 1e-9,
+                "job {ji}: stages {stage_total} vs job {}",
+                r.job_times_s[ji]
+            );
+        }
+    }
+
+    #[test]
+    fn cached_runs_skip_stages_in_stage_times() {
+        let app = iterative_app(5);
+        let cluster = ClusterConfig::new(2, MachineSpec::paper_example());
+        let engine = Engine::new(&app, cluster, quiet_params());
+        let cold = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        let hot = engine
+            .run(&Schedule::persist_all([DatasetId(1)]), RunOptions::default())
+            .unwrap();
+        // Same stage count here (caching shortens tasks, not stages), but
+        // the cached map stages are far quicker after job 0.
+        assert_eq!(cold.stage_times.len(), hot.stage_times.len());
+        let last_cold = cold.stage_times.last().unwrap();
+        let last_hot = hot.stage_times.last().unwrap();
+        assert!(last_hot.finish < last_cold.finish);
+    }
+
+    #[test]
+    fn rejects_foreign_schedule() {
+        let app = iterative_app(1);
+        let cluster = ClusterConfig::new(1, MachineSpec::paper_example());
+        let engine = Engine::new(&app, cluster, quiet_params());
+        let bad = Schedule::persist_all([DatasetId(999)]);
+        assert!(engine.run(&bad, RunOptions::default()).is_err());
+    }
+
+    #[test]
+    fn unpersist_swap_bounds_peak_storage() {
+        // x (400 MB) → y (400 MB); schedule p(x) p(y) vs p(x) u(x) p(y).
+        let mut b = AppBuilder::new("swap");
+        let src = b.source("in", SourceFormat::DistributedFs, 100, 400_000_000, 4);
+        let x = b.narrow("x", NarrowKind::Map, &[src], 100, 400_000_000, ComputeCost::new(0.01, 0.0, 1e-9));
+        let y = b.narrow("y", NarrowKind::Map, &[x], 100, 400_000_000, ComputeCost::new(0.01, 0.0, 1e-9));
+        // Two jobs over x (so caching x pays), then jobs over y only.
+        let vx = b.narrow("vx", NarrowKind::Map, &[x], 1, 8, ComputeCost::FREE);
+        b.job("count", vx);
+        let vx2 = b.narrow("vx2", NarrowKind::Map, &[x], 1, 8, ComputeCost::FREE);
+        b.job("count", vx2);
+        for i in 0..3 {
+            let v = b.narrow(format!("vy{i}"), NarrowKind::Map, &[y], 1, 8, ComputeCost::FREE);
+            b.job("count", v);
+        }
+        let app = b.build().unwrap();
+        let cluster = ClusterConfig::new(1, MachineSpec::paper_example());
+        let engine = Engine::new(&app, cluster, quiet_params());
+
+        let both = Schedule::from_ops(vec![ScheduleOp::Persist(x), ScheduleOp::Persist(y)]);
+        let swap = Schedule::from_ops(vec![
+            ScheduleOp::Persist(x),
+            ScheduleOp::Unpersist(x),
+            ScheduleOp::Persist(y),
+        ]);
+        let r_both = engine.run(&both, RunOptions::default()).unwrap();
+        let r_swap = engine.run(&swap, RunOptions::default()).unwrap();
+        assert!(r_both.cache.peak_storage_bytes >= 790_000_000);
+        assert!(
+            r_swap.cache.peak_storage_bytes < 550_000_000,
+            "swap peak {} should be ~max(|x|,|y|) + one block",
+            r_swap.cache.peak_storage_bytes
+        );
+        // After the run, x is gone, y resident.
+        assert_eq!(r_swap.cache.per_dataset.get(&x).unwrap().resident_partitions, 0);
+        assert_eq!(r_swap.cache.per_dataset.get(&y).unwrap().resident_partitions, 4);
+    }
+
+    #[test]
+    fn fully_cached_wide_dataset_skips_map_stages() {
+        // input → parsed → wideagg (cached); iterative jobs over a narrow
+        // child of wideagg. Once wideagg is resident, the expensive map
+        // stage must be skipped.
+        let mut b = AppBuilder::new("skip");
+        let src = b.source("in", SourceFormat::DistributedFs, 8_000, 1_120_000_000, 8);
+        let parsed = b.narrow("parsed", NarrowKind::Map, &[src], 8_000, 800_000_000, ComputeCost::new(0.05, 1e-5, 4e-9));
+        let agg = b.wide("agg", WideKind::ReduceByKey, &[parsed], 4_000, 200_000_000, ComputeCost::new(0.01, 0.0, 1e-9));
+        for i in 0..4 {
+            let v = b.narrow(format!("v{i}"), NarrowKind::Map, &[agg], 1, 8, ComputeCost::FREE);
+            b.job("count", v);
+        }
+        let app = b.build().unwrap();
+        let cluster = ClusterConfig::new(2, MachineSpec::paper_example());
+        let engine = Engine::new(&app, cluster, quiet_params());
+        let cold = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        let hot = engine.run(&Schedule::persist_all([agg]), RunOptions::default()).unwrap();
+        let startup = quiet_params().app_startup_s;
+        assert!(
+            hot.total_time_s - startup < (cold.total_time_s - startup) * 0.5,
+            "hot {} vs cold {}",
+            hot.total_time_s,
+            cold.total_time_s
+        );
+        // Task counts: cold runs map+reduce stages each job; hot runs the
+        // map stage only in job 0.
+        assert!(hot.total_tasks < cold.total_tasks);
+    }
+}

@@ -1,0 +1,480 @@
+//! Per-machine unified memory and the cluster-wide block store.
+//!
+//! Implements Spark's memory semantics as described in §2.2 of the paper:
+//!
+//! * storage (cached blocks) and execution share the unified region M;
+//! * inserting a new cached block may evict least-recently-used blocks of
+//!   *other* datasets — never blocks of the dataset currently being cached
+//!   (Spark never evicts an RDD's blocks to admit more blocks of the same
+//!   RDD; this is what produces the stable `capacity/size` resident
+//!   fraction of the paper's area A);
+//! * execution claims may evict storage blocks, but only down to the
+//!   protected floor R;
+//! * unpersist drops all of a dataset's blocks immediately.
+
+use std::collections::HashMap;
+
+use dagflow::DatasetId;
+
+use crate::config::ClusterConfig;
+use crate::eviction::{select_victim, DatasetHints, EvictionPolicyKind, VictimCandidate};
+use crate::report::DatasetCacheStats;
+
+/// Identifies one cached partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockKey {
+    /// The persisted dataset.
+    pub dataset: DatasetId,
+    /// Partition index within the dataset.
+    pub partition: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    bytes: u64,
+    last_access: u64,
+    inserted: u64,
+}
+
+/// Memory state of one machine.
+#[derive(Debug)]
+struct MachineMemory {
+    unified: u64,
+    min_storage: u64,
+    storage_used: u64,
+    exec_used: u64,
+    blocks: HashMap<BlockKey, Block>,
+}
+
+impl MachineMemory {
+    fn free(&self) -> u64 {
+        self.unified
+            .saturating_sub(self.storage_used)
+            .saturating_sub(self.exec_used)
+    }
+
+    /// Victim block under the given policy, excluding the `protect`ed
+    /// dataset (the one currently being cached — Spark never evicts an
+    /// RDD's blocks to admit more blocks of the same RDD).
+    fn victim(
+        &self,
+        policy: EvictionPolicyKind,
+        hints: &HashMap<DatasetId, DatasetHints>,
+        protect: Option<DatasetId>,
+    ) -> Option<BlockKey> {
+        let mut keys: Vec<BlockKey> = Vec::with_capacity(self.blocks.len());
+        let mut candidates: Vec<VictimCandidate> = Vec::with_capacity(self.blocks.len());
+        for (k, b) in &self.blocks {
+            if Some(k.dataset) == protect {
+                continue;
+            }
+            keys.push(*k);
+            candidates.push(VictimCandidate {
+                dataset: k.dataset,
+                bytes: b.bytes,
+                last_access: b.last_access,
+                inserted: b.inserted,
+                hints: hints.get(&k.dataset).copied().unwrap_or_default(),
+            });
+        }
+        select_victim(policy, &candidates).map(|i| keys[i])
+    }
+}
+
+/// Cluster-wide cache: per-machine memory plus a global block index and
+/// per-dataset statistics.
+#[derive(Debug)]
+pub struct BlockStore {
+    machines: Vec<MachineMemory>,
+    locations: HashMap<BlockKey, usize>,
+    clock: u64,
+    stats: HashMap<DatasetId, DatasetCacheStats>,
+    peak_storage: u64,
+    peak_exec: u64,
+    policy: EvictionPolicyKind,
+    hints: HashMap<DatasetId, DatasetHints>,
+}
+
+impl BlockStore {
+    /// Creates an empty store for a cluster, evicting with LRU (Spark's
+    /// default).
+    #[must_use]
+    pub fn new(cluster: &ClusterConfig) -> Self {
+        BlockStore::with_policy(cluster, EvictionPolicyKind::Lru)
+    }
+
+    /// Creates an empty store with an explicit eviction policy.
+    #[must_use]
+    pub fn with_policy(cluster: &ClusterConfig, policy: EvictionPolicyKind) -> Self {
+        let m = cluster.spec.unified_memory();
+        let r = cluster.spec.min_storage();
+        BlockStore {
+            machines: (0..cluster.machines)
+                .map(|_| MachineMemory {
+                    unified: m,
+                    min_storage: r,
+                    storage_used: 0,
+                    exec_used: 0,
+                    blocks: HashMap::new(),
+                })
+                .collect(),
+            locations: HashMap::new(),
+            clock: 0,
+            stats: HashMap::new(),
+            peak_storage: 0,
+            peak_exec: 0,
+            policy,
+            hints: HashMap::new(),
+        }
+    }
+
+    /// Refreshes the DAG-aware per-dataset hints (used by the LRC and MRD
+    /// policies). The engine calls this at job boundaries.
+    pub fn set_hints(&mut self, hints: HashMap<DatasetId, DatasetHints>) {
+        self.hints = hints;
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn stat(&mut self, d: DatasetId) -> &mut DatasetCacheStats {
+        self.stats.entry(d).or_default()
+    }
+
+    /// Which machine holds the block, if resident.
+    #[must_use]
+    pub fn residency(&self, dataset: DatasetId, partition: u32) -> Option<usize> {
+        self.locations
+            .get(&BlockKey { dataset, partition })
+            .copied()
+    }
+
+    /// Records a cache read: refreshes the block's LRU stamp and counts a
+    /// hit. No-op (counts a miss) if absent.
+    pub fn touch(&mut self, dataset: DatasetId, partition: u32) -> bool {
+        let key = BlockKey { dataset, partition };
+        let now = self.tick();
+        if let Some(&mi) = self.locations.get(&key) {
+            if let Some(b) = self.machines[mi].blocks.get_mut(&key) {
+                b.last_access = now;
+                self.stat(dataset).hits += 1;
+                return true;
+            }
+        }
+        self.stat(dataset).misses += 1;
+        false
+    }
+
+    /// Attempts to cache a freshly computed partition on `machine`,
+    /// evicting LRU blocks of other datasets if needed. Returns whether the
+    /// block is now resident.
+    pub fn try_insert(&mut self, machine: usize, dataset: DatasetId, partition: u32, bytes: u64) -> bool {
+        let key = BlockKey { dataset, partition };
+        if self.locations.contains_key(&key) {
+            return true; // already resident (e.g. recomputed concurrently)
+        }
+        self.stat(dataset).insert_attempts += 1;
+        // Evict other datasets' LRU blocks until the block fits.
+        while self.machines[machine].free() < bytes {
+            let Some(victim) = self.machines[machine].victim(self.policy, &self.hints, Some(dataset)) else {
+                break;
+            };
+            self.evict_block(machine, victim);
+        }
+        if self.machines[machine].free() < bytes {
+            self.stat(dataset).insert_failures += 1;
+            return false;
+        }
+        let now = self.tick();
+        self.machines[machine].blocks.insert(
+            key,
+            Block {
+                bytes,
+                last_access: now,
+                inserted: now,
+            },
+        );
+        self.machines[machine].storage_used += bytes;
+        self.locations.insert(key, machine);
+        let s = self.stat(dataset);
+        s.resident_partitions += 1;
+        s.resident_bytes += bytes;
+        s.peak_resident_bytes = s.peak_resident_bytes.max(s.resident_bytes);
+        self.peak_storage = self
+            .peak_storage
+            .max(self.machines.iter().map(|m| m.storage_used).sum());
+        true
+    }
+
+    fn evict_block(&mut self, machine: usize, key: BlockKey) {
+        if let Some(block) = self.machines[machine].blocks.remove(&key) {
+            self.machines[machine].storage_used -= block.bytes;
+            self.locations.remove(&key);
+            let s = self.stat(key.dataset);
+            s.resident_partitions -= 1;
+            s.resident_bytes -= block.bytes;
+            s.evictions += 1;
+            s.evicted_partition_ids.insert(key.partition);
+        }
+    }
+
+    /// Claims execution memory for a task on `machine`. Storage above the
+    /// protected floor R is evicted (LRU, any dataset) to satisfy the
+    /// claim. Returns the bytes actually claimed; a task granted less than
+    /// it asked for must spill. Pass the returned value to
+    /// [`BlockStore::release_exec`] when the task finishes.
+    pub fn claim_exec(&mut self, machine: usize, bytes: u64) -> u64 {
+        while self.machines[machine].free() < bytes
+            && self.machines[machine].storage_used > self.machines[machine].min_storage
+        {
+            let Some(victim) = self.machines[machine].victim(self.policy, &self.hints, None) else {
+                break;
+            };
+            self.evict_block(machine, victim);
+        }
+        let claim = bytes.min(self.machines[machine].free());
+        self.machines[machine].exec_used += claim;
+        self.peak_exec = self
+            .peak_exec
+            .max(self.machines.iter().map(|m| m.exec_used).sum());
+        claim
+    }
+
+    /// Releases execution memory previously claimed on `machine`.
+    pub fn release_exec(&mut self, machine: usize, bytes: u64) {
+        let m = &mut self.machines[machine];
+        m.exec_used = m.exec_used.saturating_sub(bytes);
+    }
+
+    /// Drops every block a machine holds (executor loss). The blocks
+    /// count as evictions — downstream reads miss and recompute through
+    /// lineage, and re-insertion may land on any machine.
+    pub fn lose_machine(&mut self, machine: usize) {
+        let keys: Vec<BlockKey> = self.machines[machine].blocks.keys().copied().collect();
+        for key in keys {
+            self.evict_block(machine, key);
+        }
+        self.machines[machine].exec_used = 0;
+    }
+
+    /// Unpersists a dataset: drops all of its blocks everywhere.
+    pub fn drop_dataset(&mut self, dataset: DatasetId) {
+        let keys: Vec<(BlockKey, usize)> = self
+            .locations
+            .iter()
+            .filter(|(k, _)| k.dataset == dataset)
+            .map(|(k, &m)| (*k, m))
+            .collect();
+        for (key, machine) in keys {
+            if let Some(block) = self.machines[machine].blocks.remove(&key) {
+                self.machines[machine].storage_used -= block.bytes;
+                self.locations.remove(&key);
+                let s = self.stat(dataset);
+                s.resident_partitions -= 1;
+                s.resident_bytes -= block.bytes;
+                s.unpersisted += 1;
+            }
+        }
+    }
+
+    /// Drops a single partition (the `u(X) … p(Y)` partition-by-partition
+    /// swap). Does not count as an eviction.
+    pub fn drop_partition(&mut self, dataset: DatasetId, partition: u32) {
+        let key = BlockKey { dataset, partition };
+        if let Some(&machine) = self.locations.get(&key) {
+            if let Some(block) = self.machines[machine].blocks.remove(&key) {
+                self.machines[machine].storage_used -= block.bytes;
+                self.locations.remove(&key);
+                let s = self.stat(dataset);
+                s.resident_partitions -= 1;
+                s.resident_bytes -= block.bytes;
+                s.unpersisted += 1;
+            }
+        }
+    }
+
+    /// Currently resident partition count of a dataset.
+    #[must_use]
+    pub fn resident_count(&self, dataset: DatasetId) -> u32 {
+        self.stats
+            .get(&dataset)
+            .map_or(0, |s| s.resident_partitions)
+    }
+
+    /// Bytes of storage used on one machine.
+    #[must_use]
+    pub fn storage_used(&self, machine: usize) -> u64 {
+        self.machines[machine].storage_used
+    }
+
+    /// Bytes of execution memory in use on one machine.
+    #[must_use]
+    pub fn exec_used(&self, machine: usize) -> u64 {
+        self.machines[machine].exec_used
+    }
+
+    /// Peak cluster-wide storage bytes observed.
+    #[must_use]
+    pub fn peak_storage(&self) -> u64 {
+        self.peak_storage
+    }
+
+    /// Peak cluster-wide execution bytes observed.
+    #[must_use]
+    pub fn peak_exec(&self) -> u64 {
+        self.peak_exec
+    }
+
+    /// Final per-dataset statistics (drained).
+    #[must_use]
+    pub fn into_stats(self) -> HashMap<DatasetId, DatasetCacheStats> {
+        self.stats
+    }
+
+    /// Per-dataset statistics (borrowed).
+    #[must_use]
+    pub fn stats(&self) -> &HashMap<DatasetId, DatasetCacheStats> {
+        &self.stats
+    }
+
+    /// Number of machines in the store.
+    #[must_use]
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineSpec;
+
+    fn store(machines: u32, ram: u64) -> BlockStore {
+        let spec = MachineSpec {
+            ram_bytes: ram,
+            ..MachineSpec::paper_example()
+        };
+        BlockStore::new(&ClusterConfig::new(machines, spec))
+    }
+
+    const D_A: DatasetId = DatasetId(1);
+    const D_B: DatasetId = DatasetId(2);
+
+    #[test]
+    fn insert_and_residency() {
+        let mut s = store(2, 12_000_000_000);
+        assert!(s.try_insert(0, D_A, 0, 1_000_000));
+        assert_eq!(s.residency(D_A, 0), Some(0));
+        assert_eq!(s.residency(D_A, 1), None);
+        assert!(s.touch(D_A, 0));
+        assert!(!s.touch(D_A, 1));
+        let stats = s.stats().get(&D_A).unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.resident_partitions, 1);
+    }
+
+    /// Spark's rule: a dataset never evicts its own blocks. Filling the
+    /// machine with one dataset leaves the overflow uncached — the stable
+    /// `capacity/size` residency of area A.
+    #[test]
+    fn same_dataset_never_self_evicts() {
+        // M = (1e9 - 3e8) * 0.6 = 4.2e8; blocks of 1e8 → 4 fit.
+        let mut s = store(1, 1_000_000_000);
+        let mut cached = 0;
+        for p in 0..10 {
+            if s.try_insert(0, D_A, p, 100_000_000) {
+                cached += 1;
+            }
+        }
+        assert_eq!(cached, 4);
+        assert_eq!(s.resident_count(D_A), 4);
+        let st = s.stats().get(&D_A).unwrap();
+        assert_eq!(st.insert_failures, 6);
+        assert_eq!(st.evictions, 0, "no self-eviction");
+    }
+
+    /// A new dataset evicts LRU blocks of an older one.
+    #[test]
+    fn cross_dataset_lru_eviction() {
+        let mut s = store(1, 1_000_000_000); // M = 4.2e8
+        for p in 0..4 {
+            assert!(s.try_insert(0, D_A, p, 100_000_000));
+        }
+        // Touch partitions 2 and 3 so 0 and 1 are the LRU victims.
+        s.touch(D_A, 2);
+        s.touch(D_A, 3);
+        assert!(s.try_insert(0, D_B, 0, 150_000_000));
+        assert_eq!(s.resident_count(D_B), 1);
+        assert_eq!(s.resident_count(D_A), 2);
+        assert_eq!(s.residency(D_A, 0), None, "LRU victim");
+        assert_eq!(s.residency(D_A, 1), None, "LRU victim");
+        assert_eq!(s.residency(D_A, 2), Some(0));
+        let st = s.stats().get(&D_A).unwrap();
+        assert_eq!(st.evictions, 2);
+        assert!(st.evicted_partition_ids.contains(&0));
+    }
+
+    /// Execution pressure evicts storage only down to R.
+    #[test]
+    fn exec_claim_respects_storage_floor() {
+        let mut s = store(1, 1_000_000_000); // M=4.2e8, R=2.1e8
+        for p in 0..4 {
+            assert!(s.try_insert(0, D_A, p, 100_000_000));
+        }
+        assert_eq!(s.storage_used(0), 400_000_000);
+        // Claim 3e8 of execution: storage must shrink, but not below R.
+        let claimed = s.claim_exec(0, 300_000_000);
+        assert!(claimed < 300_000_000, "cannot fully satisfy without violating R");
+        assert!(s.storage_used(0) >= 200_000_000, "floor respected");
+        assert!(s.storage_used(0) < 400_000_000, "some eviction happened");
+        // A small claim that fits after the first is released.
+        s.release_exec(0, s.exec_used(0));
+        assert_eq!(s.claim_exec(0, 100_000_000), 100_000_000);
+    }
+
+    #[test]
+    fn unpersist_drops_all_blocks() {
+        let mut s = store(2, 12_000_000_000);
+        s.try_insert(0, D_A, 0, 1000);
+        s.try_insert(1, D_A, 1, 1000);
+        s.try_insert(0, D_B, 0, 1000);
+        s.drop_dataset(D_A);
+        assert_eq!(s.resident_count(D_A), 0);
+        assert_eq!(s.resident_count(D_B), 1);
+        assert_eq!(s.residency(D_A, 1), None);
+        let st = s.stats().get(&D_A).unwrap();
+        assert_eq!(st.unpersisted, 2);
+        assert_eq!(st.evictions, 0);
+    }
+
+    #[test]
+    fn drop_partition_swaps_one_block() {
+        let mut s = store(1, 12_000_000_000);
+        s.try_insert(0, D_A, 0, 1000);
+        s.try_insert(0, D_A, 1, 1000);
+        s.drop_partition(D_A, 0);
+        assert_eq!(s.resident_count(D_A), 1);
+        assert_eq!(s.residency(D_A, 1), Some(0));
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut s = store(1, 12_000_000_000);
+        assert!(s.try_insert(0, D_A, 0, 1000));
+        assert!(s.try_insert(0, D_A, 0, 1000));
+        assert_eq!(s.resident_count(D_A), 1);
+    }
+
+    #[test]
+    fn peaks_track_maxima() {
+        let mut s = store(1, 1_000_000_000);
+        s.try_insert(0, D_A, 0, 100_000_000);
+        s.claim_exec(0, 50_000_000);
+        s.release_exec(0, 50_000_000);
+        assert_eq!(s.peak_storage(), 100_000_000);
+        assert_eq!(s.peak_exec(), 50_000_000);
+    }
+}

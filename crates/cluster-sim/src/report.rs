@@ -1,0 +1,250 @@
+//! Run reports: timings, cache statistics, and task-level traces.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use dagflow::{DatasetId, JobId, Schedule, StageId};
+
+/// Per-dataset cache statistics accumulated over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetCacheStats {
+    /// Cache reads that found the block resident.
+    pub hits: u64,
+    /// Cache reads that missed (forcing recomputation).
+    pub misses: u64,
+    /// Attempts to insert a block.
+    pub insert_attempts: u64,
+    /// Inserts that failed for lack of memory.
+    pub insert_failures: u64,
+    /// Blocks evicted by LRU pressure (storage or execution).
+    pub evictions: u64,
+    /// Blocks dropped by unpersist/swap.
+    pub unpersisted: u64,
+    /// Currently resident partitions.
+    pub resident_partitions: u32,
+    /// Currently resident bytes.
+    pub resident_bytes: u64,
+    /// Peak resident bytes over the run.
+    pub peak_resident_bytes: u64,
+    /// Distinct partition indices that were evicted at least once.
+    pub evicted_partition_ids: BTreeSet<u32>,
+}
+
+/// Aggregated cache behaviour of a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Per persisted dataset.
+    pub per_dataset: HashMap<DatasetId, DatasetCacheStats>,
+    /// Peak storage bytes across the cluster.
+    pub peak_storage_bytes: u64,
+    /// Peak execution bytes across the cluster.
+    pub peak_exec_bytes: u64,
+}
+
+impl CacheStats {
+    /// Fraction of a dataset's partitions resident at the end of the run.
+    /// `None` if the dataset was never cached.
+    #[must_use]
+    pub fn resident_fraction(&self, dataset: DatasetId, total_partitions: u32) -> Option<f64> {
+        let s = self.per_dataset.get(&dataset)?;
+        if s.insert_attempts == 0 {
+            return None;
+        }
+        Some(f64::from(s.resident_partitions) / f64::from(total_partitions.max(1)))
+    }
+
+    /// Fraction of a dataset's partitions that were evicted at least once
+    /// — the paper's per-configuration "percentage of data partitions
+    /// evicted from cache" (Figure 2 discussion).
+    #[must_use]
+    pub fn evicted_fraction(&self, dataset: DatasetId, total_partitions: u32) -> f64 {
+        let missing = self.per_dataset.get(&dataset).map_or(0u32, |s| {
+            (s.evicted_partition_ids.len() as u32)
+                .max(total_partitions.saturating_sub(s.resident_partitions))
+        });
+        f64::from(missing.min(total_partitions)) / f64::from(total_partitions.max(1))
+    }
+}
+
+/// What one step of a task's pipeline did. The `instrument` crate maps
+/// these to the paper's §3.3 transformation-time model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StepKind {
+    /// Read a source partition from stable storage.
+    SourceRead,
+    /// Read a cached block from storage memory.
+    CacheRead,
+    /// Fetched shuffle output from all map tasks (Shuffle Read — the first
+    /// "narrow half" of a wide transformation).
+    ShuffleRead,
+    /// Computed the dataset's partition by applying its operator.
+    Compute,
+    /// Wrote shuffle output for a downstream stage (Shuffle Write — the
+    /// trailing "narrow half" of a wide transformation, recorded in the map
+    /// stage).
+    ShuffleWrite,
+}
+
+/// One step in a task's pipeline, with intra-task timestamps (seconds,
+/// relative to application start).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineStep {
+    /// The dataset the step materializes (for `ShuffleWrite`, the wide
+    /// dataset whose map output is written).
+    pub dataset: DatasetId,
+    /// Step kind.
+    pub kind: StepKind,
+    /// Absolute start time.
+    pub start: f64,
+    /// Absolute finish time.
+    pub finish: f64,
+    /// Bytes of the produced partition (output of the step).
+    pub out_bytes: u64,
+}
+
+/// Trace of one executed task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskTrace {
+    /// Job the task belongs to.
+    pub job: JobId,
+    /// Stage within the job.
+    pub stage: StageId,
+    /// Task index within the stage (= partition index of the stage output).
+    pub task: u32,
+    /// Machine the task ran on.
+    pub machine: u32,
+    /// Task start (absolute seconds).
+    pub start: f64,
+    /// Task finish (absolute seconds).
+    pub finish: f64,
+    /// Pipeline steps in execution order.
+    pub steps: Vec<PipelineStep>,
+}
+
+/// Timing of one executed stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Containing job.
+    pub job: JobId,
+    /// Stage id within the job.
+    pub stage: StageId,
+    /// Stage start (absolute seconds).
+    pub start: f64,
+    /// Stage finish (absolute seconds).
+    pub finish: f64,
+    /// Number of tasks the stage ran.
+    pub tasks: u32,
+}
+
+impl StageTiming {
+    /// Stage wall-clock duration.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        (self.finish - self.start).max(0.0)
+    }
+}
+
+/// Result of one simulated application run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Application name.
+    pub app: String,
+    /// Schedule the engine enforced.
+    pub schedule: Schedule,
+    /// Number of machines.
+    pub machines: u32,
+    /// End-to-end wall-clock time, seconds (including startup).
+    pub total_time_s: f64,
+    /// Per-job wall-clock times, seconds.
+    pub job_times_s: Vec<f64>,
+    /// Cache behaviour.
+    pub cache: CacheStats,
+    /// Per-job, per-persisted-dataset (hits, misses) — the iteration-level
+    /// eviction picture of §7.5.
+    pub per_job_cache: Vec<Vec<(DatasetId, u64, u64)>>,
+    /// Per-stage timings (always collected; a handful of entries per job).
+    pub stage_times: Vec<StageTiming>,
+    /// Task traces (present when requested via `RunOptions`).
+    pub traces: Vec<TaskTrace>,
+    /// Count of tasks that had to spill (could not claim execution
+    /// memory).
+    pub spilled_tasks: u64,
+    /// Total tasks executed.
+    pub total_tasks: u64,
+}
+
+impl RunReport {
+    /// Cost in machine-seconds: `machines × time`, the paper's pricing
+    /// model (§5.5).
+    #[must_use]
+    pub fn cost_machine_seconds(&self) -> f64 {
+        f64::from(self.machines) * self.total_time_s
+    }
+
+    /// Cost in machine-minutes, the unit of the paper's evaluation
+    /// figures.
+    #[must_use]
+    pub fn cost_machine_minutes(&self) -> f64 {
+        self.cost_machine_seconds() / 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_machines_times_time() {
+        let r = RunReport {
+            app: "x".into(),
+            schedule: Schedule::empty(),
+            machines: 7,
+            total_time_s: 120.0,
+            job_times_s: vec![],
+            cache: CacheStats::default(),
+            per_job_cache: vec![],
+            stage_times: vec![],
+            traces: vec![],
+            spilled_tasks: 0,
+            total_tasks: 0,
+        };
+        assert_eq!(r.cost_machine_seconds(), 840.0);
+        assert_eq!(r.cost_machine_minutes(), 14.0);
+    }
+
+    #[test]
+    fn evicted_fraction_counts_never_cached_partitions() {
+        let mut cs = CacheStats::default();
+        let d = DatasetId(3);
+        cs.per_dataset.insert(
+            d,
+            DatasetCacheStats {
+                insert_attempts: 10,
+                insert_failures: 6,
+                resident_partitions: 4,
+                ..Default::default()
+            },
+        );
+        // 10 partitions, 4 resident → 60 % "evicted or never admitted".
+        assert!((cs.evicted_fraction(d, 10) - 0.6).abs() < 1e-12);
+        // Unknown dataset: everything missing.
+        assert_eq!(cs.evicted_fraction(DatasetId(9), 10), 0.0);
+    }
+
+    #[test]
+    fn resident_fraction_requires_attempts() {
+        let mut cs = CacheStats::default();
+        let d = DatasetId(1);
+        assert_eq!(cs.resident_fraction(d, 4), None);
+        cs.per_dataset.insert(
+            d,
+            DatasetCacheStats {
+                insert_attempts: 4,
+                resident_partitions: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(cs.resident_fraction(d, 4), Some(0.75));
+    }
+}

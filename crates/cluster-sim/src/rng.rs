@@ -1,0 +1,122 @@
+//! Deterministic noise generation for task durations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::NoiseParams;
+
+/// Seeded task-noise source. One instance per run; draws are consumed in
+/// task-assignment order, so equal seeds and equal schedules give identical
+/// runs.
+#[derive(Debug)]
+pub struct TaskNoise {
+    rng: SmallRng,
+    params: NoiseParams,
+}
+
+impl TaskNoise {
+    /// Creates a noise source from a seed and parameters.
+    #[must_use]
+    pub fn new(seed: u64, params: NoiseParams) -> Self {
+        TaskNoise {
+            rng: SmallRng::seed_from_u64(seed),
+            params,
+        }
+    }
+
+    /// Multiplier to apply to one task's duration: lognormal `exp(σ·z)`
+    /// (z approximated by an Irwin–Hall sum of 12 uniforms) times an
+    /// occasional straggler factor. Always ≥ a small positive bound.
+    pub fn factor(&mut self) -> f64 {
+        self.sample().0
+    }
+
+    /// Draws `(multiplier, is_straggler)` for one task. Straggler tasks
+    /// additionally have their duration floored at
+    /// `NoiseParams::straggler_floor_s` by the executor.
+    pub fn sample(&mut self) -> (f64, bool) {
+        let mut m = 1.0;
+        if self.params.sigma > 0.0 {
+            let z: f64 = (0..12).map(|_| self.rng.gen::<f64>()).sum::<f64>() - 6.0;
+            m *= (self.params.sigma * z).exp();
+        }
+        let mut straggler = false;
+        if self.params.straggler_prob > 0.0 && self.rng.gen::<f64>() < self.params.straggler_prob {
+            m *= self.params.straggler_factor;
+            straggler = true;
+        }
+        (m.max(0.05), straggler)
+    }
+
+    /// The configured straggler duration floor, seconds.
+    #[must_use]
+    pub fn straggler_floor_s(&self) -> f64 {
+        self.params.straggler_floor_s
+    }
+
+    /// A uniform draw in `[0, 1)` from the same stream (used for the
+    /// absolute cluster-dynamics jitter).
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut n = TaskNoise::new(7, NoiseParams::NONE);
+        for _ in 0..100 {
+            assert_eq!(n.factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let p = NoiseParams::default();
+        let mut a = TaskNoise::new(42, p);
+        let mut b = TaskNoise::new(42, p);
+        for _ in 0..1000 {
+            assert_eq!(a.factor(), b.factor());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let p = NoiseParams::default();
+        let mut a = TaskNoise::new(1, p);
+        let mut b = TaskNoise::new(2, p);
+        let same = (0..100).filter(|_| a.factor() == b.factor()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn noise_is_centered_and_bounded() {
+        let p = NoiseParams {
+            sigma: 0.05,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+            straggler_floor_s: 0.0,
+        };
+        let mut n = TaskNoise::new(3, p);
+        let draws: Vec<f64> = (0..10_000).map(|_| n.factor()).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!(draws.iter().all(|&d| d > 0.5 && d < 2.0));
+    }
+
+    #[test]
+    fn stragglers_appear_at_roughly_requested_rate() {
+        let p = NoiseParams {
+            sigma: 0.0,
+            straggler_prob: 0.05,
+            straggler_factor: 3.0,
+            straggler_floor_s: 0.0,
+        };
+        let mut n = TaskNoise::new(9, p);
+        let stragglers = (0..10_000).filter(|_| n.factor() > 2.0).count();
+        assert!((300..700).contains(&stragglers), "{stragglers}");
+    }
+}

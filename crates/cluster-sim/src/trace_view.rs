@@ -1,0 +1,156 @@
+//! Text rendering of task traces: a per-machine Gantt view of one run —
+//! the quickest way to see waves, stragglers, locality and cache effects
+//! without leaving the terminal.
+//!
+//! ```text
+//! m0 |000:1111:22222222:333   |
+//! m1 |000:111:2222222:3333    |
+//!     ^ tasks labelled by stage, ':' = idle gap
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::report::{RunReport, TaskTrace};
+
+/// Renders a Gantt-style timeline of the traced tasks, `width` characters
+/// wide, one row per (machine, core-lane). Returns an empty string when
+/// the report holds no traces (run with `collect_traces: true`).
+#[must_use]
+pub fn render_gantt(report: &RunReport, width: usize) -> String {
+    if report.traces.is_empty() || width < 10 {
+        return String::new();
+    }
+    let t0 = report
+        .traces
+        .iter()
+        .map(|t| t.start)
+        .fold(f64::INFINITY, f64::min);
+    let t1 = report
+        .traces
+        .iter()
+        .map(|t| t.finish)
+        .fold(0.0f64, f64::max);
+    let span = (t1 - t0).max(1e-9);
+    let scale = width as f64 / span;
+
+    // Assign tasks to lanes: per machine, greedy first-fit by start time.
+    let mut machines: Vec<Vec<Vec<&TaskTrace>>> = Vec::new();
+    let mut sorted: Vec<&TaskTrace> = report.traces.iter().collect();
+    sorted.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+    for t in sorted {
+        let mi = t.machine as usize;
+        if machines.len() <= mi {
+            machines.resize_with(mi + 1, Vec::new);
+        }
+        let lanes = &mut machines[mi];
+        let lane = lanes.iter_mut().find(|lane| {
+            lane.last().is_none_or(|prev| prev.finish <= t.start + 1e-9)
+        });
+        match lane {
+            Some(lane) => lane.push(t),
+            None => lanes.push(vec![t]),
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "gantt: {} tasks over {:.1}s (each column ≈ {:.2}s); digits = stage id mod 10",
+        report.traces.len(),
+        span,
+        span / width as f64
+    );
+    for (mi, lanes) in machines.iter().enumerate() {
+        for (li, lane) in lanes.iter().enumerate() {
+            let mut row = vec![' '; width];
+            for t in lane {
+                let a = (((t.start - t0) * scale) as usize).min(width - 1);
+                let b = (((t.finish - t0) * scale).ceil() as usize).clamp(a + 1, width);
+                let ch = char::from_digit(t.stage.0 % 10, 10).unwrap_or('#');
+                for cell in &mut row[a..b] {
+                    *cell = ch;
+                }
+            }
+            let label = if li == 0 {
+                format!("m{mi:<2}")
+            } else {
+                "   ".to_owned()
+            };
+            let _ = writeln!(out, "{label}|{}|", row.iter().collect::<String>());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, MachineSpec, NoiseParams, SimParams};
+    use crate::engine::{Engine, RunOptions};
+    use dagflow::{AppBuilder, ComputeCost, NarrowKind, Schedule, SourceFormat};
+
+    fn traced_report(machines: u32) -> RunReport {
+        let mut b = AppBuilder::new("gantt");
+        let s = b.source("in", SourceFormat::DistributedFs, 1000, 800_000_000, 8);
+        let m = b.narrow("m", NarrowKind::Map, &[s], 1000, 800_000_000, ComputeCost::FREE);
+        b.job("count", m);
+        b.job("count2", m);
+        let app = b.build().unwrap();
+        let params = SimParams {
+            noise: NoiseParams::NONE,
+            cluster_jitter_s: 0.0,
+            ..SimParams::default()
+        };
+        Engine::new(&app, ClusterConfig::new(machines, MachineSpec::paper_example()), params)
+            .run(
+                &Schedule::empty(),
+                RunOptions {
+                    collect_traces: true,
+                    partition_skew: 0.0,
+                },
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn renders_one_row_per_busy_core() {
+        let report = traced_report(2);
+        let g = render_gantt(&report, 60);
+        // 2 machines × 4 cores busy in the first wave.
+        let rows = g.lines().filter(|l| l.contains('|')).count();
+        assert_eq!(rows, 8, "{g}");
+        assert!(g.contains("m0"));
+        assert!(g.contains("m1"));
+    }
+
+    #[test]
+    fn rows_have_requested_width() {
+        let report = traced_report(1);
+        let g = render_gantt(&report, 40);
+        for line in g.lines().filter(|l| l.contains('|')) {
+            let inner = line.split('|').nth(1).unwrap();
+            assert_eq!(inner.chars().count(), 40, "{line}");
+        }
+    }
+
+    #[test]
+    fn empty_traces_render_empty() {
+        let mut report = traced_report(1);
+        report.traces.clear();
+        assert!(render_gantt(&report, 60).is_empty());
+        let report2 = traced_report(1);
+        assert!(render_gantt(&report2, 5).is_empty(), "width floor");
+    }
+
+    #[test]
+    fn every_task_paints_at_least_one_cell() {
+        let report = traced_report(2);
+        let g = render_gantt(&report, 30);
+        let painted: usize = g
+            .lines()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.chars().filter(|c| c.is_ascii_digit()).count())
+            .sum();
+        assert!(painted >= report.traces.len());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests of the simulator: determinism, memory-accounting
+//! invariants, and cost identities over randomized iterative applications
+//! and schedules.
+
+use proptest::prelude::*;
+
+use cluster_sim::{ClusterConfig, Engine, MachineSpec, NoiseParams, RunOptions, SimParams};
+use dagflow::{
+    AppBuilder, Application, ComputeCost, DatasetId, NarrowKind, Schedule, SourceFormat, WideKind,
+};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    iterations: usize,
+    partitions: u32,
+    megabytes: u64,
+    machines: u32,
+    cache_core: bool,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (1usize..6, 2u32..12, 1u64..400, 1u32..6, any::<bool>(), any::<u64>()).prop_map(
+        |(iterations, partitions, megabytes, machines, cache_core, seed)| Scenario {
+            iterations,
+            partitions,
+            megabytes,
+            machines,
+            cache_core,
+            seed,
+        },
+    )
+}
+
+fn build_app(s: &Scenario) -> Application {
+    let bytes = s.megabytes * 1_000_000;
+    let mut b = AppBuilder::new("sim-prop");
+    let src = b.source("in", SourceFormat::DistributedFs, 10_000, bytes, s.partitions);
+    let core = b.narrow(
+        "core",
+        NarrowKind::Map,
+        &[src],
+        10_000,
+        bytes,
+        ComputeCost::new(0.001, 0.0, 1e-9),
+    );
+    for i in 0..s.iterations {
+        let m = b.narrow(
+            format!("m{i}"),
+            NarrowKind::Map,
+            &[core],
+            10_000,
+            16 * 10_000,
+            ComputeCost::new(0.001, 0.0, 1e-9),
+        );
+        let g = b.wide_with_partitions(
+            format!("g{i}"),
+            WideKind::TreeAggregate,
+            &[m],
+            1,
+            4096,
+            1,
+            ComputeCost::new(0.001, 0.0, 1e-9),
+        );
+        b.job("agg", g);
+    }
+    b.build().unwrap()
+}
+
+fn sim(seed: u64) -> SimParams {
+    SimParams {
+        seed,
+        ..SimParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Identical (app, schedule, cluster, seed) gives bit-identical runs.
+    #[test]
+    fn runs_are_deterministic(s in scenario()) {
+        let app = build_app(&s);
+        let schedule = if s.cache_core {
+            Schedule::persist_all([DatasetId(1)])
+        } else {
+            Schedule::empty()
+        };
+        let cluster = ClusterConfig::new(s.machines, MachineSpec::private_cluster());
+        let engine = Engine::new(&app, cluster, sim(s.seed));
+        let opts = RunOptions { collect_traces: true, partition_skew: 0.2 };
+        let a = engine.run(&schedule, opts).unwrap();
+        let b = engine.run(&schedule, opts).unwrap();
+        prop_assert_eq!(a.total_time_s, b.total_time_s);
+        prop_assert_eq!(a.job_times_s, b.job_times_s);
+        prop_assert_eq!(a.traces.len(), b.traces.len());
+    }
+
+    /// Cost identity and basic sanity of every report.
+    #[test]
+    fn report_invariants(s in scenario()) {
+        let app = build_app(&s);
+        let schedule = if s.cache_core {
+            Schedule::persist_all([DatasetId(1)])
+        } else {
+            Schedule::empty()
+        };
+        let cluster = ClusterConfig::new(s.machines, MachineSpec::private_cluster());
+        let engine = Engine::new(&app, cluster, sim(s.seed));
+        let r = engine.run(&schedule, RunOptions::default()).unwrap();
+        prop_assert!(r.total_time_s.is_finite() && r.total_time_s > 0.0);
+        prop_assert!((r.cost_machine_seconds()
+            - f64::from(s.machines) * r.total_time_s).abs() < 1e-9);
+        prop_assert_eq!(r.job_times_s.len(), app.jobs().len());
+        for t in &r.job_times_s {
+            prop_assert!(*t >= 0.0);
+        }
+        prop_assert!(r.spilled_tasks <= r.total_tasks);
+        // Peak storage never exceeds cluster-wide unified memory.
+        prop_assert!(r.cache.peak_storage_bytes <= cluster.total_unified_memory());
+    }
+
+    /// Caching the reused dataset never makes later iterations slower:
+    /// total time with the cache is bounded by the uncached run (plus a
+    /// small tolerance for noise reordering).
+    #[test]
+    fn caching_is_not_harmful(s in scenario()) {
+        prop_assume!(s.iterations >= 2);
+        let app = build_app(&s);
+        let cluster = ClusterConfig::new(s.machines, MachineSpec::private_cluster());
+        let quiet = SimParams {
+            noise: NoiseParams::NONE,
+            cluster_jitter_s: 0.0,
+            seed: s.seed,
+            ..SimParams::default()
+        };
+        let engine = Engine::new(&app, cluster, quiet);
+        let cold = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        let hot = engine
+            .run(&Schedule::persist_all([DatasetId(1)]), RunOptions::default())
+            .unwrap();
+        prop_assert!(
+            hot.total_time_s <= cold.total_time_s * 1.02 + 0.5,
+            "cached {} vs uncached {}",
+            hot.total_time_s,
+            cold.total_time_s
+        );
+    }
+
+    /// Resident partitions of the cached dataset never exceed its
+    /// partition count, and hits + misses are consistent with job count.
+    #[test]
+    fn cache_accounting(s in scenario()) {
+        let app = build_app(&s);
+        let cluster = ClusterConfig::new(s.machines, MachineSpec::private_cluster());
+        let engine = Engine::new(&app, cluster, sim(s.seed));
+        let r = engine
+            .run(&Schedule::persist_all([DatasetId(1)]), RunOptions::default())
+            .unwrap();
+        let stats = r.cache.per_dataset.get(&DatasetId(1)).expect("tracked");
+        prop_assert!(stats.resident_partitions <= s.partitions);
+        prop_assert!(u64::from(stats.resident_partitions) <= stats.insert_attempts);
+        let demands = stats.hits + stats.misses;
+        prop_assert_eq!(
+            demands,
+            u64::from(s.iterations as u32) * u64::from(s.partitions),
+            "one demand per partition per iteration"
+        );
+    }
+}

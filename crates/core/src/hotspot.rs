@@ -1,0 +1,429 @@
+//! Hotspot detection — Algorithm 1 of the paper.
+//!
+//! From one instrumented sample run, Juggler knows each dataset's
+//! computation time `ET`, size, and number of computations `n`. It then
+//! greedily builds an incremental family of *schedules*: in every round it
+//! caches the dataset with the highest benefit-cost ratio
+//! `BCR = benefit / size`, where the benefit of caching `D` is
+//! `(n − 1) × (ET_D + Σ uncached-ancestor ETs)` (Eq. 4), with three
+//! refinements:
+//!
+//! * **single-child exclusion** (lines 12–13): a dataset that is the only
+//!   child of an already-cached dataset is never added;
+//! * **re-evaluation** (lines 16–20): when the newly selected dataset is an
+//!   ancestor of the one added in the previous round, the previous one is
+//!   pulled back into the pool and re-ranked — this is what orders parents
+//!   before children in the final instruction lists;
+//! * **unpersist optimization** (lines 24–25): a cached dataset whose
+//!   remaining uses all flow through the next cached dataset is unpersisted
+//!   right before its successor caches, shrinking the schedule's memory
+//!   budget to `max` instead of sum.
+//!
+//! Schedules with equal memory budget keep only the highest-benefit one
+//! (lines 30–32) — this is why PCA ends up with a single (the third)
+//! schedule in Table 2.
+//!
+//! Deviations from the paper's pseudocode, both documented in DESIGN.md:
+//! the incremental count bookkeeping (`n_p −= …`) is replaced by an exact
+//! cache-aware recount (`LineageAnalysis::pulls`) that reproduces every
+//! number of the §5.1 worked example while staying correct on non-chain
+//! DAGs; and datasets whose remaining benefit drops below
+//! [`HotspotConfig::min_benefit_s`] leave the pool (the paper's SVM/PCA
+//! schedule counts imply the same pruning).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use dagflow::{Application, DatasetId, LineageAnalysis, Schedule, ScheduleOp};
+use instrument::DatasetMetrics;
+
+/// Tunables for Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotspotConfig {
+    /// Benefit floor, in seconds (at sample-run scale): datasets whose
+    /// benefit falls to or below this leave the candidate pool.
+    pub min_benefit_s: f64,
+    /// Relative tolerance when comparing schedule memory budgets for the
+    /// equal-cost discard rule.
+    pub cost_tolerance: f64,
+}
+
+impl Default for HotspotConfig {
+    fn default() -> Self {
+        HotspotConfig {
+            min_benefit_s: 0.005,
+            cost_tolerance: 1e-6,
+        }
+    }
+}
+
+/// Dense per-dataset metric view the algorithm consumes.
+#[derive(Debug, Clone)]
+pub struct DatasetMetricsView {
+    /// `et[d]` — measured computation time of dataset `d`, seconds.
+    pub et: Vec<f64>,
+    /// `size[d]` — measured size of dataset `d`, bytes.
+    pub size: Vec<u64>,
+}
+
+impl DatasetMetricsView {
+    /// Builds the dense view from instrumentation output; unobserved
+    /// datasets get zero time and size.
+    #[must_use]
+    pub fn from_metrics(metrics: &[DatasetMetrics], dataset_count: usize) -> Self {
+        let mut et = vec![0.0; dataset_count];
+        let mut size = vec![0u64; dataset_count];
+        for m in metrics {
+            et[m.dataset.index()] = m.et_seconds;
+            size[m.dataset.index()] = m.size_bytes;
+        }
+        DatasetMetricsView { et, size }
+    }
+}
+
+/// One produced schedule, with its provenance numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedSchedule {
+    /// The ordered persist/unpersist instructions.
+    pub schedule: Schedule,
+    /// Total caching benefit, seconds (at sample-run scale).
+    pub benefit_s: f64,
+    /// Memory budget, bytes (at sample-run scale).
+    pub budget_bytes: u64,
+}
+
+/// Runs hotspot detection. `metrics` comes from the instrumented sample
+/// run; the lineage (computation counts) comes from the application plan.
+/// Returns schedules ordered as generated (increasing benefit and budget).
+#[must_use]
+pub fn detect_hotspots(
+    app: &Application,
+    metrics: &DatasetMetricsView,
+    config: &HotspotConfig,
+) -> Vec<RankedSchedule> {
+    let la = LineageAnalysis::new(app);
+    let mut pool: BTreeSet<DatasetId> = la.intermediates().into_iter().collect();
+    let mut cached: Vec<DatasetId> = Vec::new(); // in addition order
+    let mut schedules: Vec<RankedSchedule> = Vec::new();
+    // Generous bound: each round either shrinks the pool or (on
+    // re-evaluation) moves a strictly higher ancestor into the schedule.
+    let mut rounds_left = 4 * app.dataset_count() + 16;
+
+    while !pool.is_empty() && rounds_left > 0 {
+        rounds_left -= 1;
+        let cached_set: BTreeSet<DatasetId> = cached.iter().copied().collect();
+        let pulls = la.pulls(&cached_set);
+
+        // Rank the pool by BCR; drop dead candidates.
+        let mut best: Option<(f64, f64, DatasetId)> = None; // (bcr, benefit, id)
+        let mut dead: Vec<DatasetId> = Vec::new();
+        for &d in &pool {
+            let n = pulls[d.index()];
+            let benefit: f64 = if n <= 1 {
+                0.0
+            } else {
+                (n - 1) as f64 * la.chain_cost(d, &cached_set, &metrics.et)
+            };
+            if benefit <= config.min_benefit_s {
+                dead.push(d);
+                continue;
+            }
+            if la.is_single_child_of_any(d, &cached_set) {
+                continue; // excluded while its parent is cached
+            }
+            let size = metrics.size[d.index()].max(1) as f64;
+            let bcr = benefit / size;
+            let better = match best {
+                None => true,
+                Some((b, _, prev)) => bcr > b + f64::EPSILON || (bcr >= b - f64::EPSILON && d < prev),
+            };
+            if better {
+                best = Some((bcr, benefit, d));
+            }
+        }
+        for d in dead {
+            pool.remove(&d);
+        }
+        let Some((_, benefit, d_max)) = best else {
+            break; // everything left is excluded or dead
+        };
+
+        pool.remove(&d_max);
+        cached.push(d_max);
+        let _ = benefit; // cumulative benefit is replayed exactly below
+
+        // Re-evaluation: if the previously added dataset is a descendant of
+        // the new one, pull it back and re-rank before emitting.
+        if cached.len() >= 2 {
+            let d_prev = cached[cached.len() - 2];
+            if la.is_descendant(d_prev, d_max) {
+                cached.remove(cached.len() - 2);
+                pool.insert(d_prev);
+                continue;
+            }
+        }
+        let total_benefit = replay_benefit(&la, &cached, &metrics.et);
+
+        let schedule = assemble_schedule(&la, &cached);
+        let budget = schedule.memory_budget(|d| metrics.size[d.index()]);
+        schedules.push(RankedSchedule {
+            schedule,
+            benefit_s: total_benefit,
+            budget_bytes: budget,
+        });
+    }
+
+    dedup_equal_cost(schedules, config)
+}
+
+/// Recomputes the cumulative benefit of caching `cached` in order (each
+/// dataset's benefit is evaluated against the set cached before it).
+fn replay_benefit(la: &LineageAnalysis<'_>, cached: &[DatasetId], et: &[f64]) -> f64 {
+    let mut set: BTreeSet<DatasetId> = BTreeSet::new();
+    let mut total = 0.0;
+    for &d in cached {
+        let pulls = la.pulls(&set);
+        let n = pulls[d.index()];
+        if n > 1 {
+            total += (n - 1) as f64 * la.chain_cost(d, &set, et);
+        }
+        set.insert(d);
+    }
+    total
+}
+
+/// Orders the cached set into persist instructions (by first
+/// materialization, then lineage order) and inserts the unpersist
+/// instructions of lines 24–25.
+fn assemble_schedule(la: &LineageAnalysis<'_>, cached: &[DatasetId]) -> Schedule {
+    let mut ordered: Vec<DatasetId> = cached.to_vec();
+    ordered.sort_by_key(|&d| (la.first_job_of(d), d));
+    let mut ops: Vec<ScheduleOp> = Vec::with_capacity(ordered.len() * 2);
+    for (i, &d) in ordered.iter().enumerate() {
+        if i > 0 {
+            let prev = ordered[i - 1];
+            // Unpersist `prev` right before caching `d` if `d` descends
+            // from it and every remaining use of `prev` flows through `d`.
+            if la.is_descendant(d, prev) && la.all_remaining_uses_pass_through(prev, d) {
+                ops.push(ScheduleOp::Unpersist(prev));
+            }
+        }
+        ops.push(ScheduleOp::Persist(d));
+    }
+    Schedule::from_ops(ops)
+}
+
+/// Keeps, among schedules with (approximately) equal memory budget, only
+/// the one with the highest benefit.
+fn dedup_equal_cost(mut schedules: Vec<RankedSchedule>, config: &HotspotConfig) -> Vec<RankedSchedule> {
+    let mut discard = vec![false; schedules.len()];
+    for i in 0..schedules.len() {
+        for j in 0..schedules.len() {
+            if i == j || discard[i] || discard[j] {
+                continue;
+            }
+            let a = schedules[i].budget_bytes as f64;
+            let b = schedules[j].budget_bytes as f64;
+            let close = (a - b).abs() <= config.cost_tolerance * a.max(b).max(1.0);
+            if close {
+                // Discard the lower benefit; ties discard the earlier one.
+                let (lo, hi) = if schedules[i].benefit_s < schedules[j].benefit_s
+                    || (schedules[i].benefit_s == schedules[j].benefit_s && i < j)
+                {
+                    (i, j)
+                } else {
+                    (j, i)
+                };
+                let _ = hi;
+                discard[lo] = true;
+            }
+        }
+    }
+    let mut keep = Vec::new();
+    for (i, s) in schedules.drain(..).enumerate() {
+        if !discard[i] {
+            keep.push(s);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagflow::{AppBuilder, ComputeCost, NarrowKind, SourceFormat, WideKind};
+
+    /// The paper's Figure-4 / §5.1 merged LOR DAG with the published
+    /// metrics: the golden end-to-end test of Algorithm 1.
+    fn paper_lor() -> (Application, DatasetMetricsView) {
+        let mb = |x: f64| (x * 1_000_000.0) as u64;
+        let mut b = AppBuilder::new("lor-fig4");
+        let d0 = b.source("input", SourceFormat::DistributedFs, 70_000, mb(76.351), 8);
+        let d1 = b.narrow("parsed", NarrowKind::Map, &[d0], 70_000, mb(76.347), ComputeCost::FREE);
+        let d2 = b.narrow("points", NarrowKind::Map, &[d1], 70_000, mb(45.961), ComputeCost::FREE);
+        let v0 = b.narrow("check", NarrowKind::Map, &[d1], 1, 8, ComputeCost::FREE);
+        b.job("count", v0);
+        let v1 = b.narrow("stats", NarrowKind::Map, &[d2], 1, 8, ComputeCost::FREE);
+        b.job("count", v1);
+        let v2 = b.narrow("sample", NarrowKind::Sample, &[d2], 10, 80, ComputeCost::FREE);
+        b.job("collect", v2);
+        let d11 = b.narrow("features", NarrowKind::Map, &[d2], 70_000, mb(45.975), ComputeCost::FREE);
+        for i in 0..4 {
+            let g = b.wide_with_partitions(
+                format!("gradient[{i}]"),
+                WideKind::TreeAggregate,
+                &[d11],
+                1,
+                1024,
+                1,
+                ComputeCost::FREE,
+            );
+            b.job("treeAggregate", g);
+        }
+        let v7 = b.narrow("summary", NarrowKind::Map, &[d1], 1, 8, ComputeCost::FREE);
+        b.job("collect", v7);
+        let app = b.build().unwrap();
+        let mut et = vec![0.0; app.dataset_count()];
+        // Times from the §5.1 tables, converted ms → s.
+        et[d0.index()] = 2.700;
+        et[d1.index()] = 0.010;
+        et[d2.index()] = 0.014;
+        et[d11.index()] = 0.040;
+        let size: Vec<u64> = app.datasets().iter().map(|d| d.bytes).collect();
+        (app, DatasetMetricsView { et, size })
+    }
+
+    const D1: DatasetId = DatasetId(1);
+    const D2: DatasetId = DatasetId(2);
+    const D11: DatasetId = DatasetId(6); // id 6 in this fixture; "D11" in the paper
+
+    /// End-to-end golden test: the §5.1 example must produce exactly two
+    /// surviving schedules — `p(2)` and `p(1) p(2) u(2) p(11)` — with
+    /// budgets 45.961 MB and 122.322 MB.
+    #[test]
+    fn golden_lor_example_schedules() {
+        let (app, metrics) = paper_lor();
+        let schedules = detect_hotspots(&app, &metrics, &HotspotConfig::default());
+        assert_eq!(schedules.len(), 2, "{schedules:?}");
+
+        let s1 = &schedules[0];
+        assert_eq!(s1.schedule.ops(), &[ScheduleOp::Persist(D2)]);
+        assert_eq!(s1.budget_bytes, 45_961_000);
+        // Benefit of caching D2: (6−1) × (14 + 10 + 2700) ms.
+        assert!((s1.benefit_s - 5.0 * 2.724).abs() < 1e-9, "{}", s1.benefit_s);
+
+        let s3 = &schedules[1];
+        assert_eq!(
+            s3.schedule.ops(),
+            &[
+                ScheduleOp::Persist(D1),
+                ScheduleOp::Persist(D2),
+                ScheduleOp::Unpersist(D2),
+                ScheduleOp::Persist(D11),
+            ],
+            "got {}",
+            s3.schedule
+        );
+        assert_eq!(s3.budget_bytes, 76_347_000 + 45_975_000);
+        assert!(s3.benefit_s > s1.benefit_s);
+    }
+
+    /// The intermediate (discarded) schedule {D1, D11} ties the final one
+    /// on budget; the survivor must be the higher-benefit one. After the
+    /// re-evaluation reorders the set to [D1, D2, D11], the cumulative
+    /// benefit is 7×2.710 (D1) + 5×0.014 (D2 | D1) + 3×0.040 (D11 | D1,D2)
+    /// — strictly above the discarded {D1, D11} schedule's 7×2.710 +
+    /// 3×0.054.
+    #[test]
+    fn golden_lor_winner_benefit() {
+        let (app, metrics) = paper_lor();
+        let schedules = detect_hotspots(&app, &metrics, &HotspotConfig::default());
+        let expect = 7.0 * 2.710 + 5.0 * 0.014 + 3.0 * 0.040;
+        assert!(
+            (schedules[1].benefit_s - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            schedules[1].benefit_s
+        );
+    }
+
+    /// With no intermediates (a one-shot pipeline) there is nothing to
+    /// cache.
+    #[test]
+    fn no_intermediates_no_schedules() {
+        let mut b = AppBuilder::new("oneshot");
+        let s = b.source("in", SourceFormat::DistributedFs, 10, 1000, 2);
+        let m = b.narrow("m", NarrowKind::Map, &[s], 10, 1000, ComputeCost::FREE);
+        b.job("count", m);
+        let app = b.build().unwrap();
+        let metrics = DatasetMetricsView {
+            et: vec![1.0, 1.0],
+            size: vec![1000, 1000],
+        };
+        assert!(detect_hotspots(&app, &metrics, &HotspotConfig::default()).is_empty());
+    }
+
+    /// Negligible-benefit intermediates are pruned: a dataset recomputed
+    /// twice but costing microseconds must not spawn a schedule.
+    #[test]
+    fn benefit_threshold_prunes_noise() {
+        let mut b = AppBuilder::new("noise");
+        let s = b.source("in", SourceFormat::DistributedFs, 10, 1_000_000, 2);
+        let shared = b.narrow("shared", NarrowKind::Map, &[s], 10, 1_000_000, ComputeCost::FREE);
+        let a = b.narrow("a", NarrowKind::Map, &[shared], 1, 8, ComputeCost::FREE);
+        b.job("count", a);
+        let c = b.narrow("c", NarrowKind::Map, &[shared], 1, 8, ComputeCost::FREE);
+        b.job("count", c);
+        let app = b.build().unwrap();
+        let mut metrics = DatasetMetricsView {
+            et: vec![0.000_1; app.dataset_count()],
+            size: app.datasets().iter().map(|d| d.bytes).collect(),
+        };
+        // Benefit of `shared` = 1 × (0.0001 + 0.0001) < 5 ms threshold.
+        assert!(detect_hotspots(&app, &metrics, &HotspotConfig::default()).is_empty());
+        // Raise its cost above the threshold: one schedule appears.
+        metrics.et[1] = 1.0;
+        let schedules = detect_hotspots(&app, &metrics, &HotspotConfig::default());
+        assert_eq!(schedules.len(), 1);
+        assert_eq!(schedules[0].schedule.persisted(), vec![DatasetId(1)]);
+    }
+
+    /// The single-child rule: when a parent is cached, its only child never
+    /// enters a schedule.
+    #[test]
+    fn single_child_exclusion() {
+        let mut b = AppBuilder::new("singlechild");
+        let s = b.source("in", SourceFormat::DistributedFs, 10, 1_000_000, 2);
+        // `only` is s's single child; both are reused by two jobs.
+        let only = b.narrow("only", NarrowKind::Map, &[s], 10, 1_000_000, ComputeCost::FREE);
+        let a = b.narrow("a", NarrowKind::Map, &[only], 1, 8, ComputeCost::FREE);
+        b.job("count", a);
+        let c = b.narrow("c", NarrowKind::Map, &[only], 1, 8, ComputeCost::FREE);
+        b.job("count", c);
+        let app = b.build().unwrap();
+        // `only` is bulkier than its parent, so the source wins round one
+        // on BCR; afterwards `only` (the cached source's single child) is
+        // excluded even though its residual benefit is well above the
+        // pruning floor.
+        let metrics = DatasetMetricsView {
+            et: vec![5.0, 0.5, 0.0, 0.0],
+            size: vec![1_000_000, 2_000_000, 8, 8],
+        };
+        let schedules = detect_hotspots(&app, &metrics, &HotspotConfig::default());
+        assert_eq!(schedules.len(), 1, "{schedules:?}");
+        assert_eq!(schedules[0].schedule.persisted(), vec![DatasetId(0)]);
+    }
+
+    /// Schedules are monotone: each later schedule has at least the benefit
+    /// and budget of earlier ones (the paper: "By caching more datasets in
+    /// subsequent SCHEDULES, both the benefit and memory budget increase").
+    #[test]
+    fn schedules_are_monotone() {
+        let (app, metrics) = paper_lor();
+        let schedules = detect_hotspots(&app, &metrics, &HotspotConfig::default());
+        for w in schedules.windows(2) {
+            assert!(w[1].benefit_s >= w[0].benefit_s);
+            assert!(w[1].budget_bytes >= w[0].budget_bytes);
+        }
+    }
+}

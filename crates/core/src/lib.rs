@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! # juggler — autonomous cost optimization and performance prediction
+//!
+//! Reproduction of **Juggler** (Al-Sayeh, Memishi, Jibril, Paradies,
+//! Sattler — SIGMOD '22): an end-to-end, training-based framework that,
+//! for iterative data-intensive applications,
+//!
+//! 1. **selects appropriate datasets to cache** (*hotspot detection*,
+//!    Algorithm 1) from a single instrumented sample run,
+//! 2. **predicts the sizes of the selected datasets** for any user-chosen
+//!    application parameters (*parameter calibration*),
+//! 3. **recommends the cluster configuration** that caches them without
+//!    eviction (*memory calibration* — the memory-factor model), and
+//! 4. **predicts execution time and cost** per schedule (*execution-time
+//!    models*), offering end users a Pareto menu of schedules.
+//!
+//! The crate orchestrates the substrates of this workspace: `dagflow`
+//! (lineage), `cluster-sim` (the simulated Spark cluster standing in for
+//! the paper's testbed), `instrument` (Spark_i) and `modeling` (NNLS model
+//! fitting).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use juggler::pipeline::{OfflineTraining, TrainingConfig};
+//! use workloads::{Workload, LogisticRegression};
+//!
+//! let workload = LogisticRegression;
+//! let trained = OfflineTraining::run(&workload, &TrainingConfig::default()).unwrap();
+//! let menu = trained.recommend(70_000.0, 50_000.0);
+//! for option in &menu.options {
+//!     println!(
+//!         "{} → {} machines, {:.0} s, {:.1} machine-min",
+//!         option.schedule, option.machines, option.predicted_time_s,
+//!         option.predicted_cost_machine_min
+//!     );
+//! }
+//! ```
+
+pub mod hotspot;
+pub mod memory_calibration;
+pub mod param_calibration;
+pub mod pipeline;
+pub mod recommend;
+pub mod summary;
+pub mod time_model;
+pub mod transfer;
+
+pub use hotspot::{detect_hotspots, DatasetMetricsView, HotspotConfig, RankedSchedule};
+pub use memory_calibration::{MemoryCalibration, MemoryFactor};
+pub use param_calibration::{ParamCalibration, SizeModel};
+pub use pipeline::{OfflineTraining, TrainedJuggler, TrainingConfig};
+pub use recommend::{CostModel, MachineMinutes, Recommendation, RecommendationMenu, TieredHourly};
+pub use time_model::TimeModel;
+pub use summary::model_card;
+pub use transfer::{select_probes, InstanceCatalog, InstanceType, TransferModel};

@@ -1,0 +1,170 @@
+//! Memory calibration (paper §5.3): the memory factor and the
+//! cluster-configuration formula.
+//!
+//! One training run, with parameters chosen so the first schedule's
+//! predicted size fills the unified region M, measures how much of M the
+//! application actually leaves for caching:
+//!
+//! ```text
+//! memory factor = non-evicted partitions / total partitions   ∈ [0.5, 1]
+//! MemoryForCaching_PerMachine = M × memory factor              (Eq. 5)
+//! #machines = ⌈ SCHEDULE_size / MemoryForCaching ⌉             (Eq. 6)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use cluster_sim::{MachineSpec, RunReport};
+use dagflow::{Application, Schedule};
+
+/// The calibrated memory factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryFactor {
+    /// Ratio of non-evicted to total partitions, clamped to `[0.5, 1]`.
+    pub factor: f64,
+}
+
+impl MemoryFactor {
+    /// Derives the factor from a calibration run: over the datasets the
+    /// schedule leaves resident, the fraction of partitions still cached
+    /// at the end of the run (steady state — transient first-iteration
+    /// evictions have been re-admitted by then, §7.5).
+    #[must_use]
+    pub fn from_run(app: &Application, schedule: &Schedule, report: &RunReport) -> Self {
+        let resident_set = schedule.resident_at_end();
+        let mut total: u64 = 0;
+        let mut resident: u64 = 0;
+        for d in &resident_set {
+            total += u64::from(app.dataset(*d).partitions);
+            resident += u64::from(
+                report
+                    .cache
+                    .per_dataset
+                    .get(d)
+                    .map_or(0, |s| s.resident_partitions),
+            );
+        }
+        let raw = if total == 0 {
+            1.0
+        } else {
+            resident as f64 / total as f64
+        };
+        MemoryFactor {
+            factor: raw.clamp(0.5, 1.0),
+        }
+    }
+
+    /// Usable caching bytes per machine (Eq. 5).
+    #[must_use]
+    pub fn memory_for_caching(&self, spec: &MachineSpec) -> f64 {
+        spec.unified_memory() as f64 * self.factor
+    }
+
+    /// Recommended machine count for a schedule of `schedule_bytes`
+    /// (Eq. 6). At least one machine.
+    #[must_use]
+    pub fn recommend_machines(&self, schedule_bytes: u64, spec: &MachineSpec) -> u32 {
+        let per_machine = self.memory_for_caching(spec);
+        if per_machine <= 0.0 || schedule_bytes == 0 {
+            return 1;
+        }
+        (schedule_bytes as f64 / per_machine).ceil().max(1.0) as u32
+    }
+}
+
+/// Memory-calibration helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryCalibration;
+
+impl MemoryCalibration {
+    /// Scales `(e0, f0)` by a common factor so that
+    /// `predicted_size(t·e0, t·f0) ≈ target_bytes` — how Juggler "chooses
+    /// values for P1 and P2 such that the size of the schedule equals M".
+    /// Bisection over `t`; `predict` must be monotone in `t`.
+    #[must_use]
+    pub fn scale_params_to_target(
+        e0: f64,
+        f0: f64,
+        target_bytes: f64,
+        predict: impl Fn(f64, f64) -> f64,
+    ) -> (f64, f64) {
+        let eval = |t: f64| predict(e0 * t, f0 * t);
+        // Bracket the target.
+        let mut lo = 1e-3;
+        let mut hi = 1.0;
+        let mut guard = 0;
+        while eval(hi) < target_bytes && guard < 64 {
+            hi *= 2.0;
+            guard += 1;
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if eval(mid) < target_bytes {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = 0.5 * (lo + hi);
+        (e0 * t, f0 * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked example: on 12 GB machines M = 7.02 GB; SVM's
+    /// factor 0.798 leaves 5.6 GB per machine, and the 35.7 GB cached
+    /// dataset needs ⌈35.7/5.6⌉ = 7 machines — area C of Figure 2.
+    #[test]
+    fn svm_figure2_machine_count() {
+        let spec = MachineSpec::paper_example();
+        let mf = MemoryFactor { factor: 0.798 };
+        let per_machine = mf.memory_for_caching(&spec);
+        assert!((per_machine - 5.6e9).abs() < 0.01e9, "{per_machine}");
+        assert_eq!(mf.recommend_machines(35_700_000_000, &spec), 7);
+    }
+
+    #[test]
+    fn full_residency_is_factor_one() {
+        let mf = MemoryFactor { factor: 1.0 };
+        let spec = MachineSpec::paper_example();
+        // Exactly M bytes fit on one machine.
+        assert_eq!(mf.recommend_machines(spec.unified_memory(), &spec), 1);
+        assert_eq!(mf.recommend_machines(spec.unified_memory() + 1, &spec), 2);
+    }
+
+    #[test]
+    fn factor_clamps_to_half() {
+        let mf = MemoryFactor { factor: 0.5 };
+        let spec = MachineSpec::paper_example();
+        assert_eq!(
+            mf.recommend_machines(spec.unified_memory(), &spec),
+            2,
+            "at factor 0.5 only half of M caches"
+        );
+    }
+
+    #[test]
+    fn tiny_schedule_needs_one_machine() {
+        let mf = MemoryFactor { factor: 0.9 };
+        let spec = MachineSpec::paper_example();
+        assert_eq!(mf.recommend_machines(1_000_000, &spec), 1);
+        assert_eq!(mf.recommend_machines(0, &spec), 1);
+    }
+
+    #[test]
+    fn scaling_hits_target_size() {
+        // Size law 4.49·e·f; target 2 GB.
+        let (e, f) = MemoryCalibration::scale_params_to_target(
+            70_000.0,
+            50_000.0,
+            2.0e9,
+            |e, f| 4.49 * e * f,
+        );
+        let got = 4.49 * e * f;
+        assert!((got - 2.0e9).abs() / 2.0e9 < 1e-6, "{got}");
+        // Aspect ratio preserved.
+        assert!((e / f - 70_000.0 / 50_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,183 @@
+//! Parameter calibration (paper §5.2): predicting cached-dataset sizes
+//! from the application parameters.
+//!
+//! Juggler runs a 3×3 full-factorial set of instrumented experiments over
+//! the training arrays `E` and `F`, then fits each schedule dataset's
+//! measured sizes to the §5.2 model families with non-negative least
+//! squares, selecting per dataset the model with the least leave-one-out
+//! cross-validation error.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use dagflow::{DatasetId, Schedule};
+use modeling::{fit_best, full_factorial, FittedModel, ModelSpec, Sample};
+
+/// A fitted size model for one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeModel {
+    /// The dataset.
+    pub dataset: DatasetId,
+    /// The fitted model (bytes as a function of `(e, f)`).
+    pub model: FittedModel,
+    /// LOOCV error of the winning spec.
+    pub cv_error: f64,
+}
+
+/// The calibrated size predictor for every dataset appearing in any
+/// schedule.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParamCalibration {
+    models: HashMap<DatasetId, SizeModel>,
+}
+
+impl ParamCalibration {
+    /// Fits size models from measurements.
+    ///
+    /// `observations` maps each dataset to its `(e, f, size_bytes)`
+    /// training points (one per full-factorial experiment).
+    pub fn fit(
+        observations: &HashMap<DatasetId, Vec<(f64, f64, u64)>>,
+    ) -> Result<Self, modeling::FitError> {
+        let candidates = ModelSpec::size_candidates();
+        let mut models = HashMap::new();
+        for (&dataset, points) in observations {
+            let samples: Vec<Sample> = points
+                .iter()
+                .map(|&(e, f, b)| Sample::ef(e, f, b as f64))
+                .collect();
+            let cv = fit_best(&candidates, &samples)?;
+            models.insert(
+                dataset,
+                SizeModel {
+                    dataset,
+                    model: cv.model,
+                    cv_error: cv.cv_error,
+                },
+            );
+        }
+        Ok(ParamCalibration { models })
+    }
+
+    /// The fitted models.
+    #[must_use]
+    pub fn models(&self) -> &HashMap<DatasetId, SizeModel> {
+        &self.models
+    }
+
+    /// Predicted size of one dataset at `(e, f)`, bytes. Zero if the
+    /// dataset was never calibrated.
+    #[must_use]
+    pub fn predict_dataset(&self, dataset: DatasetId, e: f64, f: f64) -> u64 {
+        self.models
+            .get(&dataset)
+            .map_or(0, |m| m.model.predict(e, f, 1.0).max(0.0) as u64)
+    }
+
+    /// Predicted memory budget of a schedule at `(e, f)` — the sum of its
+    /// cached datasets' predicted sizes, with `u(X) p(Y)` pairs reduced to
+    /// `max(|X|, |Y|)` exactly as in the hotspot stage.
+    #[must_use]
+    pub fn predict_schedule_size(&self, schedule: &Schedule, e: f64, f: f64) -> u64 {
+        schedule.memory_budget(|d| self.predict_dataset(d, e, f))
+    }
+
+    /// Datasets needed by a set of schedules (helper for selecting what to
+    /// calibrate).
+    #[must_use]
+    pub fn datasets_of(schedules: &[Schedule]) -> BTreeSet<DatasetId> {
+        schedules
+            .iter()
+            .flat_map(|s| s.persisted())
+            .collect()
+    }
+
+    /// The full-factorial training grid of §5.2 over the axes `E` and `F`.
+    #[must_use]
+    pub fn training_grid(e_axis: &[f64], f_axis: &[f64]) -> Vec<(f64, f64)> {
+        full_factorial(&[e_axis.to_vec(), f_axis.to_vec()])
+            .into_iter()
+            .map(|row| (row[0], row[1]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagflow::ScheduleOp;
+
+    fn grid_obs(law: impl Fn(f64, f64) -> f64) -> Vec<(f64, f64, u64)> {
+        let grid = ParamCalibration::training_grid(
+            &[5_000.0, 20_000.0, 40_000.0],
+            &[2_000.0, 10_000.0, 30_000.0],
+        );
+        grid.into_iter().map(|(e, f)| (e, f, law(e, f) as u64)).collect()
+    }
+
+    #[test]
+    fn grid_is_nine_points() {
+        let g = ParamCalibration::training_grid(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(g.len(), 9);
+    }
+
+    #[test]
+    fn recovers_ef_law_with_high_accuracy() {
+        let mut obs = HashMap::new();
+        obs.insert(DatasetId(2), grid_obs(|e, f| 4.4915 * e * f));
+        let cal = ParamCalibration::fit(&obs).unwrap();
+        let pred = cal.predict_dataset(DatasetId(2), 70_000.0, 50_000.0);
+        let truth = 4.4915 * 70_000.0 * 50_000.0;
+        let err = (pred as f64 - truth).abs() / truth;
+        assert!(err < 0.001, "err {err}");
+    }
+
+    #[test]
+    fn recovers_affine_law() {
+        let mut obs = HashMap::new();
+        obs.insert(DatasetId(5), grid_obs(|e, f| 1.0e6 + 96.0 * e + 0.008 * e * f));
+        let cal = ParamCalibration::fit(&obs).unwrap();
+        let pred = cal.predict_dataset(DatasetId(5), 60_000.0, 45_000.0) as f64;
+        let truth = 1.0e6 + 96.0 * 60_000.0 + 0.008 * 60_000.0 * 45_000.0;
+        assert!((pred - truth).abs() / truth < 0.01);
+    }
+
+    #[test]
+    fn schedule_size_respects_unpersist() {
+        let mut obs = HashMap::new();
+        obs.insert(DatasetId(1), grid_obs(|e, f| 7.45 * e * f));
+        obs.insert(DatasetId(2), grid_obs(|e, f| 4.49 * e * f));
+        obs.insert(DatasetId(11), grid_obs(|e, f| 4.50 * e * f));
+        let cal = ParamCalibration::fit(&obs).unwrap();
+        let schedule = Schedule::from_ops(vec![
+            ScheduleOp::Persist(DatasetId(1)),
+            ScheduleOp::Persist(DatasetId(2)),
+            ScheduleOp::Unpersist(DatasetId(2)),
+            ScheduleOp::Persist(DatasetId(11)),
+        ]);
+        let (e, f) = (50_000.0, 40_000.0);
+        let size = cal.predict_schedule_size(&schedule, e, f) as f64;
+        let expect = 7.45 * e * f + 4.50 * e * f;
+        assert!((size - expect).abs() / expect < 0.001, "{size} vs {expect}");
+    }
+
+    #[test]
+    fn unknown_dataset_predicts_zero() {
+        let cal = ParamCalibration::default();
+        assert_eq!(cal.predict_dataset(DatasetId(7), 1e4, 1e4), 0);
+    }
+
+    #[test]
+    fn datasets_of_collects_persists() {
+        let s1 = Schedule::persist_all([DatasetId(2)]);
+        let s2 = Schedule::from_ops(vec![
+            ScheduleOp::Persist(DatasetId(1)),
+            ScheduleOp::Unpersist(DatasetId(1)),
+            ScheduleOp::Persist(DatasetId(11)),
+        ]);
+        let ds = ParamCalibration::datasets_of(&[s1, s2]);
+        let expect: BTreeSet<DatasetId> = [1u32, 2, 11].map(DatasetId).into_iter().collect();
+        assert_eq!(ds, expect);
+    }
+}

@@ -1,0 +1,432 @@
+//! The offline-training pipeline (paper Figure 8): four sequential stages
+//! producing a serializable [`TrainedJuggler`] artifact, plus the §5.5
+//! run-time recommendation flow.
+//!
+//! Stage costs are tracked in machine-minutes — the bookkeeping behind the
+//! paper's Figure 16 (training-cost breakdown) and Table 5 (runs needed to
+//! amortize training).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions, RunReport};
+use dagflow::{DagError, DatasetId};
+use instrument::profile_run;
+use workloads::{Workload, WorkloadParams};
+
+use crate::hotspot::{detect_hotspots, DatasetMetricsView, HotspotConfig, RankedSchedule};
+use crate::memory_calibration::{MemoryCalibration, MemoryFactor};
+use crate::param_calibration::ParamCalibration;
+use crate::recommend::{CostModel, MachineMinutes, Recommendation, RecommendationMenu};
+use crate::time_model::TimeModel;
+
+/// Errors from the offline-training pipeline.
+#[derive(Debug)]
+pub enum TrainingError {
+    /// A simulated run rejected its plan or schedule.
+    Dag(DagError),
+    /// A model-fitting stage failed (no samples / no candidates).
+    Fit(modeling::FitError),
+}
+
+impl std::fmt::Display for TrainingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainingError::Dag(e) => write!(f, "plan error during training: {e}"),
+            TrainingError::Fit(e) => write!(f, "model fitting failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainingError::Dag(e) => Some(e),
+            TrainingError::Fit(e) => Some(e),
+        }
+    }
+}
+
+impl From<DagError> for TrainingError {
+    fn from(e: DagError) -> Self {
+        TrainingError::Dag(e)
+    }
+}
+
+impl From<modeling::FitError> for TrainingError {
+    fn from(e: modeling::FitError) -> Self {
+        TrainingError::Fit(e)
+    }
+}
+
+/// Configuration of the offline training.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingConfig {
+    /// The single node used for hotspot detection, parameter calibration
+    /// and memory calibration (§7.1's Core i3).
+    pub calibration_spec: MachineSpec,
+    /// The machine type of the target cluster, used for execution-time
+    /// model training and the Eq. 6 recommendation.
+    pub target_spec: MachineSpec,
+    /// Hotspot-detection tunables.
+    pub hotspot: HotspotConfig,
+    /// Cap on recommendable machine counts (the evaluation sweeps 1–12).
+    pub max_machines: u32,
+    /// RNG seed threaded into every simulated run.
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            calibration_spec: MachineSpec::calibration_node(),
+            target_spec: MachineSpec::private_cluster(),
+            hotspot: HotspotConfig::default(),
+            max_machines: 12,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Cost of one training stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageCost {
+    /// Number of experiment runs in the stage.
+    pub runs: u32,
+    /// Total cost in machine-minutes.
+    pub machine_minutes: f64,
+}
+
+impl StageCost {
+    fn add(&mut self, report: &RunReport) {
+        self.runs += 1;
+        self.machine_minutes += report.cost_machine_minutes();
+    }
+}
+
+/// Per-stage training costs (Figure 16 / Table 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingCosts {
+    /// Stage 1: the single instrumented sample run.
+    pub hotspot: StageCost,
+    /// Stage 2: the 3×3 full-factorial instrumented runs.
+    pub param_calibration: StageCost,
+    /// Stage 3: the single memory-calibration run.
+    pub memory_calibration: StageCost,
+    /// Stage 4: execution-time model training (9 runs per schedule).
+    pub time_models: StageCost,
+}
+
+impl TrainingCosts {
+    /// Optimization-stage cost (stages 1–3), machine-minutes.
+    #[must_use]
+    pub fn optimization_machine_minutes(&self) -> f64 {
+        self.hotspot.machine_minutes
+            + self.param_calibration.machine_minutes
+            + self.memory_calibration.machine_minutes
+    }
+
+    /// Total training cost, machine-minutes.
+    #[must_use]
+    pub fn total_machine_minutes(&self) -> f64 {
+        self.optimization_machine_minutes() + self.time_models.machine_minutes
+    }
+}
+
+/// The trained artifact: everything the §5.5 flow needs, serializable so
+/// one offline training serves arbitrarily many later runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedJuggler {
+    /// Workload name (`LOR`, …).
+    pub workload: String,
+    /// The hotspot-detection schedules, in generation order.
+    pub schedules: Vec<RankedSchedule>,
+    /// Fitted dataset-size models.
+    pub sizes: ParamCalibration,
+    /// The calibrated memory factor.
+    pub memory_factor: MemoryFactor,
+    /// Per-schedule execution-time models (same order as `schedules`).
+    pub time_models: Vec<TimeModel>,
+    /// Machine type the recommendations target.
+    pub target_spec: MachineSpec,
+    /// Machine-count cap.
+    pub max_machines: u32,
+    /// Bookkeeping for Figure 16 / Table 5.
+    pub costs: TrainingCosts,
+}
+
+impl TrainedJuggler {
+    /// The §5.5 flow with the paper's machine-minutes pricing.
+    #[must_use]
+    pub fn recommend(&self, examples: f64, features: f64) -> RecommendationMenu {
+        self.recommend_with(examples, features, &MachineMinutes)
+    }
+
+    /// The §5.5 flow under a custom pricing model.
+    #[must_use]
+    pub fn recommend_with(
+        &self,
+        examples: f64,
+        features: f64,
+        pricing: &dyn CostModel,
+    ) -> RecommendationMenu {
+        let candidates: Vec<Recommendation> = self
+            .schedules
+            .iter()
+            .enumerate()
+            .map(|(i, rs)| {
+                let size = self.sizes.predict_schedule_size(&rs.schedule, examples, features);
+                let machines = self
+                    .memory_factor
+                    .recommend_machines(size, &self.target_spec)
+                    .min(self.max_machines);
+                let time = self.time_models[i].predict(examples, features);
+                Recommendation {
+                    schedule_index: i,
+                    schedule: rs.schedule.clone(),
+                    predicted_size_bytes: size,
+                    machines,
+                    predicted_time_s: time,
+                    predicted_cost_machine_min: pricing.cost(machines, time),
+                }
+            })
+            .collect();
+        RecommendationMenu::from_candidates(candidates)
+    }
+
+    /// Recommended machine count for one schedule at `(e, f)` (Eq. 6).
+    #[must_use]
+    pub fn machines_for(&self, schedule_index: usize, examples: f64, features: f64) -> u32 {
+        let size = self
+            .sizes
+            .predict_schedule_size(&self.schedules[schedule_index].schedule, examples, features);
+        self.memory_factor
+            .recommend_machines(size, &self.target_spec)
+            .min(self.max_machines)
+    }
+
+    /// The §6.2 cross-machine-type flow: the *optimization* models (sizes,
+    /// memory factor, Eq. 6) are reused as-is with the new machine's
+    /// memory; the *prediction* side goes through an optional
+    /// [`crate::TransferModel`] bridging the base predictions to the new
+    /// type (`None` falls back to the base model — correct only for
+    /// machines similar to the training cluster).
+    #[must_use]
+    pub fn recommend_on(
+        &self,
+        examples: f64,
+        features: f64,
+        spec: &MachineSpec,
+        transfer: Option<&crate::TransferModel>,
+    ) -> RecommendationMenu {
+        let candidates: Vec<Recommendation> = self
+            .schedules
+            .iter()
+            .enumerate()
+            .map(|(i, rs)| {
+                let size = self.sizes.predict_schedule_size(&rs.schedule, examples, features);
+                let machines = self
+                    .memory_factor
+                    .recommend_machines(size, spec)
+                    .min(self.max_machines);
+                let base = self.time_models[i].predict(examples, features);
+                let time = transfer.map_or(base, |t| t.predict(base));
+                Recommendation {
+                    schedule_index: i,
+                    schedule: rs.schedule.clone(),
+                    predicted_size_bytes: size,
+                    machines,
+                    predicted_time_s: time,
+                    predicted_cost_machine_min: MachineMinutes.cost(machines, time),
+                }
+            })
+            .collect();
+        RecommendationMenu::from_candidates(candidates)
+    }
+
+    /// Fits a §6.2 transfer model for a new machine type from a few probe
+    /// runs: `runner(e, f, machines)` must execute the *first* schedule on
+    /// the new type and return the measured seconds. Probe parameter
+    /// points are chosen from `candidates` by spread-maximizing selection;
+    /// `probes` runs are spent (CherryPick's point: a handful suffices).
+    pub fn fit_transfer(
+        &self,
+        candidates: &[(f64, f64)],
+        probes: usize,
+        spec: &MachineSpec,
+        mut runner: impl FnMut(f64, f64, u32) -> f64,
+    ) -> crate::TransferModel {
+        let base_preds: Vec<f64> = candidates
+            .iter()
+            .map(|&(e, f)| self.time_models[0].predict(e, f))
+            .collect();
+        let picks = crate::select_probes(&base_preds, probes.min(candidates.len()));
+        let pairs: Vec<(f64, f64)> = picks
+            .into_iter()
+            .map(|i| {
+                let (e, f) = candidates[i];
+                let size = self
+                    .sizes
+                    .predict_schedule_size(&self.schedules[0].schedule, e, f);
+                let machines = self
+                    .memory_factor
+                    .recommend_machines(size, spec)
+                    .min(self.max_machines);
+                (base_preds[i], runner(e, f, machines))
+            })
+            .collect();
+        crate::TransferModel::fit(&pairs)
+    }
+}
+
+/// Runs the four offline-training stages.
+#[derive(Debug)]
+pub struct OfflineTraining;
+
+impl OfflineTraining {
+    /// Trains Juggler for one workload. Deterministic for a given
+    /// (workload, config).
+    pub fn run(workload: &dyn Workload, config: &TrainingConfig) -> Result<TrainedJuggler, TrainingError> {
+        let mut costs = TrainingCosts::default();
+        let sim = |seed_off: u64| {
+            let mut p = workload.sim_params();
+            p.seed = config.seed.wrapping_add(seed_off);
+            p
+        };
+
+        // ── Stage 1: hotspot detection (one instrumented sample run). ──
+        let sample = workload.sample_params();
+        let sample_app = workload.build(&sample);
+        let calib_cluster = ClusterConfig::new(1, config.calibration_spec);
+        let out = profile_run(
+            &sample_app,
+            &sample_app.default_schedule().clone(),
+            calib_cluster,
+            sim(1),
+        )?;
+        costs.hotspot.add(&out.report);
+        let metrics = DatasetMetricsView::from_metrics(&out.metrics, sample_app.dataset_count());
+        let schedules = detect_hotspots(&sample_app, &metrics, &config.hotspot);
+
+        // ── Stage 2: parameter calibration (3×3 instrumented runs). ──
+        let (e_axis, f_axis) = workload.training_axes();
+        let grid = ParamCalibration::training_grid(&e_axis, &f_axis);
+        let wanted: Vec<DatasetId> = ParamCalibration::datasets_of(
+            &schedules.iter().map(|s| s.schedule.clone()).collect::<Vec<_>>(),
+        )
+        .into_iter()
+        .collect();
+        let mut observations: HashMap<DatasetId, Vec<(f64, f64, u64)>> = HashMap::new();
+        for (gi, &(e, f)) in grid.iter().enumerate() {
+            let params = WorkloadParams::auto(e as u64, f as u64, sample.iterations);
+            let app = workload.build(&params);
+            let run = profile_run(&app, &app.default_schedule().clone(), calib_cluster, sim(2 + gi as u64))?;
+            costs.param_calibration.add(&run.report);
+            for m in &run.metrics {
+                if wanted.contains(&m.dataset) {
+                    observations
+                        .entry(m.dataset)
+                        .or_default()
+                        .push((e, f, m.size_bytes));
+                }
+            }
+        }
+        let sizes = match ParamCalibration::fit(&observations) {
+            Ok(c) => c,
+            Err(_) if observations.is_empty() => ParamCalibration::default(),
+            Err(e) => return Err(e.into()),
+        };
+
+        // ── Stage 3: memory calibration (one run filling M). ──
+        let memory_factor = if let Some(first) = schedules.first() {
+            let m_bytes = config.calibration_spec.unified_memory() as f64;
+            let (e0, f0) = (*e_axis.last().expect("axes non-empty"), *f_axis.last().expect("axes non-empty"));
+            let (e_fill, f_fill) = MemoryCalibration::scale_params_to_target(e0, f0, m_bytes, |e, f| {
+                sizes.predict_schedule_size(&first.schedule, e, f) as f64
+            });
+            let params = WorkloadParams::auto(e_fill as u64, f_fill as u64, sample.iterations);
+            let app = workload.build(&params);
+            let engine = Engine::new(&app, calib_cluster, sim(20));
+            let report = engine.run(&first.schedule, RunOptions::default())?;
+            costs.memory_calibration.add(&report);
+            MemoryFactor::from_run(&app, &first.schedule, &report)
+        } else {
+            MemoryFactor { factor: 1.0 }
+        };
+
+        // ── Stage 4: execution-time models (9 runs per schedule on the
+        //    recommended configuration, full iteration counts). ──
+        let paper = workload.paper_params();
+        let mut time_models = Vec::with_capacity(schedules.len());
+        for (si, rs) in schedules.iter().enumerate() {
+            let mut points = Vec::with_capacity(grid.len());
+            for (gi, &(e, f)) in grid.iter().enumerate() {
+                let size = sizes.predict_schedule_size(&rs.schedule, e, f);
+                let machines = memory_factor
+                    .recommend_machines(size, &config.target_spec)
+                    .min(config.max_machines);
+                let params = WorkloadParams::auto(e as u64, f as u64, paper.iterations);
+                let app = workload.build(&params);
+                let cluster = ClusterConfig::new(machines, config.target_spec);
+                let engine = Engine::new(&app, cluster, sim(40 + (si * grid.len() + gi) as u64));
+                let report = engine.run(&rs.schedule, RunOptions::default())?;
+                costs.time_models.add(&report);
+                points.push((e, f, report.total_time_s));
+            }
+            time_models.push(TimeModel::fit(si, &points)?);
+        }
+
+        Ok(TrainedJuggler {
+            workload: workload.name().to_owned(),
+            schedules,
+            sizes,
+            memory_factor,
+            time_models,
+            target_spec: config.target_spec,
+            max_machines: config.max_machines,
+            costs,
+        })
+    }
+}
+
+impl OfflineTraining {
+    /// §6.1 extension: fits iteration-aware execution-time models by
+    /// adding an iterations axis to the stage-4 experiments — "another
+    /// (linear) execution time model can be extracted … by carrying out
+    /// additional experiments". Returns one model per schedule, aligned
+    /// with `trained.schedules`.
+    pub fn fit_iteration_models(
+        workload: &dyn Workload,
+        config: &TrainingConfig,
+        trained: &TrainedJuggler,
+        iteration_axis: &[u32],
+    ) -> Result<Vec<TimeModel>, TrainingError> {
+        assert!(!iteration_axis.is_empty(), "need at least one iteration level");
+        let (e_axis, f_axis) = workload.training_axes();
+        let grid = ParamCalibration::training_grid(&e_axis, &f_axis);
+        let mut models = Vec::with_capacity(trained.schedules.len());
+        for (si, rs) in trained.schedules.iter().enumerate() {
+            let mut points = Vec::new();
+            for (gi, &(e, f)) in grid.iter().enumerate() {
+                let size = trained.sizes.predict_schedule_size(&rs.schedule, e, f);
+                let machines = trained
+                    .memory_factor
+                    .recommend_machines(size, &config.target_spec)
+                    .min(config.max_machines);
+                for (ii, &iters) in iteration_axis.iter().enumerate() {
+                    let params = WorkloadParams::auto(e as u64, f as u64, iters);
+                    let app = workload.build(&params);
+                    let mut sim = workload.sim_params();
+                    sim.seed = config
+                        .seed
+                        .wrapping_add(900 + (si * grid.len() * iteration_axis.len() + gi * iteration_axis.len() + ii) as u64);
+                    let cluster = ClusterConfig::new(machines, config.target_spec);
+                    let report = Engine::new(&app, cluster, sim).run(&rs.schedule, RunOptions::default())?;
+                    points.push((e, f, f64::from(iters), report.total_time_s));
+                }
+            }
+            models.push(TimeModel::fit_with_iterations(si, &points)?);
+        }
+        Ok(models)
+    }
+}

@@ -1,0 +1,93 @@
+//! Human-readable model cards for trained artifacts: what end users (and
+//! the CLI) see after offline training — schedules, fitted formulas, the
+//! memory factor, and training-cost accounting.
+
+use std::fmt::Write as _;
+
+use crate::pipeline::TrainedJuggler;
+
+/// Renders a plain-text model card for a trained artifact.
+#[must_use]
+pub fn model_card(trained: &TrainedJuggler) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Juggler model card — {}", trained.workload);
+    let _ = writeln!(out, "{}", "=".repeat(24 + trained.workload.len()));
+
+    let _ = writeln!(out, "\nSchedules (hotspot detection):");
+    for (i, rs) in trained.schedules.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  #{} {:<28} benefit {:>8.2}s   budget {:>9.1} MB (sample scale)",
+            i + 1,
+            rs.schedule.notation(),
+            rs.benefit_s,
+            rs.budget_bytes as f64 / 1e6,
+        );
+    }
+
+    let _ = writeln!(out, "\nSize models (parameter calibration):");
+    let mut size_models: Vec<_> = trained.sizes.models().values().collect();
+    size_models.sort_by_key(|m| m.dataset);
+    for m in size_models {
+        let _ = writeln!(
+            out,
+            "  {:<5} bytes = {}   (LOOCV error {:.3}%)",
+            m.dataset.to_string(),
+            m.model.render(),
+            m.cv_error * 100.0
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\nMemory factor: {:.3}  =>  {:.2} GB usable for caching per {} GB machine",
+        trained.memory_factor.factor,
+        trained.memory_factor.memory_for_caching(&trained.target_spec) / 1e9,
+        trained.target_spec.ram_bytes / 1_000_000_000,
+    );
+
+    let _ = writeln!(out, "\nExecution-time models (per schedule, seconds):");
+    for tm in &trained.time_models {
+        let _ = writeln!(
+            out,
+            "  #{} t(e, f) = {}   (LOOCV error {:.1}%)",
+            tm.schedule_index + 1,
+            tm.model.render(),
+            tm.cv_error * 100.0
+        );
+    }
+
+    let c = &trained.costs;
+    let _ = writeln!(
+        out,
+        "\nTraining cost: {:.1} machine-min over {} runs \
+         (hotspot {:.1}, calibration {:.1}, memory {:.1}, time models {:.1})",
+        c.total_machine_minutes(),
+        c.hotspot.runs + c.param_calibration.runs + c.memory_calibration.runs + c.time_models.runs,
+        c.hotspot.machine_minutes,
+        c.param_calibration.machine_minutes,
+        c.memory_calibration.machine_minutes,
+        c.time_models.machine_minutes,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{OfflineTraining, TrainingConfig};
+    use workloads::Pca;
+
+    #[test]
+    fn card_mentions_every_component() {
+        let trained = OfflineTraining::run(&Pca, &TrainingConfig::default()).unwrap();
+        let card = model_card(&trained);
+        assert!(card.contains("Juggler model card — PCA"));
+        assert!(card.contains("p(1) u(1) p(2) u(2) p(13)"));
+        assert!(card.contains("Memory factor"));
+        assert!(card.contains("Execution-time models"));
+        assert!(card.contains("Training cost"));
+        // Fitted formulas use the monomial rendering.
+        assert!(card.contains("e·f") || card.contains("·e"), "{card}");
+    }
+}

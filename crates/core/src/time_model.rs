@@ -1,0 +1,123 @@
+//! Execution-time models (paper §5.4): per-schedule prediction of the
+//! execution time on the schedule's recommended cluster configuration.
+
+use serde::{Deserialize, Serialize};
+
+use modeling::{fit_best, FitError, FittedModel, ModelSpec, Sample};
+
+/// A fitted execution-time model for one schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeModel {
+    /// Index of the schedule this model belongs to.
+    pub schedule_index: usize,
+    /// Time (seconds) as a function of `(e, f)` — machine count is *not*
+    /// a parameter: the model predicts the time on the optimal
+    /// configuration for these parameters (§5.4).
+    pub model: FittedModel,
+    /// LOOCV error of the winning spec.
+    pub cv_error: f64,
+}
+
+impl TimeModel {
+    /// Fits the model from `(e, f, seconds)` training measurements.
+    pub fn fit(
+        schedule_index: usize,
+        points: &[(f64, f64, f64)],
+    ) -> Result<Self, FitError> {
+        let samples: Vec<Sample> = points
+            .iter()
+            .map(|&(e, f, t)| Sample::ef(e, f, t))
+            .collect();
+        let cv = fit_best(&ModelSpec::time_candidates(), &samples)?;
+        Ok(TimeModel {
+            schedule_index,
+            model: cv.model,
+            cv_error: cv.cv_error,
+        })
+    }
+
+    /// Fits a model extended with the iteration count (§6.1) from
+    /// `(e, f, iterations, seconds)` measurements.
+    pub fn fit_with_iterations(
+        schedule_index: usize,
+        points: &[(f64, f64, f64, f64)],
+    ) -> Result<Self, FitError> {
+        let samples: Vec<Sample> = points
+            .iter()
+            .map(|&(e, f, i, t)| Sample { e, f, i, y: t })
+            .collect();
+        let cv = fit_best(&ModelSpec::time_candidates_with_iterations(), &samples)?;
+        Ok(TimeModel {
+            schedule_index,
+            model: cv.model,
+            cv_error: cv.cv_error,
+        })
+    }
+
+    /// Predicted execution time at `(e, f)`, seconds.
+    #[must_use]
+    pub fn predict(&self, e: f64, f: f64) -> f64 {
+        self.model.predict(e, f, 1.0).max(0.0)
+    }
+
+    /// Predicted execution time at `(e, f, iterations)` for
+    /// iteration-extended models.
+    #[must_use]
+    pub fn predict_with_iterations(&self, e: f64, f: f64, iterations: f64) -> f64 {
+        self.model.predict(e, f, iterations).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(law: impl Fn(f64, f64) -> f64) -> Vec<(f64, f64, f64)> {
+        let mut out = Vec::new();
+        for &e in &[3_000.0, 10_000.0, 18_000.0] {
+            for &f in &[2_500.0, 6_000.0, 12_500.0] {
+                out.push((e, f, law(e, f)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fits_constant_plus_ef() {
+        let tm = TimeModel::fit(0, &grid(|e, f| 42.0 + 3.0e-7 * e * f)).unwrap();
+        assert!(tm.cv_error < 1e-6, "cv {}", tm.cv_error);
+        let pred = tm.predict(15_000.0, 9_000.0);
+        let truth = 42.0 + 3.0e-7 * 15_000.0 * 9_000.0;
+        assert!((pred - truth).abs() / truth < 1e-6);
+    }
+
+    #[test]
+    fn fits_f_squared_family() {
+        let tm = TimeModel::fit(1, &grid(|e, f| 2.0e-6 * f * f + 1.0e-7 * e * f)).unwrap();
+        assert!(tm.cv_error < 1e-6);
+        assert_eq!(tm.schedule_index, 1);
+    }
+
+    #[test]
+    fn iteration_extension_recovers_linear_iterations() {
+        let mut points = Vec::new();
+        for &e in &[5_000.0, 15_000.0] {
+            for &f in &[4_000.0, 9_000.0] {
+                for &i in &[5.0, 20.0, 60.0] {
+                    points.push((e, f, i, 12.0 + 4.0e-9 * e * f * i));
+                }
+            }
+        }
+        let tm = TimeModel::fit_with_iterations(0, &points).unwrap();
+        assert!(tm.cv_error < 1e-6, "cv {}", tm.cv_error);
+        let pred = tm.predict_with_iterations(10_000.0, 6_000.0, 40.0);
+        let truth = 12.0 + 4.0e-9 * 10_000.0 * 6_000.0 * 40.0;
+        assert!((pred - truth).abs() / truth < 1e-6);
+    }
+
+    #[test]
+    fn prediction_is_never_negative() {
+        let tm = TimeModel::fit(0, &grid(|e, f| 1.0 + 1.0e-9 * e * f)).unwrap();
+        assert!(tm.predict(0.0, 0.0) >= 0.0);
+    }
+}

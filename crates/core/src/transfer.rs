@@ -1,0 +1,178 @@
+//! Machine-type transfer (paper §6.2).
+//!
+//! Public clouds offer hundreds of instance types. Juggler's *optimization*
+//! models transfer as-is: dataset selection and size prediction do not
+//! depend on the machine, and the cluster-configuration formula (Eq. 5/6)
+//! only needs the new machine's memory size, "which is known in advance".
+//! Its *prediction* models do not transfer directly — "the execution time
+//! of a schedule varies between different types of machines" — so the
+//! paper points to CherryPick-style adaptive modeling: run a few probe
+//! experiments on the new type and fit a model on top of the existing one.
+//!
+//! This module implements both: [`InstanceCatalog`] (a CherryPick-like
+//! search space of machine types), [`TransferModel`] (an affine
+//! `t_target ≈ α + β·t_base` bridge fit with non-negative least squares),
+//! and [`select_probes`] (spread-maximizing probe selection, the greedy
+//! analogue of CherryPick's Bayesian acquisition over a small candidate
+//! set).
+
+use serde::{Deserialize, Serialize};
+
+use cluster_sim::MachineSpec;
+use modeling::{d_optimal_greedy, nnls, Matrix};
+
+/// A named VM instance type with an hourly price.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceType {
+    /// Display name (`m.std`, `r.big`, …).
+    pub name: String,
+    /// Hardware description.
+    pub spec: MachineSpec,
+    /// Price per machine-hour (arbitrary currency).
+    pub price_per_hour: f64,
+}
+
+/// A small cloud catalog, mirroring the variety the paper cites (Azure:
+/// 146 types, AWS: 133).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceCatalog {
+    /// The available types.
+    pub types: Vec<InstanceType>,
+}
+
+impl InstanceCatalog {
+    /// A representative AWS-like catalog: general-purpose, memory-
+    /// optimized, compute-optimized, and a budget tier.
+    #[must_use]
+    pub fn aws_like() -> Self {
+        let base = MachineSpec::private_cluster();
+        let mk = |name: &str, ram_gb: u64, cores: u32, cpu: f64, disk_mb: f64, price: f64| {
+            InstanceType {
+                name: name.to_owned(),
+                spec: MachineSpec {
+                    ram_bytes: ram_gb * 1_000_000_000,
+                    cores,
+                    cpu_speed: cpu,
+                    disk_bandwidth: disk_mb * 1.0e6,
+                    ..base
+                },
+                price_per_hour: price,
+            }
+        };
+        InstanceCatalog {
+            types: vec![
+                mk("m.std", 16, 4, 1.0, 80.0, 0.34),    // the paper's cluster
+                mk("m.small", 8, 2, 1.0, 80.0, 0.17),   // half-size general
+                mk("m.large", 32, 8, 1.0, 120.0, 0.68), // double general
+                mk("r.big", 64, 8, 0.9, 120.0, 0.96),   // memory-optimized
+                mk("c.fast", 16, 8, 1.4, 120.0, 0.61),  // compute-optimized
+                mk("t.budget", 12, 4, 0.7, 50.0, 0.12), // burstable budget
+            ],
+        }
+    }
+
+    /// Looks a type up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&InstanceType> {
+        self.types.iter().find(|t| t.name == name)
+    }
+}
+
+/// An affine bridge from base-machine predictions to a new machine type:
+/// `t_target ≈ α + β·t_base`, with α, β ≥ 0 (a slower machine scales the
+/// parallel work and adds fixed overhead; NNLS keeps both physical).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Fixed offset, seconds.
+    pub alpha: f64,
+    /// Scale on the base prediction.
+    pub beta: f64,
+}
+
+impl TransferModel {
+    /// Fits from `(base_time, target_time)` probe pairs.
+    ///
+    /// # Panics
+    /// Panics if `pairs` is empty.
+    #[must_use]
+    pub fn fit(pairs: &[(f64, f64)]) -> Self {
+        assert!(!pairs.is_empty(), "need at least one probe pair");
+        let rows: Vec<Vec<f64>> = pairs.iter().map(|&(b, _)| vec![1.0, b]).collect();
+        let y: Vec<f64> = pairs.iter().map(|&(_, t)| t).collect();
+        let theta = nnls(&Matrix::from_rows(&rows), &y);
+        TransferModel {
+            alpha: theta[0],
+            beta: theta[1],
+        }
+    }
+
+    /// Predicted time on the target type from a base prediction.
+    #[must_use]
+    pub fn predict(&self, base_time_s: f64) -> f64 {
+        (self.alpha + self.beta * base_time_s).max(0.0)
+    }
+}
+
+/// Chooses `k` probe parameter points (by index) whose *base-model
+/// predictions* spread the regression the most — greedy D-optimality over
+/// the `[1, t_base]` feature rows, the deterministic analogue of
+/// CherryPick's "adaptive search methodology to reduce the number of
+/// experiments".
+///
+/// # Panics
+/// Panics if `k` exceeds the number of candidates.
+#[must_use]
+pub fn select_probes(base_predictions: &[f64], k: usize) -> Vec<usize> {
+    let rows: Vec<Vec<f64>> = base_predictions.iter().map(|&t| vec![1.0, t]).collect();
+    d_optimal_greedy(&rows, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_contains_the_paper_cluster() {
+        let cat = InstanceCatalog::aws_like();
+        let std = cat.get("m.std").expect("present");
+        assert_eq!(std.spec.ram_bytes, 16_000_000_000);
+        assert_eq!(std.spec.cores, 4);
+        assert!(cat.get("nope").is_none());
+        assert!(cat.types.len() >= 5);
+    }
+
+    #[test]
+    fn transfer_recovers_affine_map() {
+        let pairs: Vec<(f64, f64)> = [60.0, 180.0, 420.0]
+            .iter()
+            .map(|&b| (b, 12.0 + 1.4 * b))
+            .collect();
+        let tm = TransferModel::fit(&pairs);
+        assert!((tm.alpha - 12.0).abs() < 1e-6, "{tm:?}");
+        assert!((tm.beta - 1.4).abs() < 1e-8, "{tm:?}");
+        assert!((tm.predict(300.0) - (12.0 + 1.4 * 300.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transfer_clamps_to_physical_coefficients() {
+        // A "target" that is absurdly faster than any affine non-negative
+        // map allows: NNLS clamps rather than producing negative α.
+        let tm = TransferModel::fit(&[(100.0, 10.0), (200.0, 20.0)]);
+        assert!(tm.alpha >= 0.0 && tm.beta >= 0.0);
+        assert!((tm.predict(150.0) - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn probe_selection_spans_the_range() {
+        let preds = vec![30.0, 31.0, 32.0, 500.0, 33.0, 250.0];
+        let picks = select_probes(&preds, 3);
+        assert_eq!(picks.len(), 3);
+        assert!(picks.contains(&3), "must include the extreme point: {picks:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn fit_requires_pairs() {
+        let _ = TransferModel::fit(&[]);
+    }
+}

@@ -1,0 +1,528 @@
+//! Merged-DAG lineage analysis (paper §3.1) and the cache-aware
+//! computation-count semantics Algorithm 1 relies on.
+//!
+//! ## Computation counts
+//!
+//! "The number of times to compute a dataset is equal to the number of its
+//! leaves in the resulting \[merged\] DAG" (§3.1). We implement this as path
+//! counting: within each job, a dataset is computed once per lineage path
+//! from the dataset down to the job's action target (Spark recursively
+//! computes parent partitions without memoization), and the application
+//! total is the sum over jobs.
+//!
+//! ## Cache-aware pulls
+//!
+//! Algorithm 1 updates computation counts as datasets enter a schedule. The
+//! paper's incremental bookkeeping (`n_p −= n_Dmax − 1`) is presented for
+//! chains; we generalize it to arbitrary DAGs by computing, from first
+//! principles, how many times a dataset would be computed given a set of
+//! cached datasets:
+//!
+//! * a path is *cut* at the first cached dataset strictly below the queried
+//!   one (later computations read the cache instead of recomputing);
+//! * every cached dataset is itself materialized exactly once — in the first
+//!   job that contains it — and that single materialization pulls its
+//!   uncached ancestors once per uncached path.
+//!
+//! This reproduces every number in the paper's §5.1 worked Logistic
+//! Regression example (see the golden tests in `juggler-core`).
+
+use std::collections::BTreeSet;
+
+use crate::app::{Application, JobId};
+use crate::bitset::BitSet;
+use crate::dataset::DatasetId;
+use crate::Seconds;
+
+/// Precomputed lineage structure over an application: global child edges,
+/// per-job membership (ancestor closure of each job target), first containing
+/// job per dataset, and baseline computation counts.
+#[derive(Debug)]
+pub struct LineageAnalysis<'a> {
+    app: &'a Application,
+    /// Children of each dataset (global, across all jobs).
+    children: Vec<Vec<DatasetId>>,
+    /// For each job, the set of datasets its action reaches.
+    job_members: Vec<BitSet>,
+    /// First job (in sequential order) whose DAG contains each dataset, if
+    /// any.
+    first_job: Vec<Option<JobId>>,
+    /// Baseline computation counts (no caching), saturating.
+    counts: Vec<u64>,
+}
+
+impl<'a> LineageAnalysis<'a> {
+    /// Builds the analysis. Cost: `O(jobs × datasets + edges)`.
+    #[must_use]
+    pub fn new(app: &'a Application) -> Self {
+        let n = app.dataset_count();
+        let mut children: Vec<Vec<DatasetId>> = vec![Vec::new(); n];
+        for d in app.datasets() {
+            for &p in &d.parents {
+                children[p.index()].push(d.id);
+            }
+        }
+
+        // Per-job ancestor closures, walking parents from the target.
+        let mut job_members = Vec::with_capacity(app.jobs().len());
+        let mut first_job = vec![None; n];
+        for (ji, job) in app.jobs().iter().enumerate() {
+            let mut members = BitSet::new(n);
+            let mut stack = vec![job.target];
+            while let Some(x) = stack.pop() {
+                if members.insert(x.index()) {
+                    if first_job[x.index()].is_none() {
+                        first_job[x.index()] = Some(JobId(ji as u32));
+                    }
+                    stack.extend(app.dataset(x).parents.iter().copied());
+                }
+            }
+            job_members.push(members);
+        }
+
+        let mut this = LineageAnalysis {
+            app,
+            children,
+            job_members,
+            first_job,
+            counts: Vec::new(),
+        };
+        this.counts = this.pulls(&BTreeSet::new());
+        this
+    }
+
+    /// The application under analysis.
+    #[must_use]
+    pub fn app(&self) -> &'a Application {
+        self.app
+    }
+
+    /// Baseline computation counts `n(D)` with nothing cached (§3.1).
+    #[must_use]
+    pub fn computation_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Datasets computed more than once — the paper's *intermediate
+    /// datasets* and the candidate pool of Algorithm 1.
+    #[must_use]
+    pub fn intermediates(&self) -> Vec<DatasetId> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 1)
+            .map(|(i, _)| DatasetId(i as u32))
+            .collect()
+    }
+
+    /// Global children of a dataset.
+    #[must_use]
+    pub fn children_of(&self, d: DatasetId) -> &[DatasetId] {
+        &self.children[d.index()]
+    }
+
+    /// First job whose DAG contains `d`, i.e. the job during which `d` (and,
+    /// if persisted, its cached copy) first materializes.
+    #[must_use]
+    pub fn first_job_of(&self, d: DatasetId) -> Option<JobId> {
+        self.first_job[d.index()]
+    }
+
+    /// Whether `d` belongs to job `j`'s DAG.
+    #[must_use]
+    pub fn in_job(&self, d: DatasetId, j: JobId) -> bool {
+        self.job_members[j.index()].contains(d.index())
+    }
+
+    /// Whether `descendant` is reachable from `ancestor` via child edges
+    /// (strictly below it).
+    #[must_use]
+    pub fn is_descendant(&self, descendant: DatasetId, ancestor: DatasetId) -> bool {
+        if descendant == ancestor {
+            return false;
+        }
+        let mut seen = BitSet::new(self.app.dataset_count());
+        let mut stack = vec![ancestor];
+        while let Some(x) = stack.pop() {
+            for &c in &self.children[x.index()] {
+                if c == descendant {
+                    return true;
+                }
+                // Child ids are always larger; no point exploring past the
+                // target id.
+                if c < descendant && seen.insert(c.index()) {
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether `d` is the *single child* of any dataset in `set` — the
+    /// exclusion rule of Algorithm 1 (lines 12–13): a single-child dataset
+    /// is not added to a schedule that already contains its parent.
+    #[must_use]
+    pub fn is_single_child_of_any(&self, d: DatasetId, set: &BTreeSet<DatasetId>) -> bool {
+        self.app.dataset(d).parents.iter().any(|p| {
+            set.contains(p) && self.children[p.index()].len() == 1
+        })
+    }
+
+    /// Cache-aware computation counts: how many times each dataset would be
+    /// computed over the whole application if the datasets in `cached` were
+    /// persisted (and stayed resident). With `cached` empty this is the
+    /// baseline `n(D)`.
+    ///
+    /// For datasets *in* `cached` the returned value counts cache reads
+    /// (demands), not computations — Algorithm 1 only ever queries
+    /// uncached candidates, so this distinction is deliberate.
+    ///
+    /// Counts saturate at `u64::MAX` on pathological DAGs (path counts can
+    /// grow exponentially in diamonds).
+    #[must_use]
+    pub fn pulls(&self, cached: &BTreeSet<DatasetId>) -> Vec<u64> {
+        let n = self.app.dataset_count();
+        let mut total = vec![0u64; n];
+        let mut per_job = vec![0u64; n];
+        for (ji, job) in self.app.jobs().iter().enumerate() {
+            let members = &self.job_members[ji];
+            per_job.iter_mut().for_each(|v| *v = 0);
+            // Traverse members in reverse id order: children have larger ids,
+            // so this is a reverse topological order and each dataset's pulls
+            // are final before its parents read them.
+            let member_ids: Vec<usize> = members.iter().collect();
+            for &xi in member_ids.iter().rev() {
+                let x = DatasetId(xi as u32);
+                let mut p: u64 = u64::from(job.target == x);
+                for &c in &self.children[xi] {
+                    if !members.contains(c.index()) {
+                        continue;
+                    }
+                    let contribution = if cached.contains(&c) {
+                        // A cached child materializes exactly once, in its
+                        // first job; that one computation pulls each parent
+                        // once per edge.
+                        u64::from(self.first_job[c.index()] == Some(JobId(ji as u32)))
+                    } else {
+                        per_job[c.index()]
+                    };
+                    p = p.saturating_add(contribution);
+                }
+                per_job[xi] = p;
+            }
+            for xi in members.iter() {
+                total[xi] = total[xi].saturating_add(per_job[xi]);
+            }
+        }
+        total
+    }
+
+    /// Recursive upward chain cost (Eq. 4's `ET_i + Σ_parents ET_j`): the
+    /// time to compute `d` once, including recomputing every *uncached*
+    /// ancestor, counted with path multiplicity, cut at datasets in
+    /// `cached`. `et` maps dataset index to its (measured) computation
+    /// time.
+    #[must_use]
+    pub fn chain_cost(
+        &self,
+        d: DatasetId,
+        cached: &BTreeSet<DatasetId>,
+        et: &[Seconds],
+    ) -> Seconds {
+        // Memoized DFS over ancestors; ancestor ids are smaller than d's, so
+        // a simple memo vector suffices.
+        fn up(
+            this: &LineageAnalysis<'_>,
+            x: DatasetId,
+            cached: &BTreeSet<DatasetId>,
+            et: &[Seconds],
+            memo: &mut [Option<Seconds>],
+        ) -> Seconds {
+            if let Some(v) = memo[x.index()] {
+                return v;
+            }
+            let mut cost = et.get(x.index()).copied().unwrap_or(0.0);
+            for &p in &this.app.dataset(x).parents {
+                if !cached.contains(&p) {
+                    cost += up(this, p, cached, et, memo);
+                }
+            }
+            memo[x.index()] = Some(cost);
+            cost
+        }
+        let mut memo = vec![None; self.app.dataset_count()];
+        up(self, d, cached, et, &mut memo)
+    }
+
+    /// Whether, in every job at or after `via`'s first materialization,
+    /// every use of `from` flows through `via` — the paper's condition for
+    /// unpersisting `from` right before caching `via` (§5.1): "a cached
+    /// dataset is unpersisted only if the dataset that follows it in the
+    /// SCHEDULE is its child in all remaining jobs".
+    #[must_use]
+    pub fn all_remaining_uses_pass_through(&self, from: DatasetId, via: DatasetId) -> bool {
+        let Some(first) = self.first_job_of(via) else {
+            return false;
+        };
+        for (ji, job) in self.app.jobs().iter().enumerate().skip(first.index()) {
+            let members = &self.job_members[ji];
+            if !members.contains(from.index()) {
+                continue;
+            }
+            if !members.contains(via.index()) {
+                // `from` is used by a job that does not even contain `via`.
+                return false;
+            }
+            if self.paths_avoiding(from, job.target, via, members) > 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of downward paths from `from` to `to` that avoid `blocked`,
+    /// restricted to `members`. Saturating.
+    fn paths_avoiding(
+        &self,
+        from: DatasetId,
+        to: DatasetId,
+        blocked: DatasetId,
+        members: &BitSet,
+    ) -> u64 {
+        if from == blocked {
+            return 0;
+        }
+        if from == to {
+            return 1;
+        }
+        let mut memo: Vec<Option<u64>> = vec![None; self.app.dataset_count()];
+        fn walk(
+            this: &LineageAnalysis<'_>,
+            x: DatasetId,
+            to: DatasetId,
+            blocked: DatasetId,
+            members: &BitSet,
+            memo: &mut [Option<u64>],
+        ) -> u64 {
+            if x == blocked {
+                return 0;
+            }
+            if x == to {
+                return 1;
+            }
+            if let Some(v) = memo[x.index()] {
+                return v;
+            }
+            let mut total: u64 = 0;
+            for &c in &this.children[x.index()] {
+                if members.contains(c.index()) {
+                    total = total.saturating_add(walk(this, c, to, blocked, members, memo));
+                }
+            }
+            memo[x.index()] = Some(total);
+            total
+        }
+        walk(self, from, to, blocked, members, &mut memo)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::builder::AppBuilder;
+    use crate::dataset::ComputeCost;
+    use crate::ops::{NarrowKind, SourceFormat, WideKind};
+
+    /// The merged LOR DAG of the paper's Figure 4, with job structure chosen
+    /// so that n(D0) = n(D1) = 8, n(D2) = 6, n(D11) = 4 (§3.1) and the
+    /// unpersist relationships of §5.1 hold.
+    ///
+    /// Jobs: 0 = count over a D1-descendant (avoids D2); 1 = count over a
+    /// D2-descendant; 2 = sample-check over another D2-descendant; 3-6 =
+    /// four iterative jobs via D11 (gradient per iteration); 7 = summary
+    /// over a D1-descendant (avoids D2 and D11).
+    pub(crate) fn lor_like() -> (Application, Vec<f64>) {
+        let mb = |x: f64| (x * 1_000_000.0) as u64;
+        let mut b = AppBuilder::new("lor-fig4");
+        let d0 = b.source("input", SourceFormat::DistributedFs, 70_000, mb(76.351), 8);
+        let d1 = b.narrow("parsed", NarrowKind::Map, &[d0], 70_000, mb(76.347), ComputeCost::FREE);
+        let d2 = b.narrow("points", NarrowKind::Map, &[d1], 70_000, mb(45.961), ComputeCost::FREE);
+        // Job 0: count on a view of D1.
+        let v0 = b.narrow("check", NarrowKind::Map, &[d1], 1, 8, ComputeCost::FREE);
+        b.job("count", v0);
+        // Job 1 & 2: actions on views of D2.
+        let v1 = b.narrow("stats", NarrowKind::Map, &[d2], 1, 8, ComputeCost::FREE);
+        b.job("count", v1);
+        let v2 = b.narrow("sample", NarrowKind::Sample, &[d2], 10, 80, ComputeCost::FREE);
+        b.job("collect", v2);
+        // D11: the per-iteration feature dataset, child of D2.
+        let d11 = b.narrow("features", NarrowKind::Map, &[d2], 70_000, mb(45.975), ComputeCost::FREE);
+        // Jobs 3-6: iterative gradient jobs via D11.
+        for i in 0..4 {
+            let g = b.wide_with_partitions(
+                format!("gradient[{i}]"),
+                WideKind::TreeAggregate,
+                &[d11],
+                1,
+                1024,
+                1,
+                ComputeCost::FREE,
+            );
+            b.job("treeAggregate", g);
+        }
+        // Job 7: summary over D1 only.
+        let v7 = b.narrow("summary", NarrowKind::Map, &[d1], 1, 8, ComputeCost::FREE);
+        b.job("collect", v7);
+        let app = b.build().unwrap();
+        // Measured transformation times from the paper's tables, in ms.
+        let mut et = vec![0.0; app.dataset_count()];
+        et[d0.index()] = 2700.0;
+        et[d1.index()] = 10.0;
+        et[d2.index()] = 14.0;
+        et[d11.index()] = 40.0;
+        (app, et)
+    }
+
+    const D0: DatasetId = DatasetId(0);
+    const D1: DatasetId = DatasetId(1);
+    const D2: DatasetId = DatasetId(2);
+    const D11: DatasetId = DatasetId(6);
+
+    #[test]
+    fn figure4_computation_counts() {
+        let (app, _) = lor_like();
+        let la = LineageAnalysis::new(&app);
+        let n = la.computation_counts();
+        assert_eq!(n[D0.index()], 8, "n(D0)");
+        assert_eq!(n[D1.index()], 8, "n(D1)");
+        assert_eq!(n[D2.index()], 6, "n(D2)");
+        assert_eq!(n[D11.index()], 4, "n(D11)");
+    }
+
+    #[test]
+    fn figure4_intermediates() {
+        let (app, _) = lor_like();
+        let la = LineageAnalysis::new(&app);
+        let mut inter = la.intermediates();
+        inter.sort();
+        assert_eq!(inter, vec![D0, D1, D2, D11]);
+    }
+
+    /// §5.1 second table: after caching D2, "#Calls" become D0: 3, D1: 3,
+    /// D11: 4.
+    #[test]
+    fn pulls_after_caching_d2() {
+        let (app, _) = lor_like();
+        let la = LineageAnalysis::new(&app);
+        let cached = BTreeSet::from([D2]);
+        let p = la.pulls(&cached);
+        assert_eq!(p[D0.index()], 3);
+        assert_eq!(p[D1.index()], 3);
+        assert_eq!(p[D11.index()], 4);
+    }
+
+    /// §5.1 third table: after caching D1 (re-evaluation), D2 stays at 6,
+    /// D11 at 4, and D0 drops to a single materialization pull.
+    #[test]
+    fn pulls_after_caching_d1() {
+        let (app, _) = lor_like();
+        let la = LineageAnalysis::new(&app);
+        let cached = BTreeSet::from([D1]);
+        let p = la.pulls(&cached);
+        assert_eq!(p[D0.index()], 1, "D0 only feeds D1's one materialization");
+        assert_eq!(p[D2.index()], 6);
+        assert_eq!(p[D11.index()], 4);
+    }
+
+    /// Benefit chain costs from §5.1: caching D11 saves 2700+10+14+40 per
+    /// recomputation; with D2 cached, only its own 40.
+    #[test]
+    fn chain_costs_match_example() {
+        let (app, et) = lor_like();
+        let la = LineageAnalysis::new(&app);
+        let none = BTreeSet::new();
+        assert!((la.chain_cost(D11, &none, &et) - 2764.0).abs() < 1e-9);
+        let with_d2 = BTreeSet::from([D2]);
+        assert!((la.chain_cost(D11, &with_d2, &et) - 40.0).abs() < 1e-9);
+        let with_d1 = BTreeSet::from([D1]);
+        assert!((la.chain_cost(D2, &with_d1, &et) - 14.0).abs() < 1e-9);
+        assert!((la.chain_cost(D11, &with_d1, &et) - 54.0).abs() < 1e-9);
+    }
+
+    /// §5.1: D2 may be unpersisted before caching D11 (all remaining uses of
+    /// D2 flow through D11), but D1 may not (the final job uses D1 via a DAG
+    /// that avoids D11).
+    #[test]
+    fn unpersist_conditions_match_paper() {
+        let (app, _) = lor_like();
+        let la = LineageAnalysis::new(&app);
+        assert!(la.all_remaining_uses_pass_through(D2, D11));
+        assert!(!la.all_remaining_uses_pass_through(D1, D11));
+        // And D1's uses do all pass through... nothing: D1 has non-D2 uses.
+        assert!(!la.all_remaining_uses_pass_through(D1, D2));
+    }
+
+    #[test]
+    fn descendant_and_single_child_relations() {
+        let (app, _) = lor_like();
+        let la = LineageAnalysis::new(&app);
+        assert!(la.is_descendant(D11, D0));
+        assert!(la.is_descendant(D2, D1));
+        assert!(!la.is_descendant(D1, D2));
+        assert!(!la.is_descendant(D1, D1));
+        // D1 is D0's only child.
+        let with_d0 = BTreeSet::from([D0]);
+        assert!(la.is_single_child_of_any(D1, &with_d0));
+        // D2 is not D1's only child (the job-0 check view also hangs off D1).
+        let with_d1 = BTreeSet::from([D1]);
+        assert!(!la.is_single_child_of_any(D2, &with_d1));
+    }
+
+    #[test]
+    fn first_job_indices() {
+        let (app, _) = lor_like();
+        let la = LineageAnalysis::new(&app);
+        assert_eq!(la.first_job_of(D0), Some(JobId(0)));
+        assert_eq!(la.first_job_of(D2), Some(JobId(1)));
+        assert_eq!(la.first_job_of(D11), Some(JobId(3)));
+    }
+
+    /// A diamond: shared ancestor is counted with path multiplicity, like
+    /// Spark's recursive, memo-free partition computation.
+    #[test]
+    fn diamond_counts_with_multiplicity() {
+        let mut b = AppBuilder::new("diamond");
+        let s = b.source("s", SourceFormat::Generated, 10, 10, 1);
+        let l = b.narrow("l", NarrowKind::Map, &[s], 10, 10, ComputeCost::FREE);
+        let r = b.narrow("r", NarrowKind::Filter, &[s], 5, 5, ComputeCost::FREE);
+        let j = b.narrow("j", NarrowKind::Zip, &[l, r], 5, 5, ComputeCost::FREE);
+        b.job("count", j);
+        let app = b.build().unwrap();
+        let la = LineageAnalysis::new(&app);
+        let n = la.computation_counts();
+        assert_eq!(n[s.index()], 2, "source feeds both branches");
+        assert_eq!(n[l.index()], 1);
+        assert_eq!(n[j.index()], 1);
+        // Chain cost counts the shared source twice.
+        let mut et = vec![0.0; app.dataset_count()];
+        et[s.index()] = 5.0;
+        et[l.index()] = 1.0;
+        et[r.index()] = 1.0;
+        et[j.index()] = 1.0;
+        let cost = la.chain_cost(j, &BTreeSet::new(), &et);
+        assert!((cost - (1.0 + 1.0 + 1.0 + 5.0 + 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_outside_all_jobs_has_zero_count() {
+        let mut b = AppBuilder::new("dead");
+        let s = b.source("s", SourceFormat::Generated, 1, 1, 1);
+        let live = b.narrow("live", NarrowKind::Map, &[s], 1, 1, ComputeCost::FREE);
+        let _dead = b.narrow("dead", NarrowKind::Map, &[s], 1, 1, ComputeCost::FREE);
+        b.job("count", live);
+        let app = b.build().unwrap();
+        let la = LineageAnalysis::new(&app);
+        assert_eq!(la.computation_counts()[2], 0);
+        assert_eq!(la.first_job_of(DatasetId(2)), None);
+    }
+}

@@ -1,0 +1,161 @@
+//! Datasets (Spark RDDs) and their ground-truth annotations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ops::OpKind;
+use crate::{Bytes, Seconds};
+
+/// Identifier of a dataset within an application. Ids are dense indices into
+/// [`crate::Application::datasets`], and a dataset's parents always carry
+/// strictly smaller ids.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DatasetId(pub u32);
+
+impl DatasetId {
+    /// The id as a usize index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Ground-truth cost of computing one partition of a dataset from its
+/// parents, used by the simulator. All coefficients are per *task*
+/// (per-partition): the simulator multiplies `per_record` by the partition's
+/// record count and `per_input_byte` by the partition's input bytes.
+///
+/// These are the quantities Juggler never gets to see directly — it observes
+/// them only through the instrumentation of §4 and reconstructs
+/// per-transformation times with the §3.3 model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeCost {
+    /// Fixed per-task setup time, seconds.
+    pub fixed_s: Seconds,
+    /// Seconds per output record processed.
+    pub per_record_s: Seconds,
+    /// Seconds per input byte consumed (scan/deserialization cost).
+    pub per_input_byte_s: Seconds,
+}
+
+impl ComputeCost {
+    /// A zero-cost annotation (useful for pass-through profiling operators).
+    pub const FREE: ComputeCost = ComputeCost {
+        fixed_s: 0.0,
+        per_record_s: 0.0,
+        per_input_byte_s: 0.0,
+    };
+
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(fixed_s: Seconds, per_record_s: Seconds, per_input_byte_s: Seconds) -> Self {
+        ComputeCost {
+            fixed_s,
+            per_record_s,
+            per_input_byte_s,
+        }
+    }
+
+    /// Time to compute one partition holding `records` output records from
+    /// `input_bytes` of parent data.
+    #[must_use]
+    pub fn task_seconds(&self, records: f64, input_bytes: f64) -> Seconds {
+        self.fixed_s + self.per_record_s * records + self.per_input_byte_s * input_bytes
+    }
+
+    /// Whether every coefficient is finite and non-negative.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        [self.fixed_s, self.per_record_s, self.per_input_byte_s]
+            .iter()
+            .all(|c| c.is_finite() && *c >= 0.0)
+    }
+}
+
+/// A dataset node in the application's lineage graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dense identifier; equals the dataset's index in the application.
+    pub id: DatasetId,
+    /// Human-readable name (`"points"`, `"gradient[3]"`, …).
+    pub name: String,
+    /// Operator producing this dataset.
+    pub op: OpKind,
+    /// Producing operator's inputs; empty iff `op` is a source.
+    pub parents: Vec<DatasetId>,
+    /// Total record count across partitions (ground truth).
+    pub records: u64,
+    /// Total size in bytes across partitions (ground truth; what Spark would
+    /// report as the in-memory size when cached).
+    pub bytes: Bytes,
+    /// Number of partitions, i.e. tasks per computing stage.
+    pub partitions: u32,
+    /// Ground-truth compute cost of the producing operator.
+    pub compute: ComputeCost,
+}
+
+impl Dataset {
+    /// Average partition size in bytes.
+    #[must_use]
+    pub fn partition_bytes(&self) -> f64 {
+        self.bytes as f64 / f64::from(self.partitions.max(1))
+    }
+
+    /// Average records per partition.
+    #[must_use]
+    pub fn partition_records(&self) -> f64 {
+        self.records as f64 / f64::from(self.partitions.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{NarrowKind, OpKind};
+
+    #[test]
+    fn compute_cost_task_seconds() {
+        let c = ComputeCost::new(0.5, 1e-6, 1e-9);
+        let t = c.task_seconds(1_000_000.0, 1_000_000_000.0);
+        assert!((t - (0.5 + 1.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_cost_validity() {
+        assert!(ComputeCost::FREE.is_valid());
+        assert!(!ComputeCost::new(-1.0, 0.0, 0.0).is_valid());
+        assert!(!ComputeCost::new(f64::NAN, 0.0, 0.0).is_valid());
+        assert!(!ComputeCost::new(0.0, f64::INFINITY, 0.0).is_valid());
+    }
+
+    #[test]
+    fn partition_means_guard_zero_partitions() {
+        let d = Dataset {
+            id: DatasetId(0),
+            name: "x".into(),
+            op: OpKind::Narrow(NarrowKind::Map),
+            parents: vec![],
+            records: 10,
+            bytes: 100,
+            partitions: 0,
+            compute: ComputeCost::FREE,
+        };
+        assert_eq!(d.partition_bytes(), 100.0);
+        assert_eq!(d.partition_records(), 10.0);
+    }
+
+    #[test]
+    fn dataset_id_display_and_index() {
+        assert_eq!(DatasetId(11).to_string(), "D11");
+        assert_eq!(DatasetId(11).index(), 11);
+    }
+}

@@ -1,0 +1,122 @@
+//! Graphviz DOT export of application plans — the debugging view of the
+//! merged DAG (the paper's Figure 4 style), with computation counts,
+//! sizes and schedule annotations.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::analysis::LineageAnalysis;
+use crate::app::Application;
+use crate::schedule::Schedule;
+
+/// Renders the application's merged DAG as Graphviz DOT. Datasets cached
+/// by `highlight` are drawn filled; intermediates (n > 1) get their
+/// computation count in the label; job targets are boxed.
+#[must_use]
+pub fn to_dot(app: &Application, highlight: &Schedule) -> String {
+    let la = LineageAnalysis::new(app);
+    let counts = la.computation_counts();
+    let cached: BTreeSet<_> = highlight.persisted().into_iter().collect();
+    let targets: BTreeSet<_> = app.jobs().iter().map(|j| j.target).collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", app.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\", fontsize=10];");
+    for d in app.datasets() {
+        let mut attrs: Vec<String> = Vec::new();
+        let n = counts[d.id.index()];
+        let label = if n > 1 {
+            format!("{} {}\\nn={} | {:.1} MB", d.id, d.name, n, d.bytes as f64 / 1e6)
+        } else {
+            format!("{} {}", d.id, d.name)
+        };
+        attrs.push(format!("label=\"{label}\""));
+        if targets.contains(&d.id) {
+            attrs.push("shape=box".to_owned());
+        } else if d.op.is_wide() {
+            attrs.push("shape=hexagon".to_owned());
+        } else {
+            attrs.push("shape=ellipse".to_owned());
+        }
+        if cached.contains(&d.id) {
+            attrs.push("style=filled".to_owned());
+            attrs.push("fillcolor=lightblue".to_owned());
+        } else if n > 1 {
+            attrs.push("style=filled".to_owned());
+            attrs.push("fillcolor=lightyellow".to_owned());
+        }
+        let _ = writeln!(out, "  d{} [{}];", d.id.0, attrs.join(", "));
+    }
+    for d in app.datasets() {
+        for p in &d.parents {
+            let _ = writeln!(out, "  d{} -> d{} [label=\"{}\"];", p.0, d.id.0, d.op.mnemonic());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AppBuilder;
+    use crate::dataset::ComputeCost;
+    use crate::ops::{NarrowKind, SourceFormat, WideKind};
+    use crate::schedule::Schedule;
+
+    fn sample() -> Application {
+        let mut b = AppBuilder::new("dotdemo");
+        let s = b.source("in", SourceFormat::DistributedFs, 10, 1_000_000, 2);
+        let m = b.narrow("parsed", NarrowKind::Map, &[s], 10, 900_000, ComputeCost::FREE);
+        let g = b.wide_with_partitions("agg", WideKind::TreeAggregate, &[m], 1, 64, 1, ComputeCost::FREE);
+        b.job("collect", g);
+        b.job("collect2", g);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let app = sample();
+        let dot = to_dot(&app, &Schedule::persist_all([crate::DatasetId(1)]));
+        assert!(dot.starts_with("digraph \"dotdemo\""));
+        for d in app.datasets() {
+            assert!(dot.contains(&format!("d{} [", d.id.0)), "missing node {}", d.id);
+        }
+        assert!(dot.contains("d0 -> d1"));
+        assert!(dot.contains("d1 -> d2"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn cached_nodes_are_highlighted() {
+        let app = sample();
+        let dot = to_dot(&app, &Schedule::persist_all([crate::DatasetId(1)]));
+        let line = dot.lines().find(|l| l.contains("d1 [")).unwrap();
+        assert!(line.contains("lightblue"), "{line}");
+    }
+
+    #[test]
+    fn intermediates_show_counts_and_targets_are_boxed() {
+        let app = sample();
+        let dot = to_dot(&app, &Schedule::empty());
+        // `parsed` is computed twice (two jobs).
+        let parsed = dot.lines().find(|l| l.contains("d1 [")).unwrap();
+        assert!(parsed.contains("n=2"), "{parsed}");
+        let target = dot.lines().find(|l| l.contains("d2 [")).unwrap();
+        assert!(target.contains("shape=box"), "{target}");
+    }
+
+    #[test]
+    fn wide_ops_render_as_hexagons_when_not_targets() {
+        let mut b = AppBuilder::new("hex");
+        let s = b.source("in", SourceFormat::DistributedFs, 10, 1_000, 2);
+        let g = b.wide("agg", WideKind::ReduceByKey, &[s], 5, 500, ComputeCost::FREE);
+        let v = b.narrow("view", NarrowKind::Map, &[g], 1, 8, ComputeCost::FREE);
+        b.job("collect", v);
+        let app = b.build().unwrap();
+        let dot = to_dot(&app, &Schedule::empty());
+        let line = dot.lines().find(|l| l.contains("d1 [")).unwrap();
+        assert!(line.contains("hexagon"), "{line}");
+    }
+}

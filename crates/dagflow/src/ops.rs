@@ -1,0 +1,172 @@
+//! Operator kinds: sources, narrow transformations, wide (shuffle)
+//! transformations.
+//!
+//! Following Spark's execution model (paper §2.1), *narrow* transformations
+//! are pipelined into a stage, while *wide* transformations split the job
+//! into stages at shuffle boundaries. A wide transformation is modelled by
+//! Juggler as a pair of two consecutive narrow transformations (§3.3,
+//! Eq. 3): Shuffle Write in the parent stage and Shuffle Read in the child
+//! stage.
+
+use serde::{Deserialize, Serialize};
+
+/// How a source dataset is read from stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SourceFormat {
+    /// Distributed file system blocks (HDFS-like); read at disk bandwidth.
+    DistributedFs,
+    /// Local files on each machine.
+    LocalFs,
+    /// Synthetic in-memory generation (RNG-backed benchmark inputs).
+    Generated,
+}
+
+/// Narrow transformation kinds — one output partition depends on a bounded
+/// number of parent partitions, so these pipeline within a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NarrowKind {
+    /// `map`, element-wise.
+    Map,
+    /// `filter`, element-wise with selectivity.
+    Filter,
+    /// `flatMap`, element-wise fan-out.
+    FlatMap,
+    /// `mapPartitions`, partition-at-a-time.
+    MapPartitions,
+    /// `zip`-style pairing of co-partitioned datasets.
+    Zip,
+    /// `union` of co-partitioned datasets.
+    Union,
+    /// `sample` without shuffling.
+    Sample,
+    /// The pass-through profiling operator injected by Spark_i (§4).
+    /// Produces a replica of its parent while recording timestamps and
+    /// partition sizes.
+    Profile,
+}
+
+/// Wide transformation kinds — shuffle boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(clippy::enum_variant_names)]
+pub enum WideKind {
+    /// `reduceByKey`-style combine + shuffle.
+    ReduceByKey,
+    /// `groupByKey` — full shuffle without map-side combining.
+    GroupByKey,
+    /// `treeAggregate` — the MLlib aggregation used by iterative gradient
+    /// computations.
+    TreeAggregate,
+    /// `sortByKey` — range-partitioned shuffle.
+    SortByKey,
+    /// `repartition`/`coalesce` with shuffling.
+    Repartition,
+    /// Two-input shuffled join.
+    Join,
+}
+
+impl WideKind {
+    /// Whether the transformation combines map-side (Spark's map-side
+    /// aggregation): only partial aggregates cross the network, and the
+    /// scan/combine work is charged to the map stage's Shuffle Write half.
+    /// Non-combining shuffles move the full parent data.
+    #[must_use]
+    pub fn combines_map_side(&self) -> bool {
+        matches!(self, WideKind::ReduceByKey | WideKind::TreeAggregate)
+    }
+}
+
+/// The operator that produces a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Reads from stable storage; has no parents.
+    Source(SourceFormat),
+    /// Pipelined, stage-local transformation.
+    Narrow(NarrowKind),
+    /// Shuffle-inducing transformation; starts a new stage.
+    Wide(WideKind),
+}
+
+impl OpKind {
+    /// Whether the operator induces a shuffle boundary.
+    #[must_use]
+    pub fn is_wide(&self) -> bool {
+        matches!(self, OpKind::Wide(_))
+    }
+
+    /// Whether the operator reads from stable storage.
+    #[must_use]
+    pub fn is_source(&self) -> bool {
+        matches!(self, OpKind::Source(_))
+    }
+
+    /// Whether the operator is the Spark_i profiling pass-through.
+    #[must_use]
+    pub fn is_profile(&self) -> bool {
+        matches!(self, OpKind::Narrow(NarrowKind::Profile))
+    }
+
+    /// Short lowercase operator name, for plan dumps and test assertions.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            OpKind::Source(SourceFormat::DistributedFs) => "read.dfs",
+            OpKind::Source(SourceFormat::LocalFs) => "read.local",
+            OpKind::Source(SourceFormat::Generated) => "read.gen",
+            OpKind::Narrow(NarrowKind::Map) => "map",
+            OpKind::Narrow(NarrowKind::Filter) => "filter",
+            OpKind::Narrow(NarrowKind::FlatMap) => "flatMap",
+            OpKind::Narrow(NarrowKind::MapPartitions) => "mapPartitions",
+            OpKind::Narrow(NarrowKind::Zip) => "zip",
+            OpKind::Narrow(NarrowKind::Union) => "union",
+            OpKind::Narrow(NarrowKind::Sample) => "sample",
+            OpKind::Narrow(NarrowKind::Profile) => "profile",
+            OpKind::Wide(WideKind::ReduceByKey) => "reduceByKey",
+            OpKind::Wide(WideKind::GroupByKey) => "groupByKey",
+            OpKind::Wide(WideKind::TreeAggregate) => "treeAggregate",
+            OpKind::Wide(WideKind::SortByKey) => "sortByKey",
+            OpKind::Wide(WideKind::Repartition) => "repartition",
+            OpKind::Wide(WideKind::Join) => "join",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_predicates() {
+        assert!(OpKind::Source(SourceFormat::DistributedFs).is_source());
+        assert!(!OpKind::Source(SourceFormat::DistributedFs).is_wide());
+        assert!(OpKind::Wide(WideKind::TreeAggregate).is_wide());
+        assert!(OpKind::Narrow(NarrowKind::Profile).is_profile());
+        assert!(!OpKind::Narrow(NarrowKind::Map).is_profile());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let all = [
+            OpKind::Source(SourceFormat::DistributedFs),
+            OpKind::Source(SourceFormat::LocalFs),
+            OpKind::Source(SourceFormat::Generated),
+            OpKind::Narrow(NarrowKind::Map),
+            OpKind::Narrow(NarrowKind::Filter),
+            OpKind::Narrow(NarrowKind::FlatMap),
+            OpKind::Narrow(NarrowKind::MapPartitions),
+            OpKind::Narrow(NarrowKind::Zip),
+            OpKind::Narrow(NarrowKind::Union),
+            OpKind::Narrow(NarrowKind::Sample),
+            OpKind::Narrow(NarrowKind::Profile),
+            OpKind::Wide(WideKind::ReduceByKey),
+            OpKind::Wide(WideKind::GroupByKey),
+            OpKind::Wide(WideKind::TreeAggregate),
+            OpKind::Wide(WideKind::SortByKey),
+            OpKind::Wide(WideKind::Repartition),
+            OpKind::Wide(WideKind::Join),
+        ];
+        let mut names: Vec<&str> = all.iter().map(OpKind::mnemonic).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

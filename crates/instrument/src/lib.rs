@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # instrument — the Spark_i reproduction (paper §4)
+//!
+//! Juggler needs low-level runtime data Spark does not expose: the start
+//! and end timestamps of *each transformation inside a task* and the size
+//! of each produced partition. The paper modifies Spark so that a
+//! pass-through `mapPartitionsWithIndex` profiling transformation is
+//! injected between every consecutive pair of transformations; each
+//! profiling operator records timestamps and partition sizes into
+//! `TaskContext`, and the data lands in a central profiling database when
+//! tasks finish.
+//!
+//! This crate reproduces that pipeline against the simulator:
+//!
+//! * [`inject`] rewrites an application plan, giving every dataset a
+//!   profiling shadow and rewiring children (and job targets, and persist
+//!   directives) to the shadows — exactly the dependency surgery of the
+//!   paper's Figure 6;
+//! * [`ProfilingDatabase`] collects the per-task records of an
+//!   instrumented run;
+//! * [`derive_metrics`] reconstructs per-transformation execution times
+//!   with the §3.3 model (the three ENT cases, wave-weighted averaging of
+//!   Eq. 2, and the Shuffle-Write + Shuffle-Read split of Eq. 3) and
+//!   per-dataset sizes — using *only* timestamps a profiling operator
+//!   could observe, never the simulator's ground truth.
+
+pub mod db;
+pub mod inject;
+pub mod metrics;
+pub mod runner;
+
+pub use db::{ProfilingDatabase, StageRecord, TaskRecord, TransformationObservation};
+pub use inject::{inject, Instrumented, ProfilingOverhead};
+pub use metrics::{derive_metrics, DatasetMetrics};
+pub use runner::{profile_run, ProfileRunOutput};

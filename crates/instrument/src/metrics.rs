@@ -1,0 +1,131 @@
+//! Reconstructing dataset metrics from profiling observations — the
+//! operator-level execution-time model of §3.3 plus partition-size
+//! aggregation (§3.2).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dagflow::{Application, DatasetId, JobId, StageId};
+
+use crate::db::ProfilingDatabase;
+
+/// Metrics of one (original) dataset, as Juggler's hotspot detection
+/// consumes them. The computation count `n` is *not* here — it comes from
+/// the merged-DAG analysis (`dagflow::LineageAnalysis`), not from
+/// measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetMetrics {
+    /// The dataset (original plan id).
+    pub dataset: DatasetId,
+    /// Measured size: sum of observed partition sizes (§3.2).
+    pub size_bytes: u64,
+    /// Measured computation time `ET_T` (§3.3): wave-weighted mean task
+    /// ENT, with wide transformations as Shuffle Write + Shuffle Read
+    /// (Eq. 3).
+    pub et_seconds: f64,
+    /// Number of (non-cache-read) observations supporting `et_seconds`.
+    pub observations: u32,
+}
+
+/// Derives per-dataset metrics from a profiling database.
+///
+/// `total_cores` is the number of parallel task slots of the cluster the
+/// instrumented sample run used (`machines × cores`) — the denominator of
+/// the `N_waves = ⌈tasks / cores⌉` term of Eq. 2.
+#[must_use]
+pub fn derive_metrics(
+    db: &ProfilingDatabase,
+    app: &Application,
+    total_cores: u32,
+) -> Vec<DatasetMetrics> {
+    let stage_tasks: HashMap<(JobId, StageId), u32> = db
+        .stages()
+        .into_iter()
+        .map(|s| ((s.job, s.stage), s.n_tasks))
+        .collect();
+    let waves = |job: JobId, stage: StageId| -> f64 {
+        let n = stage_tasks.get(&(job, stage)).copied().unwrap_or(1).max(1);
+        f64::from(n.div_ceil(total_cores.max(1)))
+    };
+
+    // Group ENT intervals per (dataset, half, job, stage).
+    #[derive(Default)]
+    struct Acc {
+        total: f64,
+        count: u32,
+    }
+    let mut groups: HashMap<(DatasetId, bool, JobId, StageId), Acc> = HashMap::new();
+    // Partition sizes per dataset: partition index → bytes (last write wins).
+    let mut sizes: HashMap<DatasetId, HashMap<u32, u64>> = HashMap::new();
+
+    for obs in db.observations() {
+        if !obs.is_shuffle_write {
+            sizes
+                .entry(obs.dataset)
+                .or_default()
+                .insert(obs.task, obs.partition_bytes);
+        }
+        if obs.is_cache_read {
+            continue;
+        }
+        let acc = groups
+            .entry((obs.dataset, obs.is_shuffle_write, obs.job, obs.stage))
+            .or_default();
+        acc.total += (obs.finish - obs.start).max(0.0);
+        acc.count += 1;
+    }
+
+    // Per dataset and half: average over (job, stage) groups of
+    // (mean ENT × waves) — Eq. 2; then sum halves — Eq. 3.
+    let mut half_et: HashMap<(DatasetId, bool), (f64, u32)> = HashMap::new();
+    for ((dataset, is_write, job, stage), acc) in &groups {
+        let stage_et = acc.total / f64::from(acc.count) * waves(*job, *stage);
+        let slot = half_et.entry((*dataset, *is_write)).or_insert((0.0, 0));
+        slot.0 += stage_et;
+        slot.1 += 1;
+    }
+
+    let mut out = Vec::new();
+    for d in app.datasets() {
+        let read = half_et.get(&(d.id, false));
+        let write = half_et.get(&(d.id, true));
+        if read.is_none() && write.is_none() && !sizes.contains_key(&d.id) {
+            continue; // never touched in the sample run
+        }
+        let mut et = 0.0;
+        let mut obs_count = 0;
+        if let Some(&(total, n)) = read {
+            et += total / f64::from(n.max(1));
+            obs_count += n;
+        }
+        if let Some(&(total, n)) = write {
+            et += total / f64::from(n.max(1));
+            obs_count += n;
+        }
+        let size_bytes = sizes
+            .get(&d.id)
+            .map(|parts| parts.values().sum())
+            .unwrap_or(0);
+        out.push(DatasetMetrics {
+            dataset: d.id,
+            size_bytes,
+            et_seconds: et,
+            observations: obs_count,
+        });
+    }
+    out
+}
+
+/// Convenience: metrics as a dense lookup (`None` where unobserved).
+#[must_use]
+pub fn metrics_by_dataset(
+    metrics: &[DatasetMetrics],
+    dataset_count: usize,
+) -> Vec<Option<DatasetMetrics>> {
+    let mut v = vec![None; dataset_count];
+    for m in metrics {
+        v[m.dataset.index()] = Some(*m);
+    }
+    v
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the Spark_i plan rewriting over random DAGs:
+//! injection must preserve every structural property the analysis
+//! depends on.
+
+use proptest::prelude::*;
+
+use dagflow::{
+    AppBuilder, Application, ComputeCost, DatasetId, JobId, LineageAnalysis, NarrowKind,
+    SourceFormat, StagePlan, WideKind,
+};
+use instrument::{inject, ProfilingOverhead};
+
+#[derive(Debug, Clone)]
+struct Recipe {
+    nodes: Vec<(bool, Vec<usize>)>,
+    jobs: Vec<usize>,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    let node = (any::<bool>(), prop::collection::vec(0usize..1000, 1..3));
+    (
+        prop::collection::vec(node, 1..25),
+        prop::collection::vec(0usize..1000, 1..8),
+    )
+        .prop_map(|(nodes, jobs)| Recipe { nodes, jobs })
+}
+
+fn build(r: &Recipe) -> Application {
+    let mut b = AppBuilder::new("iprop");
+    let mut ids = vec![b.source("src", SourceFormat::DistributedFs, 100, 1 << 20, 4)];
+    for (i, (wide, parents)) in r.nodes.iter().enumerate() {
+        let mut ps: Vec<DatasetId> = parents.iter().map(|&p| ids[p % ids.len()]).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        let id = if *wide {
+            b.wide(format!("w{i}"), WideKind::ReduceByKey, &ps, 50, 1 << 16, ComputeCost::FREE)
+        } else {
+            b.narrow(format!("n{i}"), NarrowKind::Map, &ps, 50, 1 << 16, ComputeCost::FREE)
+        };
+        ids.push(id);
+    }
+    for &j in &r.jobs {
+        b.job("count", ids[j % ids.len()]);
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The instrumented plan is valid and exactly doubles the datasets.
+    #[test]
+    fn injection_doubles_and_validates(r in recipe()) {
+        let app = build(&r);
+        let instr = inject(&app, ProfilingOverhead::default());
+        prop_assert!(instr.app.validate().is_ok());
+        prop_assert_eq!(instr.app.dataset_count(), app.dataset_count() * 2);
+        prop_assert_eq!(instr.app.jobs().len(), app.jobs().len());
+    }
+
+    /// Computation counts of every copy equal the original's: the
+    /// profiling pass-throughs change nothing about lineage reuse.
+    #[test]
+    fn injection_preserves_computation_counts(r in recipe()) {
+        let app = build(&r);
+        let instr = inject(&app, ProfilingOverhead::default());
+        let la = LineageAnalysis::new(&app);
+        let la_i = LineageAnalysis::new(&instr.app);
+        for d in app.datasets() {
+            let copy = instr.app.dataset(instr.shadow[d.id.index()]).parents[0];
+            prop_assert_eq!(
+                la.computation_counts()[d.id.index()],
+                la_i.computation_counts()[copy.index()],
+                "count mismatch for {}", d.id
+            );
+        }
+    }
+
+    /// Narrow profiling operators never change stage structure: every job
+    /// has the same number of stages before and after injection.
+    #[test]
+    fn injection_preserves_stage_counts(r in recipe()) {
+        let app = build(&r);
+        let instr = inject(&app, ProfilingOverhead::default());
+        for ji in 0..app.jobs().len() {
+            let orig = StagePlan::build(&app, JobId(ji as u32));
+            let inst = StagePlan::build(&instr.app, JobId(ji as u32));
+            prop_assert_eq!(orig.stages.len(), inst.stages.len(), "job {}", ji);
+        }
+    }
+
+    /// The id mappings are mutually consistent: shadow-of(original) points
+    /// back via profiles, and the shadow's parent is the original's copy.
+    #[test]
+    fn id_mappings_roundtrip(r in recipe()) {
+        let app = build(&r);
+        let instr = inject(&app, ProfilingOverhead::default());
+        for d in app.datasets() {
+            let sh = instr.shadow[d.id.index()];
+            prop_assert_eq!(instr.profiles[sh.index()], Some(d.id));
+            let copy = instr.app.dataset(sh).parents[0];
+            prop_assert_eq!(instr.copy_of[copy.index()], Some(d.id));
+            prop_assert!(instr.app.dataset(sh).op.is_profile());
+            prop_assert_eq!(instr.app.dataset(sh).bytes, d.bytes, "shadow is a replica");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Experiment design: full-factorial grids (Juggler's parameter and
+//! execution-time calibration, §5.2/§5.4) and greedy D-optimal selection
+//! (Ernest's *optimal experiment design* [Pukelsheim 2006], §7.3).
+
+use crate::linalg::Matrix;
+
+/// All combinations of the given per-parameter level arrays, in
+/// lexicographic order — the `n^m` full-factorial design of §5.2.
+///
+/// With no parameters the result is a single empty combination.
+#[must_use]
+pub fn full_factorial(levels: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut combos: Vec<Vec<f64>> = vec![Vec::new()];
+    for axis in levels {
+        let mut next = Vec::with_capacity(combos.len() * axis.len());
+        for combo in &combos {
+            for &v in axis {
+                let mut c = combo.clone();
+                c.push(v);
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+/// Greedy D-optimal design: from `candidates` (feature rows), pick `k` rows
+/// maximizing `log det(XᵀX + ridge·I)` one row at a time. Returns the chosen
+/// candidate indices in selection order.
+///
+/// This approximates the convex experiment-design program Ernest solves; the
+/// greedy variant is standard, deterministic and more than adequate for the
+/// dozen-point candidate grids used in the evaluation.
+///
+/// # Panics
+/// Panics if `k` exceeds the number of candidates or candidates is empty.
+#[must_use]
+pub fn d_optimal_greedy(candidates: &[Vec<f64>], k: usize) -> Vec<usize> {
+    assert!(!candidates.is_empty(), "no candidate experiments");
+    assert!(k <= candidates.len(), "cannot select more rows than candidates");
+    let ridge = 1e-6;
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, cand) in candidates.iter().enumerate() {
+            if chosen.contains(&ci) {
+                continue;
+            }
+            rows.push(cand.clone());
+            let obj = Matrix::from_rows(&rows).logdet_gram(ridge);
+            rows.pop();
+            let better = match best {
+                None => true,
+                Some((_, b)) => obj > b,
+            };
+            if better {
+                best = Some((ci, obj));
+            }
+        }
+        let (ci, _) = best.expect("k <= candidates guarantees a pick");
+        chosen.push(ci);
+        rows.push(candidates[ci].clone());
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_factorial_three_by_three() {
+        let grid = full_factorial(&[
+            vec![1.0, 2.0, 3.0],
+            vec![10.0, 20.0, 30.0],
+        ]);
+        assert_eq!(grid.len(), 9);
+        assert_eq!(grid[0], vec![1.0, 10.0]);
+        assert_eq!(grid[8], vec![3.0, 30.0]);
+        // All combinations are distinct.
+        let mut sorted = grid.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup();
+        assert_eq!(sorted.len(), 9);
+    }
+
+    #[test]
+    fn full_factorial_empty_axes() {
+        assert_eq!(full_factorial(&[]), vec![Vec::<f64>::new()]);
+    }
+
+    #[test]
+    fn full_factorial_single_axis() {
+        let grid = full_factorial(&[vec![5.0, 6.0]]);
+        assert_eq!(grid, vec![vec![5.0], vec![6.0]]);
+    }
+
+    #[test]
+    fn d_optimal_prefers_spanning_points() {
+        // Candidates on a line except one off-line point; with k=2 the
+        // selector must include the off-line point to span the space.
+        let candidates = vec![
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+            vec![1.0, -1.0],
+        ];
+        let picks = d_optimal_greedy(&candidates, 2);
+        assert!(picks.contains(&3), "picks {picks:?} must span both dimensions");
+    }
+
+    #[test]
+    fn d_optimal_spreads_over_scale() {
+        // Ernest-style candidates: rows [1, s/m, log m, m]; ensure the
+        // selection spans small and large machine counts.
+        let mut candidates = Vec::new();
+        for m in 1..=12u32 {
+            let mf = f64::from(m);
+            candidates.push(vec![1.0, 0.1 / mf, mf.ln(), mf]);
+        }
+        let picks = d_optimal_greedy(&candidates, 7);
+        let min = picks.iter().min().unwrap();
+        let max = picks.iter().max().unwrap();
+        assert!(*min <= 1, "should include a small cluster: {picks:?}");
+        assert!(*max >= 10, "should include a large cluster: {picks:?}");
+        assert_eq!(picks.len(), 7);
+        let mut uniq = picks.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 7, "no repeats");
+    }
+
+    #[test]
+    #[should_panic(expected = "more rows than candidates")]
+    fn d_optimal_rejects_oversized_k() {
+        let _ = d_optimal_greedy(&[vec![1.0]], 2);
+    }
+}

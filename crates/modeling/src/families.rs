@@ -1,0 +1,235 @@
+//! Model families: linear combinations of monomial terms over the
+//! application parameters `(e, f, i)` — examples, features, iterations.
+//!
+//! The paper's size-model families (§5.2):
+//!
+//! ```text
+//! D_size = θ0·e·f
+//! D_size = θ0·e + θ1·e·f
+//! D_size = θ0·f + θ1·e·f
+//! D_size = θ0 + θ1·e + θ2·e·f
+//! ```
+//!
+//! and execution-time families (§5.4):
+//!
+//! ```text
+//! T = θ0·e·f
+//! T = θ0 + θ1·e·f
+//! T = θ0·f + θ1·e·f
+//! T = θ0·f² + θ1·e·f
+//! ```
+//!
+//! Juggler "evaluates other models" too; [`ModelSpec::size_candidates`] and
+//! [`ModelSpec::time_candidates`] return supersets, and cross-validation
+//! picks the winner.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A monomial `e^a · f^b · i^c` over examples, features and iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Term {
+    /// Exponent of `e` (examples).
+    pub e_pow: u8,
+    /// Exponent of `f` (features).
+    pub f_pow: u8,
+    /// Exponent of `i` (iterations).
+    pub i_pow: u8,
+}
+
+impl Term {
+    /// The constant term `1`.
+    pub const ONE: Term = Term::new(0, 0, 0);
+    /// `e`.
+    pub const E: Term = Term::new(1, 0, 0);
+    /// `f`.
+    pub const F: Term = Term::new(0, 1, 0);
+    /// `e·f`.
+    pub const EF: Term = Term::new(1, 1, 0);
+    /// `f²`.
+    pub const F2: Term = Term::new(0, 2, 0);
+    /// `e²`.
+    pub const E2: Term = Term::new(2, 0, 0);
+    /// `i` (iterations — §6.1 extension).
+    pub const I: Term = Term::new(0, 0, 1);
+    /// `e·f·i` (per-iteration scan work).
+    pub const EFI: Term = Term::new(1, 1, 1);
+    /// `f·i`.
+    pub const FI: Term = Term::new(0, 1, 1);
+
+    /// Builds a monomial from exponents.
+    #[must_use]
+    pub const fn new(e_pow: u8, f_pow: u8, i_pow: u8) -> Self {
+        Term { e_pow, f_pow, i_pow }
+    }
+
+    /// Evaluates the monomial at a parameter point.
+    #[must_use]
+    pub fn eval(&self, e: f64, f: f64, i: f64) -> f64 {
+        e.powi(i32::from(self.e_pow)) * f.powi(i32::from(self.f_pow)) * i.powi(i32::from(self.i_pow))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Term::ONE {
+            return write!(out, "1");
+        }
+        let mut first = true;
+        for (sym, pow) in [("e", self.e_pow), ("f", self.f_pow), ("i", self.i_pow)] {
+            if pow == 0 {
+                continue;
+            }
+            if !first {
+                write!(out, "·")?;
+            }
+            first = false;
+            if pow == 1 {
+                write!(out, "{sym}")?;
+            } else {
+                write!(out, "{sym}^{pow}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of terms; the fitted model is `Σ θ_k · term_k`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// The monomial basis.
+    pub terms: Vec<Term>,
+}
+
+impl ModelSpec {
+    /// Builds a spec from terms.
+    #[must_use]
+    pub fn new(terms: Vec<Term>) -> Self {
+        ModelSpec { terms }
+    }
+
+    /// Feature row for a parameter point.
+    #[must_use]
+    pub fn features(&self, e: f64, f: f64, i: f64) -> Vec<f64> {
+        self.terms.iter().map(|t| t.eval(e, f, i)).collect()
+    }
+
+    /// The paper's four size-model families (§5.2) plus the extra shapes
+    /// Juggler also evaluates.
+    #[must_use]
+    pub fn size_candidates() -> Vec<ModelSpec> {
+        vec![
+            // The four families every dataset in the paper fits:
+            ModelSpec::new(vec![Term::EF]),
+            ModelSpec::new(vec![Term::E, Term::EF]),
+            ModelSpec::new(vec![Term::F, Term::EF]),
+            ModelSpec::new(vec![Term::ONE, Term::E, Term::EF]),
+            // Additional candidates ("Juggler evaluates other models"):
+            ModelSpec::new(vec![Term::ONE]),
+            ModelSpec::new(vec![Term::E]),
+            ModelSpec::new(vec![Term::F]),
+            ModelSpec::new(vec![Term::ONE, Term::E]),
+            ModelSpec::new(vec![Term::ONE, Term::F]),
+            ModelSpec::new(vec![Term::ONE, Term::E, Term::F, Term::EF]),
+        ]
+    }
+
+    /// The paper's four execution-time families (§5.4) plus extras.
+    #[must_use]
+    pub fn time_candidates() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::new(vec![Term::EF]),
+            ModelSpec::new(vec![Term::ONE, Term::EF]),
+            ModelSpec::new(vec![Term::F, Term::EF]),
+            ModelSpec::new(vec![Term::F2, Term::EF]),
+            // Extras:
+            ModelSpec::new(vec![Term::ONE, Term::E, Term::EF]),
+            ModelSpec::new(vec![Term::ONE, Term::F, Term::EF]),
+            ModelSpec::new(vec![Term::ONE, Term::E, Term::F, Term::EF]),
+        ]
+    }
+
+    /// Time families extended with the number of iterations (§6.1).
+    #[must_use]
+    pub fn time_candidates_with_iterations() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::new(vec![Term::EFI]),
+            ModelSpec::new(vec![Term::ONE, Term::EFI]),
+            ModelSpec::new(vec![Term::I, Term::EFI]),
+            ModelSpec::new(vec![Term::ONE, Term::I, Term::EFI]),
+            ModelSpec::new(vec![Term::FI, Term::EFI]),
+            ModelSpec::new(vec![Term::ONE, Term::EF, Term::EFI]),
+        ]
+    }
+
+    /// Human-readable formula like `θ0·e + θ1·e·f`.
+    #[must_use]
+    pub fn formula(&self) -> String {
+        if self.terms.is_empty() {
+            return "0".to_owned();
+        }
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(k, t)| {
+                if *t == Term::ONE {
+                    format!("θ{k}")
+                } else {
+                    format!("θ{k}·{t}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+impl fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.formula())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_eval() {
+        assert_eq!(Term::ONE.eval(5.0, 7.0, 3.0), 1.0);
+        assert_eq!(Term::EF.eval(5.0, 7.0, 3.0), 35.0);
+        assert_eq!(Term::F2.eval(5.0, 7.0, 3.0), 49.0);
+        assert_eq!(Term::EFI.eval(5.0, 7.0, 3.0), 105.0);
+    }
+
+    #[test]
+    fn term_display() {
+        assert_eq!(Term::ONE.to_string(), "1");
+        assert_eq!(Term::EF.to_string(), "e·f");
+        assert_eq!(Term::F2.to_string(), "f^2");
+        assert_eq!(Term::new(2, 1, 1).to_string(), "e^2·f·i");
+    }
+
+    #[test]
+    fn spec_features_row() {
+        let spec = ModelSpec::new(vec![Term::ONE, Term::E, Term::EF]);
+        assert_eq!(spec.features(10.0, 3.0, 1.0), vec![1.0, 10.0, 30.0]);
+    }
+
+    #[test]
+    fn paper_families_present() {
+        let sizes = ModelSpec::size_candidates();
+        assert!(sizes.contains(&ModelSpec::new(vec![Term::EF])));
+        assert!(sizes.contains(&ModelSpec::new(vec![Term::E, Term::EF])));
+        assert!(sizes.contains(&ModelSpec::new(vec![Term::F, Term::EF])));
+        assert!(sizes.contains(&ModelSpec::new(vec![Term::ONE, Term::E, Term::EF])));
+        let times = ModelSpec::time_candidates();
+        assert!(times.contains(&ModelSpec::new(vec![Term::F2, Term::EF])));
+    }
+
+    #[test]
+    fn formula_rendering() {
+        let spec = ModelSpec::new(vec![Term::ONE, Term::E, Term::EF]);
+        assert_eq!(spec.formula(), "θ0 + θ1·e + θ2·e·f");
+        assert_eq!(ModelSpec::new(vec![]).formula(), "0");
+    }
+}

@@ -1,0 +1,78 @@
+//! Error and accuracy metrics used across the calibration stages and the
+//! evaluation harness.
+
+/// Mean relative absolute error `mean(|pred − actual| / |actual|)` over
+/// paired slices. Pairs with `|actual|` below `1e-12` fall back to absolute
+/// error so a zero ground truth does not blow up the mean.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn mean_relative_error(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len(), "paired slices required");
+    assert!(!pred.is_empty(), "cannot average zero errors");
+    let total: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| {
+            if a.abs() < 1e-12 {
+                (p - a).abs()
+            } else {
+                ((p - a) / a).abs()
+            }
+        })
+        .sum();
+    total / pred.len() as f64
+}
+
+/// The paper's prediction-accuracy measure, as a percentage:
+/// `100 · (1 − |pred − actual| / actual)`, clamped to `[0, 100]`.
+#[must_use]
+pub fn accuracy_pct(pred: f64, actual: f64) -> f64 {
+    if actual.abs() < 1e-12 {
+        return if pred.abs() < 1e-12 { 100.0 } else { 0.0 };
+    }
+    (100.0 * (1.0 - ((pred - actual) / actual).abs())).clamp(0.0, 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_full_accuracy() {
+        assert_eq!(accuracy_pct(10.0, 10.0), 100.0);
+        assert_eq!(mean_relative_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_clamps_at_zero() {
+        assert_eq!(accuracy_pct(30.0, 10.0), 0.0);
+        assert_eq!(accuracy_pct(0.0, 0.0), 100.0);
+        assert_eq!(accuracy_pct(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ten_percent_error_is_ninety_accuracy() {
+        assert!((accuracy_pct(9.0, 10.0) - 90.0).abs() < 1e-12);
+        assert!((accuracy_pct(11.0, 10.0) - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_relative_error_mixes_pairs() {
+        let e = mean_relative_error(&[11.0, 18.0], &[10.0, 20.0]);
+        assert!((e - (0.1 + 0.1) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_actual_falls_back_to_absolute() {
+        let e = mean_relative_error(&[0.5], &[0.0]);
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero errors")]
+    fn empty_input_panics() {
+        let _ = mean_relative_error(&[], &[]);
+    }
+}

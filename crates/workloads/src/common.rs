@@ -1,0 +1,107 @@
+//! Shared parameterization and size/cost helpers for the workload
+//! generators.
+
+use serde::{Deserialize, Serialize};
+
+/// HiBench text inputs cost ~7.45 bytes per (example, feature) cell: this
+/// single constant reproduces every "Input data" entry of the paper's
+/// Table 1 from its (examples, features) pair — 35.8 GB for LIR's
+/// 40k × 120k, 26.1 GB for LOR's 70k × 50k, 229.2 MB for PCA's 6k × 5k,
+/// 29.8 GB for RFC's 100k × 40k and 23.8 GB for SVM's 40k × 80k.
+pub const HIBENCH_BYTES_PER_CELL: f64 = 7.45;
+
+/// User-facing application parameters (the paper's P1 = examples and
+/// P2 = features, plus iterations per §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Number of training examples (P1).
+    pub examples: u64,
+    /// Number of features per example (P2).
+    pub features: u64,
+    /// Iteration count.
+    pub iterations: u32,
+    /// Input partitioning (HDFS-block-derived in HiBench).
+    pub partitions: u32,
+}
+
+impl WorkloadParams {
+    /// Builds parameters with partitions derived from the input size
+    /// (≈ one 128 MB block per partition, clamped to `[8, 1024]`).
+    #[must_use]
+    pub fn auto(examples: u64, features: u64, iterations: u32) -> Self {
+        let bytes = HIBENCH_BYTES_PER_CELL * examples as f64 * features as f64;
+        let partitions = ((bytes / 128.0e6).ceil() as u32).clamp(8, 1024);
+        WorkloadParams {
+            examples,
+            features,
+            iterations,
+            partitions,
+        }
+    }
+
+    /// Examples as f64 (for size laws).
+    #[must_use]
+    pub fn e(&self) -> f64 {
+        self.examples as f64
+    }
+
+    /// Features as f64.
+    #[must_use]
+    pub fn f(&self) -> f64 {
+        self.features as f64
+    }
+
+    /// `e × f` — the dominant size term of the §5.2 model families.
+    #[must_use]
+    pub fn ef(&self) -> f64 {
+        self.e() * self.f()
+    }
+
+    /// Input bytes under the HiBench text law.
+    #[must_use]
+    pub fn input_bytes(&self) -> u64 {
+        (HIBENCH_BYTES_PER_CELL * self.ef()) as u64
+    }
+}
+
+/// Rounds a byte law to u64, guarding against zero-sized datasets.
+#[must_use]
+pub fn bytes(b: f64) -> u64 {
+    b.max(8.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The HiBench size law reproduces Table 1's input sizes within 1 %.
+    #[test]
+    fn table1_input_sizes() {
+        let cases = [
+            (40_000u64, 120_000u64, 35.8e9), // LIR
+            (70_000, 50_000, 26.1e9),        // LOR
+            (6_000, 5_000, 229.2e6),         // PCA
+            (100_000, 40_000, 29.8e9),       // RFC
+            (40_000, 80_000, 23.8e9),        // SVM
+        ];
+        for (e, f, expect) in cases {
+            let p = WorkloadParams::auto(e, f, 1);
+            let err = (p.input_bytes() as f64 - expect).abs() / expect;
+            assert!(err < 0.03, "{e}x{f}: {} vs {expect}", p.input_bytes());
+        }
+    }
+
+    #[test]
+    fn auto_partitions_scale_with_size() {
+        let small = WorkloadParams::auto(6_000, 5_000, 1);
+        assert_eq!(small.partitions, 8, "tiny inputs clamp to 8");
+        let big = WorkloadParams::auto(40_000, 120_000, 1);
+        assert_eq!(big.partitions, (35.76e9_f64 / 128.0e6).ceil() as u32);
+    }
+
+    #[test]
+    fn bytes_guard() {
+        assert_eq!(bytes(0.0), 8);
+        assert_eq!(bytes(100.4), 100);
+    }
+}

@@ -1,0 +1,78 @@
+//! Cluster advisor: sweep a workload across 1–12 machines for each of
+//! Juggler's schedules and show the full time/cost trade-off space next
+//! to Juggler's one-shot recommendation — the "what the end user would
+//! have had to measure by hand" view of the paper's Figure 9.
+//!
+//! ```text
+//! cargo run --release --example cluster_advisor [LIR|LOR|PCA|RFC|SVM]
+//! ```
+
+use juggler_suite::cluster_sim::{ClusterConfig, Engine, RunOptions};
+use juggler_suite::juggler::pipeline::{OfflineTraining, TrainingConfig};
+use juggler_suite::workloads::all_workloads;
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "SVM".to_owned());
+    let workload = all_workloads()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(&wanted))
+        .unwrap_or_else(|| panic!("unknown workload {wanted}; use LIR, LOR, PCA, RFC or SVM"));
+
+    println!("Training Juggler for {} ...", workload.name());
+    let trained = OfflineTraining::run(workload.as_ref(), &TrainingConfig::default())
+        .expect("training succeeds");
+    let params = workload.paper_params();
+    let app = workload.build(&params);
+
+    for (i, rs) in trained.schedules.iter().enumerate() {
+        let recommended = trained.machines_for(i, params.e(), params.f());
+        println!(
+            "\nSchedule #{} = {}   (Juggler recommends {} machines)",
+            i + 1,
+            rs.schedule.notation(),
+            recommended
+        );
+        println!("{:>9}  {:>10}  {:>12}  {:>8}", "machines", "time", "cost (m-min)", "");
+        let mut best = (0u32, f64::INFINITY);
+        let mut lines = Vec::new();
+        for machines in 1..=trained.max_machines {
+            let mut sim = workload.sim_params();
+            sim.seed = 0xADB1 ^ u64::from(machines);
+            let engine = Engine::new(&app, ClusterConfig::new(machines, trained.target_spec), sim);
+            let report = engine
+                .run(&rs.schedule, RunOptions { collect_traces: false, partition_skew: 0.15 })
+                .expect("run succeeds");
+            let cost = report.cost_machine_minutes();
+            if cost < best.1 {
+                best = (machines, cost);
+            }
+            lines.push((machines, report.total_time_s, cost));
+        }
+        for (machines, time, cost) in lines {
+            let mut marks = String::new();
+            if machines == recommended {
+                marks.push_str(" <- Juggler");
+            }
+            if machines == best.0 {
+                marks.push_str(" (optimal)");
+            }
+            println!("{machines:>9}  {time:>9.1}s  {cost:>12.1}{marks}");
+        }
+    }
+    println!(
+        "\nPredicted menu at these parameters:\n{}",
+        trained
+            .recommend(params.e(), params.f())
+            .options
+            .iter()
+            .map(|o| format!(
+                "  {:<24} {} machines, {:.1}s, {:.1} machine-min",
+                o.schedule.notation(),
+                o.machines,
+                o.predicted_time_s,
+                o.predicted_cost_machine_min
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

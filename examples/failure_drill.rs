@@ -1,0 +1,66 @@
+//! Failure drill: inject an executor loss mid-run and watch the lineage
+//! machinery recover the cached blocks — with before/after Gantt views of
+//! the task timeline.
+//!
+//! ```text
+//! cargo run --release --example failure_drill
+//! ```
+
+use juggler_suite::cluster_sim::{
+    render_gantt, ClusterConfig, Engine, FailureSpec, MachineSpec, RunOptions,
+};
+use juggler_suite::dagflow::{DatasetId, Schedule};
+use juggler_suite::workloads::{LogisticRegression, Workload, WorkloadParams};
+
+fn main() {
+    let w = LogisticRegression;
+    let params = WorkloadParams::auto(14_000, 10_000, 8);
+    let app = w.build(&params);
+    let schedule = Schedule::persist_all([DatasetId(2)]);
+    let cluster = ClusterConfig::new(3, MachineSpec::private_cluster());
+
+    let run = |failure: Option<FailureSpec>| {
+        let mut sim = w.sim_params();
+        sim.seed = 0xD01;
+        sim.failure = failure;
+        Engine::new(&app, cluster, sim)
+            .run(&schedule, RunOptions { collect_traces: true, partition_skew: 0.15 })
+            .expect("run succeeds")
+    };
+
+    let healthy = run(None);
+    println!("— healthy run: {:.1}s —", healthy.total_time_s);
+    print!("{}", render_gantt(&healthy, 100));
+
+    let failure = FailureSpec {
+        machine: 1,
+        at_seconds: healthy.total_time_s * 0.6,
+    };
+    let failed = run(Some(failure));
+    println!(
+        "\n— executor on m1 lost at {:.0}s: {:.1}s total (+{:.1}s recovery) —",
+        failure.at_seconds,
+        failed.total_time_s,
+        failed.total_time_s - healthy.total_time_s
+    );
+    print!("{}", render_gantt(&failed, 100));
+
+    let d = DatasetId(2);
+    let h = &healthy.cache.per_dataset[&d];
+    let f = &failed.cache.per_dataset[&d];
+    println!("\ncached dataset D2 ({} partitions):", app.dataset(d).partitions);
+    println!(
+        "  healthy: {} hits, {} misses, {} evictions",
+        h.hits, h.misses, h.evictions
+    );
+    println!(
+        "  failed:  {} hits, {} misses, {} evictions -> {} partitions resident at the end",
+        f.hits, f.misses, f.evictions, f.resident_partitions
+    );
+    println!(
+        "\nLineage recovery: the lost blocks were recomputed from the input and\n\
+         re-cached (on surviving machines), costing one extra recomputation wave\n\
+         — not a rerun. This is the \"Resilient\" in RDD, and why Juggler's\n\
+         schedules stay valid across executor churn."
+    );
+}

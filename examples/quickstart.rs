@@ -1,0 +1,76 @@
+//! Quickstart: train Juggler offline for one application, then ask it —
+//! with no further experiments — which datasets to cache, how many
+//! machines to rent, and what the run will cost.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use juggler_suite::juggler::pipeline::{OfflineTraining, TrainingConfig};
+use juggler_suite::workloads::{LogisticRegression, Workload};
+
+fn main() {
+    let workload = LogisticRegression;
+
+    // ── Offline training (paper Figure 8): one instrumented sample run,
+    //    nine parameter-calibration runs, one memory-calibration run, and
+    //    nine execution-time runs per schedule — all simulated. ──
+    println!("Training Juggler for {} ...", workload.name());
+    let trained = OfflineTraining::run(&workload, &TrainingConfig::default())
+        .expect("offline training succeeds");
+
+    println!("\nSchedules found by hotspot detection:");
+    for (i, rs) in trained.schedules.iter().enumerate() {
+        println!(
+            "  #{} {:<24} benefit {:.2}s, budget {:.1} MB (at sample scale)",
+            i + 1,
+            rs.schedule.notation(),
+            rs.benefit_s,
+            rs.budget_bytes as f64 / 1e6
+        );
+    }
+    println!(
+        "\nMemory factor: {:.3} (fraction of Spark's unified region M usable for caching)",
+        trained.memory_factor.factor
+    );
+
+    // ── Actual usage (paper §5.5): the end user picks application
+    //    parameters; Juggler answers instantly from the trained models. ──
+    let params = workload.paper_params();
+    let menu = trained.recommend(params.e(), params.f());
+
+    println!(
+        "\nRecommendations for examples = {}, features = {}:",
+        params.examples, params.features
+    );
+    for option in &menu.options {
+        println!(
+            "  {:<24} -> {:>2} machines, predicted {:>7.1}s, {:>6.1} machine-min",
+            option.schedule.notation(),
+            option.machines,
+            option.predicted_time_s,
+            option.predicted_cost_machine_min
+        );
+    }
+    for dominated in &menu.dominated {
+        println!(
+            "  {:<24} (dominated: another schedule is faster AND cheaper)",
+            dominated.schedule.notation()
+        );
+    }
+
+    if let Some(best) = menu.cheapest() {
+        println!(
+            "\nCheapest plan: cache `{}` on {} machines.",
+            best.schedule, best.machines
+        );
+    }
+    println!(
+        "Training spent {:.1} machine-minutes across {} simulated experiments.",
+        trained.costs.total_machine_minutes(),
+        trained.costs.hotspot.runs
+            + trained.costs.param_calibration.runs
+            + trained.costs.memory_calibration.runs
+            + trained.costs.time_models.runs
+    );
+}

@@ -1,0 +1,61 @@
+//! What-if cost explorer: once trained, Juggler answers pricing questions
+//! *instantly* for any parameter combination — no experiments. This
+//! example explores a grid of (examples, features) for SVM, under both
+//! the paper's machine-minutes pricing and a tiered cloud price list
+//! (§5.5: the cost model "can be replaced with other pricing models").
+//!
+//! ```text
+//! cargo run --release --example whatif_cost_explorer
+//! ```
+
+use juggler_suite::juggler::pipeline::{OfflineTraining, TrainingConfig};
+use juggler_suite::juggler::{CostModel, TieredHourly};
+use juggler_suite::workloads::{SupportVectorMachine, Workload};
+
+fn main() {
+    let w = SupportVectorMachine;
+    println!("Training Juggler for {} ...", w.name());
+    let trained =
+        OfflineTraining::run(&w, &TrainingConfig::default()).expect("training succeeds");
+
+    let cloud = TieredHourly {
+        per_machine_hour: 0.34, // an m5.xlarge-style rate
+        discount_threshold: 8,
+        discount: 0.7,
+    };
+
+    println!(
+        "\n{:>9} {:>9} | {:>26} | {:>26}",
+        "examples", "features", "machine-minutes pricing", "tiered cloud pricing"
+    );
+    println!("{}", "-".repeat(80));
+    for examples in [10_000u64, 20_000, 40_000, 80_000] {
+        for features in [20_000u64, 80_000] {
+            let menu_min = trained.recommend(examples as f64, features as f64);
+            let menu_usd =
+                trained.recommend_with(examples as f64, features as f64, &cloud);
+            let a = menu_min.cheapest().expect("non-empty menu");
+            let b = menu_usd.cheapest().expect("non-empty menu");
+            println!(
+                "{examples:>9} {features:>9} | {:>10} on {:>2}m, {:>6.1} mm | {:>10} on {:>2}m, ${:>6.2}",
+                a.schedule.notation(),
+                a.machines,
+                a.predicted_cost_machine_min,
+                b.schedule.notation(),
+                b.machines,
+                b.predicted_cost_machine_min,
+            );
+            // Under coarse hourly billing the cheapest schedule can differ
+            // from the machine-minutes optimum — that is the point of a
+            // pluggable cost model.
+        }
+    }
+
+    println!(
+        "\n(cloud pricing: ${}/machine-hour, {}% discount past {} machines, whole hours billed)",
+        cloud.per_machine_hour,
+        (1.0 - cloud.discount) * 100.0,
+        cloud.discount_threshold
+    );
+    let _ = cloud.unit();
+}

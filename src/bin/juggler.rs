@@ -1,0 +1,287 @@
+//! `juggler` — command-line front end for the Juggler reproduction.
+//!
+//! ```text
+//! juggler list                               # available workloads
+//! juggler train LOR --out lor.json           # offline training -> artifact
+//! juggler recommend lor.json -e 70000 -f 50000 [--ram-gb 32]
+//! juggler schedules SVM                      # Table 2 view for one workload
+//! juggler sweep SVM --schedule 1             # cost on 1..12 machines
+//! juggler dot LOR > lor.dot                  # Graphviz DAG export
+//! juggler trace SVM --machines 4             # ASCII Gantt of a sample run
+//! ```
+
+use std::process::ExitCode;
+
+use juggler_suite::cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions};
+use juggler_suite::dagflow::to_dot;
+use juggler_suite::juggler::pipeline::{OfflineTraining, TrainedJuggler, TrainingConfig};
+use juggler_suite::workloads::{all_workloads, Workload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "list" => cmd_list(),
+        "train" => cmd_train(rest),
+        "recommend" => cmd_recommend(rest),
+        "schedules" => cmd_schedules(rest),
+        "sweep" => cmd_sweep(rest),
+        "dot" => cmd_dot(rest),
+        "trace" => cmd_trace(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+juggler — autonomous cost optimization for iterative big-data applications
+
+USAGE:
+  juggler list
+  juggler train <WORKLOAD> [--out FILE]
+  juggler recommend <ARTIFACT.json> -e <EXAMPLES> -f <FEATURES> [--ram-gb N]
+  juggler schedules <WORKLOAD>
+  juggler sweep <WORKLOAD> [--schedule N | --ops \"p(1) u(1) p(2)\"]
+  juggler dot <WORKLOAD> [--schedule N]
+  juggler trace <WORKLOAD> [--machines N] [--width N]
+
+WORKLOAD: LIR | LOR | PCA | RFC | SVM";
+
+fn find_workload(name: &str) -> Result<Box<dyn Workload>, String> {
+    all_workloads()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown workload `{name}` (try `juggler list`)"))
+}
+
+/// Extracts `--flag value` from an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<6} {:>9} {:>9} {:>6} {:>10}", "name", "examples", "features", "iters", "input");
+    for w in all_workloads() {
+        let p = w.paper_params();
+        println!(
+            "{:<6} {:>9} {:>9} {:>6} {:>9.1}G",
+            w.name(),
+            p.examples,
+            p.features,
+            p.iterations,
+            p.input_bytes() as f64 / 1e9
+        );
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("train needs a workload name")?;
+    let w = find_workload(name)?;
+    eprintln!("training Juggler for {} (four offline stages)...", w.name());
+    let trained = OfflineTraining::run(w.as_ref(), &TrainingConfig::default())
+        .map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&trained).map_err(|e| e.to_string())?;
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {path}: {} schedules, memory factor {:.3}, training cost {:.1} machine-min",
+                trained.schedules.len(),
+                trained.memory_factor.factor,
+                trained.costs.total_machine_minutes()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_recommend(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("recommend needs an artifact path")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let trained: TrainedJuggler = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let e: f64 = parse_num(&flag(args, "-e").ok_or("missing -e <examples>")?, "examples")?;
+    let f: f64 = parse_num(&flag(args, "-f").ok_or("missing -f <features>")?, "features")?;
+
+    let menu = match flag(args, "--ram-gb") {
+        Some(gb) => {
+            let gb: f64 = parse_num(&gb, "--ram-gb")?;
+            let spec = MachineSpec {
+                ram_bytes: (gb * 1e9) as u64,
+                ..trained.target_spec
+            };
+            println!("(machine type override: {gb} GB RAM; §6.2 — optimization models reuse)");
+            trained.recommend_on(e, f, &spec, None)
+        }
+        None => trained.recommend(e, f),
+    };
+    println!(
+        "{} at examples={e}, features={f}:",
+        trained.workload
+    );
+    for o in &menu.options {
+        println!(
+            "  {:<26} {:>2} machines  {:>9.1}s  {:>8.1} machine-min  (cache {:.2} GB)",
+            o.schedule.notation(),
+            o.machines,
+            o.predicted_time_s,
+            o.predicted_cost_machine_min,
+            o.predicted_size_bytes as f64 / 1e9
+        );
+    }
+    for d in &menu.dominated {
+        println!("  {:<26} dominated (another option is faster and cheaper)", d.schedule.notation());
+    }
+    Ok(())
+}
+
+fn cmd_schedules(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("schedules needs a workload name")?;
+    let w = find_workload(name)?;
+    let trained = OfflineTraining::run(w.as_ref(), &TrainingConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "HiBench default: {}\n",
+        w.build(&w.paper_params()).default_schedule()
+    );
+    print!("{}", juggler_suite::juggler::model_card(&trained));
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("sweep needs a workload name")?;
+    let w = find_workload(name)?;
+    let params = w.paper_params();
+    let app = w.build(&params);
+
+    // An explicit --ops "p(1) u(1) p(2)" skips training entirely.
+    if let Some(ops) = flag(args, "--ops") {
+        let schedule = juggler_suite::dagflow::Schedule::parse(&ops).map_err(|e| e.to_string())?;
+        app.check_schedule(&schedule).map_err(|e| e.to_string())?;
+        println!("{} with explicit schedule {}", w.name(), schedule.notation());
+        println!("{:>9} {:>10} {:>14}", "machines", "time", "cost (m-min)");
+        for machines in 1..=12u32 {
+            let mut sim = w.sim_params();
+            sim.seed = 0xC11 ^ u64::from(machines);
+            let report = Engine::new(&app, ClusterConfig::new(machines, MachineSpec::private_cluster()), sim)
+                .run(&schedule, RunOptions { collect_traces: false, partition_skew: 0.15 })
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{machines:>9} {:>9.1}s {:>14.1}",
+                report.total_time_s,
+                report.cost_machine_minutes()
+            );
+        }
+        return Ok(());
+    }
+
+    let trained = OfflineTraining::run(w.as_ref(), &TrainingConfig::default())
+        .map_err(|e| e.to_string())?;
+    let idx: usize = match flag(args, "--schedule") {
+        Some(s) => parse_num::<usize>(&s, "--schedule")?.saturating_sub(1),
+        None => 0,
+    };
+    let rs = trained
+        .schedules
+        .get(idx)
+        .ok_or_else(|| format!("schedule {} does not exist", idx + 1))?;
+    let recommended = trained.machines_for(idx, params.e(), params.f());
+    println!(
+        "{} schedule #{} = {} (recommended: {} machines)",
+        w.name(),
+        idx + 1,
+        rs.schedule.notation(),
+        recommended
+    );
+    println!("{:>9} {:>10} {:>14}", "machines", "time", "cost (m-min)");
+    for machines in 1..=trained.max_machines {
+        let mut sim = w.sim_params();
+        sim.seed = 0xC11 ^ u64::from(machines);
+        let report = Engine::new(&app, ClusterConfig::new(machines, trained.target_spec), sim)
+            .run(&rs.schedule, RunOptions { collect_traces: false, partition_skew: 0.15 })
+            .map_err(|e| e.to_string())?;
+        let marker = if machines == recommended { "  <- recommended" } else { "" };
+        println!(
+            "{machines:>9} {:>9.1}s {:>14.1}{marker}",
+            report.total_time_s,
+            report.cost_machine_minutes()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("dot needs a workload name")?;
+    let w = find_workload(name)?;
+    // Render the sample-scale plan (paper-scale PCA has 1833 nodes).
+    let app = w.build(&w.sample_params());
+    let schedule = match flag(args, "--schedule") {
+        Some(s) => {
+            let idx: usize = parse_num::<usize>(&s, "--schedule")?.saturating_sub(1);
+            let trained = OfflineTraining::run(w.as_ref(), &TrainingConfig::default())
+                .map_err(|e| e.to_string())?;
+            trained
+                .schedules
+                .get(idx)
+                .ok_or_else(|| format!("schedule {} does not exist", idx + 1))?
+                .schedule
+                .clone()
+        }
+        None => app.default_schedule().clone(),
+    };
+    print!("{}", to_dot(&app, &schedule));
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("trace needs a workload name")?;
+    let w = find_workload(name)?;
+    let machines: u32 = match flag(args, "--machines") {
+        Some(m) => parse_num(&m, "--machines")?,
+        None => 2,
+    };
+    let width: usize = match flag(args, "--width") {
+        Some(v) => parse_num(&v, "--width")?,
+        None => 100,
+    };
+    // Sample scale keeps the trace readable.
+    let app = w.build(&w.sample_params());
+    let report = Engine::new(
+        &app,
+        ClusterConfig::new(machines, MachineSpec::private_cluster()),
+        w.sim_params(),
+    )
+    .run(
+        &app.default_schedule().clone(),
+        RunOptions { collect_traces: true, partition_skew: 0.15 },
+    )
+    .map_err(|e| e.to_string())?;
+    print!("{}", juggler_suite::cluster_sim::render_gantt(&report, width));
+    println!(
+        "total {:.1}s on {machines} machines, {} tasks, {} spilled",
+        report.total_time_s, report.total_tasks, report.spilled_tasks
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! The full offline pipeline must train cleanly on every evaluated
+//! workload, producing sane artifacts — the "no stage amplifies errors"
+//! modularity claim of §5.4's discussion.
+
+use juggler_suite::juggler::pipeline::{OfflineTraining, TrainingConfig};
+use juggler_suite::modeling::accuracy_pct;
+use juggler_suite::workloads::all_workloads;
+
+#[test]
+fn every_workload_trains_with_sane_artifacts() {
+    for w in all_workloads() {
+        let trained = OfflineTraining::run(w.as_ref(), &TrainingConfig::default())
+            .unwrap_or_else(|e| panic!("{} failed to train: {e}", w.name()));
+        let expected_schedules = match w.name() {
+            "PCA" => 1,
+            "RFC" => 3,
+            _ => 2,
+        };
+        assert_eq!(
+            trained.schedules.len(),
+            expected_schedules,
+            "{}: schedule count",
+            w.name()
+        );
+        assert_eq!(trained.time_models.len(), trained.schedules.len());
+        assert!(
+            (0.5..=1.0).contains(&trained.memory_factor.factor),
+            "{}: memory factor {}",
+            w.name(),
+            trained.memory_factor.factor
+        );
+
+        // Size predictions at paper scale: > 98 % accurate for every
+        // cached dataset (the Figure 13 property).
+        let p = w.paper_params();
+        let app = w.build(&p);
+        for rs in &trained.schedules {
+            for d in rs.schedule.persisted() {
+                let predicted = trained.sizes.predict_dataset(d, p.e(), p.f()) as f64;
+                let actual = app.dataset(d).bytes as f64;
+                assert!(
+                    accuracy_pct(predicted, actual) > 98.0,
+                    "{} {d}: {predicted} vs {actual}",
+                    w.name()
+                );
+            }
+        }
+
+        // Recommendations at paper scale are in range and the menu is
+        // non-empty.
+        let menu = trained.recommend(p.e(), p.f());
+        assert!(!menu.options.is_empty(), "{}: empty menu", w.name());
+        for o in menu.options.iter().chain(menu.dominated.iter()) {
+            assert!((1..=12).contains(&o.machines), "{}: {} machines", w.name(), o.machines);
+            assert!(o.predicted_time_s.is_finite() && o.predicted_time_s > 0.0);
+        }
+
+        // Cost accounting adds up.
+        let c = &trained.costs;
+        assert!(
+            (c.total_machine_minutes()
+                - (c.optimization_machine_minutes() + c.time_models.machine_minutes))
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(c.hotspot.runs, 1);
+        assert_eq!(c.param_calibration.runs, 9);
+        assert_eq!(c.memory_calibration.runs, 1);
+        assert_eq!(c.time_models.runs, 9 * trained.schedules.len() as u32);
+    }
+}

@@ -1,0 +1,95 @@
+//! Failure injection: losing an executor mid-run costs cached blocks, and
+//! the lineage machinery recovers them — "Resilient" in RDD.
+
+use juggler_suite::cluster_sim::{
+    ClusterConfig, Engine, FailureSpec, MachineSpec, NoiseParams, RunOptions, SimParams,
+};
+use juggler_suite::dagflow::{DatasetId, Schedule};
+use juggler_suite::workloads::{LogisticRegression, Workload, WorkloadParams};
+
+fn quiet(w: &dyn Workload) -> SimParams {
+    SimParams {
+        noise: NoiseParams::NONE,
+        cluster_jitter_s: 0.0,
+        ..w.sim_params()
+    }
+}
+
+fn run_with_failure(failure: Option<FailureSpec>) -> juggler_suite::cluster_sim::RunReport {
+    let w = LogisticRegression;
+    let params = WorkloadParams::auto(14_000, 10_000, 6);
+    let app = w.build(&params);
+    let mut sim = quiet(&w);
+    sim.failure = failure;
+    Engine::new(&app, ClusterConfig::new(3, MachineSpec::private_cluster()), sim)
+        .run(&Schedule::persist_all([DatasetId(2)]), RunOptions::default())
+        .unwrap()
+}
+
+/// The failed machine's blocks are recomputed and re-cached: full
+/// residency is restored by the end of the run.
+#[test]
+fn lineage_recovers_lost_blocks() {
+    let baseline = run_with_failure(None);
+    let failed = run_with_failure(Some(FailureSpec {
+        machine: 1,
+        at_seconds: baseline.total_time_s * 0.75,
+    }));
+    let d = DatasetId(2);
+    let total = {
+        let w = LogisticRegression;
+        w.build(&WorkloadParams::auto(14_000, 10_000, 6)).dataset(d).partitions
+    };
+    let stats = &failed.cache.per_dataset[&d];
+    assert_eq!(
+        stats.resident_partitions, total,
+        "residency restored after recomputation"
+    );
+    assert!(stats.evictions > 0, "the loss is visible as evictions");
+    assert!(
+        stats.misses > baseline.cache.per_dataset[&d].misses,
+        "post-failure reads missed and recomputed"
+    );
+}
+
+/// The failure costs time — but bounded: roughly one recomputation of the
+/// lost partitions, not a rerun of the application.
+#[test]
+fn failure_cost_is_one_recomputation_wave() {
+    let baseline = run_with_failure(None);
+    let failed = run_with_failure(Some(FailureSpec {
+        machine: 0,
+        at_seconds: baseline.total_time_s * 0.75,
+    }));
+    assert!(failed.total_time_s > baseline.total_time_s, "failures are not free");
+    assert!(
+        failed.total_time_s < baseline.total_time_s * 1.6,
+        "failure recovery cost should be bounded: {} vs {}",
+        failed.total_time_s,
+        baseline.total_time_s
+    );
+}
+
+/// A failure scheduled after the run ends is a no-op, and runs with
+/// failures remain deterministic.
+#[test]
+fn late_failures_are_noops_and_runs_stay_deterministic() {
+    let baseline = run_with_failure(None);
+    let late = run_with_failure(Some(FailureSpec {
+        machine: 2,
+        at_seconds: baseline.total_time_s * 10.0,
+    }));
+    assert_eq!(baseline.total_time_s, late.total_time_s);
+    let a = run_with_failure(Some(FailureSpec { machine: 1, at_seconds: 30.0 }));
+    let b = run_with_failure(Some(FailureSpec { machine: 1, at_seconds: 30.0 }));
+    assert_eq!(a.total_time_s, b.total_time_s);
+    assert_eq!(a.job_times_s, b.job_times_s);
+}
+
+/// Out-of-range machine indices are tolerated (no panic, no effect).
+#[test]
+fn failing_a_nonexistent_machine_is_harmless() {
+    let baseline = run_with_failure(None);
+    let ghost = run_with_failure(Some(FailureSpec { machine: 99, at_seconds: 20.0 }));
+    assert_eq!(baseline.total_time_s, ghost.total_time_s);
+}

@@ -1,0 +1,100 @@
+//! Shape-level regression tests for the headline evaluation claims, on
+//! reduced-iteration variants so they stay fast outside release mode.
+
+use juggler_suite::cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions};
+use juggler_suite::dagflow::{DatasetId, Schedule};
+use juggler_suite::workloads::{
+    LinearRegression, SupportVectorMachine, Workload, WorkloadParams,
+};
+
+fn run(
+    w: &dyn Workload,
+    params: &WorkloadParams,
+    schedule: &Schedule,
+    machines: u32,
+    spec: MachineSpec,
+) -> juggler_suite::cluster_sim::RunReport {
+    let app = w.build(params);
+    let mut sim = w.sim_params();
+    sim.seed = 7 ^ u64::from(machines);
+    Engine::new(&app, ClusterConfig::new(machines, spec), sim)
+        .run(schedule, RunOptions { collect_traces: false, partition_skew: 0.15 })
+        .unwrap()
+}
+
+/// Figure 2's areas: with the developer-cached dataset exceeding small
+/// clusters' memory, cost falls steeply until the cache fits (area A),
+/// reaches a minimum (area C), then rises while time keeps falling
+/// (area B).
+#[test]
+fn svm_cost_curve_has_areas_a_b_c() {
+    let w = SupportVectorMachine;
+    // Figure 2 geometry at 10 iterations to keep the test quick.
+    let params = WorkloadParams::auto(100_000, 80_000, 10);
+    let spec = MachineSpec::paper_example();
+    let schedule = w.build(&params).default_schedule().clone();
+    let app = w.build(&params);
+    let cached = DatasetId(2);
+    let total = app.dataset(cached).partitions;
+
+    let runs: Vec<_> = [1u32, 4, 7, 12]
+        .iter()
+        .map(|&m| run(&w, &params, &schedule, m, spec))
+        .collect();
+    let cost: Vec<f64> = runs.iter().map(|r| r.cost_machine_minutes()).collect();
+    let time: Vec<f64> = runs.iter().map(|r| r.total_time_s).collect();
+
+    // Area A: eviction-driven costs fall as machines are added.
+    assert!(cost[0] > cost[1] && cost[1] > cost[2], "area A: {cost:?}");
+    // Area C at ~7 machines: cheaper than both 4 and 12.
+    assert!(cost[2] < cost[3], "area B rises: {cost:?}");
+    // Area B: time still falls.
+    assert!(time[3] < time[2], "area B time falls: {time:?}");
+    // Eviction fractions: heavy at 1 machine, zero once the cache fits.
+    let ev1 = runs[0].cache.evicted_fraction(cached, total);
+    let ev7 = runs[2].cache.evicted_fraction(cached, total);
+    assert!(ev1 > 0.7, "eviction at 1 machine: {ev1}");
+    assert!(ev7 < 0.02, "no eviction at 7 machines: {ev7}");
+    // The 1-machine catastrophe: an order of magnitude above optimal.
+    assert!(cost[0] / cost[2] > 3.0, "1-machine cost blowup: {:.1}x", cost[0] / cost[2]);
+}
+
+/// Figure 1: caching LIR's parsed input roughly halves execution time at
+/// every configuration.
+#[test]
+fn lir_caching_halves_time() {
+    let w = LinearRegression;
+    let params = WorkloadParams::auto(40_000, 120_000, 5);
+    let spec = MachineSpec::private_cluster();
+    for machines in [2u32, 6, 12] {
+        let cold = run(&w, &params, &Schedule::empty(), machines, spec);
+        let hot = run(&w, &params, &Schedule::persist_all([DatasetId(1)]), machines, spec);
+        let ratio = hot.total_time_s / cold.total_time_s;
+        assert!(
+            (0.25..0.85).contains(&ratio),
+            "{machines} machines: time ratio {ratio}"
+        );
+    }
+}
+
+/// Recompute tasks are dramatically slower than cached reads (the 97x
+/// observation): compare steady-state per-iteration cache behaviour.
+#[test]
+fn recompute_dominates_evicted_iterations() {
+    let w = SupportVectorMachine;
+    let params = WorkloadParams::auto(100_000, 80_000, 6);
+    let spec = MachineSpec::paper_example();
+    let schedule = w.build(&params).default_schedule().clone();
+    let starved = run(&w, &params, &schedule, 1, spec);
+    let fit = run(&w, &params, &schedule, 7, spec);
+    // Per-machine-normalized iteration time ratio.
+    let per_machine = |r: &juggler_suite::cluster_sim::RunReport| {
+        r.cost_machine_seconds() / f64::from(r.machines)
+    };
+    assert!(
+        per_machine(&starved) > 5.0 * per_machine(&fit) / 7.0,
+        "starved {} vs fit {}",
+        per_machine(&starved),
+        per_machine(&fit)
+    );
+}

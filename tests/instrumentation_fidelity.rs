@@ -1,0 +1,106 @@
+//! Cross-crate fidelity tests: the Spark_i instrumentation pipeline must
+//! reconstruct ground-truth dataset metrics from timestamps alone, for
+//! every evaluated workload.
+
+use juggler_suite::cluster_sim::{ClusterConfig, MachineSpec};
+use juggler_suite::dagflow::LineageAnalysis;
+use juggler_suite::instrument::profile_run;
+use juggler_suite::workloads::{all_workloads, Workload};
+
+/// Measured sizes of every intermediate dataset stay within 2 % of the
+/// plan's ground truth across all five applications.
+#[test]
+fn measured_sizes_match_ground_truth_for_all_workloads() {
+    for w in all_workloads() {
+        let sample = w.sample_params();
+        let app = w.build(&sample);
+        let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
+        let out = profile_run(&app, &app.default_schedule().clone(), cluster, w.sim_params())
+            .expect("profiling run succeeds");
+        let la = LineageAnalysis::new(&app);
+        for d in la.intermediates() {
+            let truth = app.dataset(d).bytes as f64;
+            let measured = out
+                .metrics
+                .iter()
+                .find(|m| m.dataset == d)
+                .unwrap_or_else(|| panic!("{}: {d} unobserved", w.name()))
+                .size_bytes as f64;
+            let err = (measured - truth).abs() / truth.max(1.0);
+            assert!(err < 0.02, "{} {d}: measured {measured}, truth {truth}", w.name());
+        }
+    }
+}
+
+/// Measured computation times preserve the orderings the hotspot analysis
+/// depends on: for LOR, ET(D0) ≫ ET(D11) > ET(D2) > ET(D1), mirroring the
+/// §5.1 example's 2700 : 40 : 14 : 10 proportions.
+#[test]
+fn lor_measured_time_ratios_match_the_paper_example() {
+    let w = juggler_suite::workloads::LogisticRegression;
+    let sample = w.sample_params();
+    let app = w.build(&sample);
+    let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
+    let out = profile_run(&app, &app.default_schedule().clone(), cluster, w.sim_params())
+        .expect("profiling run succeeds");
+    let et = |i: u32| {
+        out.metrics
+            .iter()
+            .find(|m| m.dataset == juggler_suite::dagflow::DatasetId(i))
+            .expect("observed")
+            .et_seconds
+    };
+    let (d0, d1, d2, d11) = (et(0), et(1), et(2), et(11));
+    assert!(d0 > 20.0 * d11, "read dominates: {d0} vs {d11}");
+    assert!(d11 > 1.5 * d2, "features > points: {d11} vs {d2}");
+    assert!(d2 > d1, "points > parse: {d2} vs {d1}");
+}
+
+/// Instrumentation overhead is small: the instrumented run is at most a
+/// few percent slower than the raw run.
+#[test]
+fn instrumentation_overhead_is_light() {
+    use juggler_suite::cluster_sim::{Engine, RunOptions};
+    let w = juggler_suite::workloads::LogisticRegression;
+    let sample = w.sample_params();
+    let app = w.build(&sample);
+    let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
+    let raw = Engine::new(&app, cluster, w.sim_params())
+        .run(&app.default_schedule().clone(), RunOptions::default())
+        .unwrap()
+        .total_time_s;
+    let instrumented = profile_run(&app, &app.default_schedule().clone(), cluster, w.sim_params())
+        .unwrap()
+        .report
+        .total_time_s;
+    let overhead = instrumented / raw - 1.0;
+    assert!(
+        overhead < 0.10,
+        "instrumentation overhead {:.1}% exceeds 10%",
+        overhead * 100.0
+    );
+}
+
+/// Every dataset the schedules may cache is observed by the profiler —
+/// including ones "not accessible from the application layer" (the
+/// paper's MLlib-internal RDDs, here the mid-pipeline datasets).
+#[test]
+fn profiler_observes_every_intermediate() {
+    for w in all_workloads() {
+        let sample = w.sample_params();
+        let app = w.build(&sample);
+        let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
+        let out = profile_run(&app, &app.default_schedule().clone(), cluster, w.sim_params())
+            .expect("profiling run succeeds");
+        let la = LineageAnalysis::new(&app);
+        for d in la.intermediates() {
+            let m = out.metrics.iter().find(|m| m.dataset == d);
+            assert!(m.is_some(), "{}: intermediate {d} unobserved", w.name());
+            assert!(
+                m.unwrap().et_seconds >= 0.0 && m.unwrap().et_seconds.is_finite(),
+                "{}: {d} has invalid ET",
+                w.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! §6.2 integration: optimization models reuse across machine types, and
+//! the probe-based prediction bridge.
+
+use juggler_suite::cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions};
+use juggler_suite::juggler::pipeline::{OfflineTraining, TrainingConfig};
+use juggler_suite::juggler::{InstanceCatalog, TransferModel};
+use juggler_suite::workloads::{LogisticRegression, Workload, WorkloadParams};
+
+#[test]
+fn machine_counts_scale_inversely_with_memory() {
+    let w = LogisticRegression;
+    let trained = OfflineTraining::run(&w, &TrainingConfig::default()).unwrap();
+    let p = w.paper_params();
+    let small = MachineSpec {
+        ram_bytes: 8_000_000_000,
+        ..trained.target_spec
+    };
+    let big = MachineSpec {
+        ram_bytes: 64_000_000_000,
+        ..trained.target_spec
+    };
+    let menu_small = trained.recommend_on(p.e(), p.f(), &small, None);
+    let menu_big = trained.recommend_on(p.e(), p.f(), &big, None);
+    let pick = |menu: &juggler_suite::juggler::RecommendationMenu| {
+        menu.options
+            .iter()
+            .chain(menu.dominated.iter())
+            .find(|o| o.schedule_index == 0)
+            .expect("schedule 0 present")
+            .machines
+    };
+    assert!(
+        pick(&menu_small) > pick(&menu_big),
+        "smaller machines need more of them: {} vs {}",
+        pick(&menu_small),
+        pick(&menu_big)
+    );
+    // Eq. 6 consistency: half the per-machine cache ⇒ at least double the
+    // count (up to the ceiling).
+    assert!(pick(&menu_big) >= 1);
+}
+
+#[test]
+fn transfer_model_bridges_a_slow_machine_type() {
+    let w = LogisticRegression;
+    let trained = OfflineTraining::run(&w, &TrainingConfig::default()).unwrap();
+    let p = w.paper_params();
+    let catalog = InstanceCatalog::aws_like();
+    let budget = catalog.get("t.budget").expect("catalog entry");
+
+    let (e_axis, f_axis) = w.training_axes();
+    let candidates: Vec<(f64, f64)> = e_axis
+        .iter()
+        .flat_map(|&e| f_axis.iter().map(move |&f| (e, f)))
+        .collect();
+    let transfer = trained.fit_transfer(&candidates, 3, &budget.spec, |e, f, m| {
+        let params = WorkloadParams::auto(e as u64, f as u64, p.iterations);
+        let app = w.build(&params);
+        let mut sim = w.sim_params();
+        sim.seed = 0x1234 ^ (e as u64);
+        Engine::new(&app, ClusterConfig::new(m, budget.spec), sim)
+            .run(&trained.schedules[0].schedule, RunOptions::default())
+            .unwrap()
+            .total_time_s
+    });
+    // β may land either side of 1: the type is slower per machine, but
+    // Eq. 6 gives it more machines (12 GB vs 16 GB RAM). What matters is a
+    // physical, finite bridge.
+    assert!(transfer.beta > 0.0 && transfer.beta.is_finite(), "β = {}", transfer.beta);
+    assert!(transfer.alpha >= 0.0);
+
+    // Validate the bridged prediction at paper scale.
+    let machines = trained
+        .recommend_on(p.e(), p.f(), &budget.spec, Some(&transfer))
+        .options
+        .first()
+        .expect("non-empty menu")
+        .machines;
+    let app = w.build(&p);
+    let mut sim = w.sim_params();
+    sim.seed = 0x9999;
+    let actual = Engine::new(&app, ClusterConfig::new(machines, budget.spec), sim)
+        .run(&trained.schedules[0].schedule, RunOptions::default())
+        .unwrap()
+        .total_time_s;
+    let base = trained.time_models[0].predict(p.e(), p.f());
+    let bridged = transfer.predict(base);
+    let err_bridged = (bridged - actual).abs() / actual;
+    let err_naive = (base - actual).abs() / actual;
+    assert!(
+        err_bridged < err_naive,
+        "bridge must beat naive reuse: {err_bridged:.2} vs {err_naive:.2}"
+    );
+    assert!(err_bridged < 0.35, "bridged error {err_bridged:.2}");
+}
+
+#[test]
+fn transfer_model_is_serializable() {
+    let tm = TransferModel { alpha: 3.0, beta: 1.2 };
+    let json = serde_json::to_string(&tm).unwrap();
+    let back: TransferModel = serde_json::from_str(&json).unwrap();
+    assert_eq!(tm, back);
+}

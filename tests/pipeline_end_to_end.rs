@@ -1,0 +1,143 @@
+//! End-to-end offline training (Figure 8) followed by the §5.5
+//! recommendation flow, validated against actual simulated runs.
+
+use juggler_suite::cluster_sim::{ClusterConfig, Engine, RunOptions};
+use juggler_suite::juggler::pipeline::{OfflineTraining, TrainingConfig};
+use juggler_suite::modeling::accuracy_pct;
+use juggler_suite::workloads::{LogisticRegression, SupportVectorMachine, Workload, WorkloadParams};
+
+#[test]
+fn lor_training_produces_usable_artifact() {
+    let w = LogisticRegression;
+    let trained = OfflineTraining::run(&w, &TrainingConfig::default()).unwrap();
+    assert_eq!(trained.workload, "LOR");
+    assert_eq!(trained.schedules.len(), 2, "Table 2: two LOR schedules");
+    assert_eq!(trained.time_models.len(), 2);
+    assert!(trained.memory_factor.factor >= 0.5 && trained.memory_factor.factor <= 1.0);
+    // Training cost bookkeeping: 1 + 9 + 1 + 18 runs.
+    assert_eq!(trained.costs.hotspot.runs, 1);
+    assert_eq!(trained.costs.param_calibration.runs, 9);
+    assert_eq!(trained.costs.memory_calibration.runs, 1);
+    assert_eq!(trained.costs.time_models.runs, 18);
+    assert!(trained.costs.total_machine_minutes() > 0.0);
+
+    // The artifact round-trips through serde (offline training is reused
+    // across runs).
+    let json = serde_json::to_string(&trained).unwrap();
+    let back: juggler_suite::juggler::TrainedJuggler = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.schedules.len(), trained.schedules.len());
+}
+
+#[test]
+fn lor_size_prediction_matches_actual_runs() {
+    let w = LogisticRegression;
+    let trained = OfflineTraining::run(&w, &TrainingConfig::default()).unwrap();
+    let paper = w.paper_params();
+    let app = w.build(&paper);
+    // Predicted vs ground-truth sizes of the cached datasets (Figure 13's
+    // claim: worst-case error 0.91 %).
+    for rs in &trained.schedules {
+        for d in rs.schedule.persisted() {
+            let predicted = trained.sizes.predict_dataset(d, paper.e(), paper.f()) as f64;
+            let actual = app.dataset(d).bytes as f64;
+            let acc = accuracy_pct(predicted, actual);
+            assert!(acc > 98.0, "{d}: predicted {predicted}, actual {actual}");
+        }
+    }
+}
+
+#[test]
+fn lor_recommendation_menu_is_pareto_and_plausible() {
+    let w = LogisticRegression;
+    let trained = OfflineTraining::run(&w, &TrainingConfig::default()).unwrap();
+    let paper = w.paper_params();
+    let menu = trained.recommend(paper.e(), paper.f());
+    assert!(!menu.options.is_empty());
+    for o in &menu.options {
+        assert!(o.machines >= 1 && o.machines <= 12);
+        assert!(o.predicted_time_s > 0.0);
+        assert!(o.predicted_cost_machine_min > 0.0);
+    }
+    // No option dominates another among the kept set.
+    for a in &menu.options {
+        for b in &menu.options {
+            assert!(
+                !(a.predicted_time_s < b.predicted_time_s
+                    && a.predicted_cost_machine_min < b.predicted_cost_machine_min
+                    && a.schedule_index != b.schedule_index),
+                "dominated option kept"
+            );
+        }
+    }
+}
+
+#[test]
+fn lor_time_prediction_accuracy_is_high() {
+    let w = LogisticRegression;
+    let trained = OfflineTraining::run(&w, &TrainingConfig::default()).unwrap();
+    let paper = w.paper_params();
+    let app = w.build(&paper);
+    // Run each schedule on its recommended configuration and compare
+    // against the prediction (Figure 12: Juggler ≈ 90 % accurate).
+    for (i, rs) in trained.schedules.iter().enumerate() {
+        let machines = trained.machines_for(i, paper.e(), paper.f());
+        let cluster = ClusterConfig::new(machines, trained.target_spec);
+        let engine = Engine::new(&app, cluster, w.sim_params());
+        let report = engine.run(&rs.schedule, RunOptions::default()).unwrap();
+        let predicted = trained.time_models[i].predict(paper.e(), paper.f());
+        let acc = accuracy_pct(predicted, report.total_time_s);
+        assert!(
+            acc > 75.0,
+            "schedule {i} ({}): predicted {predicted:.1}s, actual {:.1}s (acc {acc:.1}%)",
+            rs.schedule,
+            report.total_time_s
+        );
+    }
+}
+
+#[test]
+fn svm_training_is_deterministic() {
+    let w = SupportVectorMachine;
+    let cfg = TrainingConfig::default();
+    let a = OfflineTraining::run(&w, &cfg).unwrap();
+    let b = OfflineTraining::run(&w, &cfg).unwrap();
+    assert_eq!(a.schedules.len(), b.schedules.len());
+    assert_eq!(a.memory_factor.factor, b.memory_factor.factor);
+    for (x, y) in a.time_models.iter().zip(&b.time_models) {
+        assert_eq!(x.model.coeffs, y.model.coeffs);
+    }
+}
+
+#[test]
+fn svm_memory_factor_leaves_room_for_execution() {
+    let w = SupportVectorMachine;
+    let trained = OfflineTraining::run(&w, &TrainingConfig::default()).unwrap();
+    // §2.2: SVM leaves ~80 % of M for caching. Our simulation should land
+    // well inside (0.5, 1.0) — not pinned at either clamp.
+    let f = trained.memory_factor.factor;
+    assert!(f > 0.55 && f < 0.999, "memory factor {f}");
+}
+
+#[test]
+fn recommendation_scales_with_parameters() {
+    let w = SupportVectorMachine;
+    let trained = OfflineTraining::run(&w, &TrainingConfig::default()).unwrap();
+    let small = trained.recommend(10_000.0, 20_000.0);
+    let big = trained.recommend(40_000.0, 80_000.0);
+    let s = small.cheapest().expect("menu non-empty");
+    let b = big.cheapest().expect("menu non-empty");
+    assert!(b.predicted_size_bytes > s.predicted_size_bytes);
+    assert!(b.machines >= s.machines);
+    assert!(b.predicted_time_s > s.predicted_time_s);
+}
+
+#[test]
+fn sample_params_stay_small() {
+    for w in juggler_suite::workloads::all_workloads() {
+        let s = w.sample_params();
+        let p = w.paper_params();
+        assert!(s.input_bytes() <= p.input_bytes() / 3, "{} sample too big", w.name());
+        assert!(s.iterations <= 3);
+        let _ = WorkloadParams::auto(s.examples, s.features, s.iterations);
+    }
+}

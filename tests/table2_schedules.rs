@@ -1,0 +1,55 @@
+//! End-to-end reproduction of Table 2: for every evaluated application,
+//! hotspot detection — fed only with metrics measured by the Spark_i
+//! instrumentation on a tiny sample run — must produce exactly the
+//! schedules the paper reports.
+
+use juggler_suite::cluster_sim::{ClusterConfig, MachineSpec};
+use juggler_suite::instrument::profile_run;
+use juggler_suite::juggler::{detect_hotspots, DatasetMetricsView, HotspotConfig};
+use juggler_suite::workloads::{
+    LinearRegression, LogisticRegression, Pca, RandomForest, SupportVectorMachine, Workload,
+};
+
+fn juggler_schedules(w: &dyn Workload) -> Vec<String> {
+    let sample = w.sample_params();
+    let app = w.build(&sample);
+    let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
+    let out = profile_run(&app, &app.default_schedule().clone(), cluster, w.sim_params())
+        .expect("sample run succeeds");
+    let metrics = DatasetMetricsView::from_metrics(&out.metrics, app.dataset_count());
+    detect_hotspots(&app, &metrics, &HotspotConfig::default())
+        .into_iter()
+        .map(|s| s.schedule.notation())
+        .collect()
+}
+
+#[test]
+fn lir_schedules_match_table2() {
+    assert_eq!(juggler_schedules(&LinearRegression), vec!["p(1)", "p(1) p(3)"]);
+}
+
+#[test]
+fn lor_schedules_match_table2() {
+    assert_eq!(
+        juggler_schedules(&LogisticRegression),
+        vec!["p(2)", "p(1) p(2) u(2) p(11)"]
+    );
+}
+
+#[test]
+fn pca_schedules_match_table2() {
+    assert_eq!(juggler_schedules(&Pca), vec!["p(1) u(1) p(2) u(2) p(13)"]);
+}
+
+#[test]
+fn rfc_schedules_match_table2() {
+    assert_eq!(
+        juggler_schedules(&RandomForest),
+        vec!["p(11)", "p(1) p(12)", "p(1) p(5) u(5) p(12)"]
+    );
+}
+
+#[test]
+fn svm_schedules_match_table2() {
+    assert_eq!(juggler_schedules(&SupportVectorMachine), vec!["p(2)", "p(1) p(6)"]);
+}
