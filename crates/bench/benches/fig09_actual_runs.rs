@@ -10,12 +10,11 @@
 use bench::{optimal_config, print_table, MACHINE_RANGE};
 
 fn main() {
-    for w in bench::workloads() {
-        let trained = bench::train(w.as_ref());
+    for (w, trained) in bench::workloads().iter().zip(bench::train_all()) {
         let params = w.paper_params();
         let spec = trained.target_spec;
 
-        let mut entries: Vec<(String, dagflow::Schedule, Option<u32>)> = trained
+        let mut entries: Vec<(String, std::sync::Arc<dagflow::Schedule>, Option<u32>)> = trained
             .schedules
             .iter()
             .enumerate()
@@ -25,7 +24,7 @@ fn main() {
             })
             .collect();
         let default = w.build(&params).default_schedule().clone();
-        entries.push(("Default".to_owned(), default, None));
+        entries.push(("Default".to_owned(), std::sync::Arc::new(default), None));
 
         let mut rows = Vec::new();
         for (label, schedule, recommended) in &entries {

@@ -58,7 +58,7 @@ fn main() {
 
         let juggler: Vec<Schedule> = detect_hotspots(&sample_app, &view, &HotspotConfig::default())
             .into_iter()
-            .map(|rs| rs.schedule)
+            .map(|rs| rs.schedule.as_ref().clone())
             .collect();
         let jcost = avg_min_cost(w.as_ref(), &juggler, spec).expect("juggler finds schedules");
 

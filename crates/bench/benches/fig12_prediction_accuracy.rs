@@ -17,8 +17,7 @@ fn main() {
     let mut juggler_accs = Vec::new();
     let mut ernest_accs = Vec::new();
 
-    for w in bench::workloads() {
-        let trained = bench::train(w.as_ref());
+    for (w, trained) in bench::workloads().iter().zip(bench::train_all()) {
         let params = w.paper_params();
         let spec = trained.target_spec;
 

@@ -12,8 +12,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut worst_err: f64 = 0.0;
 
-    for w in bench::workloads() {
-        let trained = bench::train(w.as_ref());
+    for (w, trained) in bench::workloads().iter().zip(bench::train_all()) {
         let params = w.paper_params();
         let app = w.build(&params);
         for (i, rs) in trained.schedules.iter().enumerate() {

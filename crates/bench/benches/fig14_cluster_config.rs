@@ -14,8 +14,7 @@ fn main() {
     let mut total = 0usize;
     let mut extra_cost_pct = Vec::new();
 
-    for w in bench::workloads() {
-        let trained = bench::train(w.as_ref());
+    for (w, trained) in bench::workloads().iter().zip(bench::train_all()) {
         let params = w.paper_params();
         let spec = trained.target_spec;
 

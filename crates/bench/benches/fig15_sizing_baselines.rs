@@ -21,8 +21,7 @@ fn main() {
     let mut totals = vec![(0.0f64, 0.0f64); baselines.len()]; // (cost%, time%)
     let mut count = 0u32;
 
-    for w in bench::workloads() {
-        let trained = bench::train(w.as_ref());
+    for (w, trained) in bench::workloads().iter().zip(bench::train_all()) {
         let params = w.paper_params();
         let app = w.build(&params);
         let spec = trained.target_spec;

@@ -12,8 +12,7 @@ fn main() {
     let mut exec_dominates = 0usize;
     let mut apps = 0usize;
 
-    for w in bench::workloads() {
-        let trained = bench::train(w.as_ref());
+    for (w, trained) in bench::workloads().iter().zip(bench::train_all()) {
         let c = &trained.costs;
         let total = c.total_machine_minutes().max(1e-9);
         let pct = |x: f64| format!("{:.1}%", x / total * 100.0);

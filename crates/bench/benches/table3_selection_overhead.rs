@@ -68,7 +68,7 @@ fn main() {
 
         let juggler: Vec<Schedule> = detect_hotspots(&sample_app, &view, &HotspotConfig::default())
             .into_iter()
-            .map(|rs| rs.schedule)
+            .map(|rs| rs.schedule.as_ref().clone())
             .collect();
         let Some((jc, jt)) = family_stats(w.as_ref(), &juggler, spec) else {
             continue;

@@ -13,8 +13,7 @@ use bench::print_table;
 
 fn main() {
     let mut rows = Vec::new();
-    for w in bench::workloads() {
-        let trained = bench::train(w.as_ref());
+    for (w, trained) in bench::workloads().iter().zip(bench::train_all()) {
         let params = w.paper_params();
         let spec = trained.target_spec;
 

@@ -1,0 +1,81 @@
+//! Wall-clock benchmark of the parallel experiment runner: offline
+//! training of a multi-schedule workload, sequential vs parallel across
+//! thread counts. Verifies on the way that every thread count yields a
+//! byte-identical artifact, then records the timings (and speedups over
+//! the sequential run) to `results/BENCH_training_parallel.json`.
+
+use std::time::Instant;
+
+use bench::print_table;
+use juggler::pipeline::{OfflineTraining, TrainingConfig};
+use workloads::{LogisticRegression, Workload};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+fn train_once(w: &dyn Workload, threads: usize) -> (f64, String) {
+    let config = TrainingConfig {
+        threads,
+        ..TrainingConfig::default()
+    };
+    let t0 = Instant::now();
+    let trained = OfflineTraining::run(w, &config).expect("training succeeds");
+    let secs = t0.elapsed().as_secs_f64();
+    (secs, serde_json::to_string(&trained).expect("artifact serializes"))
+}
+
+fn main() {
+    // LOR has a multi-schedule family (Table 2), so stage 4 fans a
+    // (schedules × 9)-cell matrix — the case the runner is built for.
+    let w = LogisticRegression;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("host parallelism: {cores}");
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    let mut baseline_s = 0.0;
+    let mut reference: Option<String> = None;
+    for &threads in &THREAD_COUNTS {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let (secs, artifact) = train_once(&w, threads);
+            best = best.min(secs);
+            match &reference {
+                None => reference = Some(artifact),
+                Some(r) => assert_eq!(r, &artifact, "artifact must not depend on thread count"),
+            }
+        }
+        if threads == 1 {
+            baseline_s = best;
+        }
+        let speedup = baseline_s / best;
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.3}", best),
+            format!("{speedup:.2}x"),
+        ]);
+        series.push(serde_json::json!({
+            "threads": threads,
+            "best_seconds": best,
+            "speedup_vs_sequential": speedup,
+        }));
+    }
+
+    print_table(
+        "Offline training wall clock (LOR, best of 3)",
+        &["threads", "seconds", "speedup"],
+        &rows,
+    );
+    println!("\nartifacts byte-identical across all thread counts: yes");
+
+    bench::save_results(
+        "BENCH_training_parallel",
+        &serde_json::json!({
+            "workload": w.name(),
+            "reps": REPS,
+            "host_parallelism": cores,
+            "artifacts_identical": true,
+            "series": series,
+        }),
+    );
+}

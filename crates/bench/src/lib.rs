@@ -44,9 +44,10 @@ pub fn actual_run(
         .expect("schedule validated upstream")
 }
 
-/// Runs a schedule on every configuration of [`MACHINE_RANGE`], one
-/// thread per configuration (runs are independent and seeded per machine
-/// count, so the parallel sweep is bit-identical to the sequential one).
+/// Runs a schedule on every configuration of [`MACHINE_RANGE`] on the
+/// shared scoped worker pool (runs are independent and seeded per machine
+/// count, so the parallel sweep is bit-identical to the sequential one;
+/// `JUGGLER_THREADS` caps the pool).
 #[must_use]
 pub fn sweep(
     w: &dyn Workload,
@@ -56,32 +57,22 @@ pub fn sweep(
 ) -> Vec<RunReport> {
     let app = w.build(params);
     let sim_base = w.sim_params();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = MACHINE_RANGE
-            .map(|m| {
-                let app = &app;
-                scope.spawn(move |_| {
-                    let mut sim = sim_base;
-                    sim.seed = RUN_SEED ^ (u64::from(m) << 8);
-                    let engine = Engine::new(app, ClusterConfig::new(m, spec), sim);
-                    engine
-                        .run(
-                            schedule,
-                            RunOptions {
-                                collect_traces: false,
-                                partition_skew: 0.15,
-                            },
-                        )
-                        .expect("schedule validated upstream")
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect::<Vec<RunReport>>()
+    let machines: Vec<u32> = MACHINE_RANGE.collect();
+    juggler::parallel::run_indexed(machines.len(), 0, |i| {
+        let m = machines[i];
+        let mut sim = sim_base;
+        sim.seed = RUN_SEED ^ (u64::from(m) << 8);
+        let engine = Engine::new(&app, ClusterConfig::new(m, spec), sim);
+        engine
+            .run(
+                schedule,
+                RunOptions {
+                    collect_traces: false,
+                    partition_skew: 0.15,
+                },
+            )
+            .expect("schedule validated upstream")
     })
-    .expect("sweep scope")
 }
 
 /// The configuration with minimal cost in a sweep: `(machines, cost
@@ -105,6 +96,22 @@ pub fn minimal_cost(sweep: &[RunReport]) -> f64 {
 #[must_use]
 pub fn train(w: &dyn Workload) -> TrainedJuggler {
     OfflineTraining::run(w, &TrainingConfig::default()).expect("training succeeds")
+}
+
+/// Trains Juggler for every evaluated workload, whole workloads fanned
+/// across the worker pool (each training itself sequential so the pool is
+/// not oversubscribed). Returns artifacts in [`workloads`] order —
+/// bit-identical to training them one by one.
+#[must_use]
+pub fn train_all() -> Vec<TrainedJuggler> {
+    let ws = workloads();
+    juggler::parallel::run_indexed(ws.len(), 0, |i| {
+        let config = TrainingConfig {
+            threads: 1,
+            ..TrainingConfig::default()
+        };
+        OfflineTraining::run(ws[i].as_ref(), &config).expect("training succeeds")
+    })
 }
 
 /// All five evaluated workloads.

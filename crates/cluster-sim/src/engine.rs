@@ -8,8 +8,9 @@
 //! into the DAG" (§5.3) — run with any other schedule.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use dagflow::{Application, DagError, DatasetId, JobId, Schedule, ScheduleOp, StagePlan};
+use dagflow::{Application, DagError, DatasetId, JobId, LineageAnalysis, Schedule, ScheduleOp, StagePlan};
 
 use crate::config::{ClusterConfig, SimParams};
 use crate::executor::{run_stage, ExecutorState};
@@ -35,16 +36,30 @@ pub struct Engine<'a> {
     app: &'a Application,
     cluster: ClusterConfig,
     params: SimParams,
+    /// `job_uses[d]` — jobs whose DAG contains dataset `d`, for the
+    /// DAG-aware eviction policies' hints. Derived from the lineage
+    /// analysis once here; schedule-independent, so runs share it instead
+    /// of re-walking the DAG.
+    job_uses: Vec<Vec<usize>>,
 }
 
 impl<'a> Engine<'a> {
     /// Creates an engine.
     #[must_use]
     pub fn new(app: &'a Application, cluster: ClusterConfig, params: SimParams) -> Self {
+        let la = LineageAnalysis::new(app);
+        let job_uses: Vec<Vec<usize>> = (0..app.dataset_count() as u32)
+            .map(|d| {
+                (0..app.jobs().len())
+                    .filter(|&j| la.in_job(DatasetId(d), JobId(j as u32)))
+                    .collect()
+            })
+            .collect();
         Engine {
             app,
             cluster,
             params,
+            job_uses,
         }
     }
 
@@ -57,7 +72,30 @@ impl<'a> Engine<'a> {
     /// Runs the application under `schedule`, overriding whatever the
     /// developers cached (pass [`Application::default_schedule`] to
     /// reproduce the baseline behaviour).
+    ///
+    /// The schedule is deep-cloned once into the report; callers that
+    /// already hold an [`Arc<Schedule>`] should prefer [`Engine::run_shared`],
+    /// which only bumps the reference count.
     pub fn run(&self, schedule: &Schedule, options: RunOptions) -> Result<RunReport, DagError> {
+        self.run_inner(schedule, None, options)
+    }
+
+    /// Like [`Engine::run`] but for a shared schedule: the report's
+    /// `schedule` field is a clone of the `Arc`, not of the `Schedule`.
+    pub fn run_shared(
+        &self,
+        schedule: &Arc<Schedule>,
+        options: RunOptions,
+    ) -> Result<RunReport, DagError> {
+        self.run_inner(schedule, Some(schedule), options)
+    }
+
+    fn run_inner(
+        &self,
+        schedule: &Schedule,
+        shared: Option<&Arc<Schedule>>,
+        options: RunOptions,
+    ) -> Result<RunReport, DagError> {
         self.app.check_schedule(schedule)?;
         let machines = self.cluster.machines.max(1);
 
@@ -80,20 +118,12 @@ impl<'a> Engine<'a> {
 
         let mut store = BlockStore::with_policy(&self.cluster, self.params.eviction_policy);
         // Per-dataset job-use lists for the DAG-aware eviction policies'
-        // hints (only persisted datasets can ever be victims).
-        let la = dagflow::LineageAnalysis::new(self.app);
-        let persisted_ids: Vec<DatasetId> = (0..self.app.dataset_count() as u32)
+        // hints (only persisted datasets can ever be victims); the lists
+        // themselves are precomputed in `Engine::new`.
+        let job_uses: Vec<(DatasetId, &[usize])> = (0..self.app.dataset_count() as u32)
             .map(DatasetId)
             .filter(|d| persisted[d.index()])
-            .collect();
-        let job_uses: HashMap<DatasetId, Vec<usize>> = persisted_ids
-            .iter()
-            .map(|&d| {
-                let uses: Vec<usize> = (0..self.app.jobs().len())
-                    .filter(|&j| la.in_job(d, JobId(j as u32)))
-                    .collect();
-                (d, uses)
-            })
+            .map(|d| (d, self.job_uses[d.index()].as_slice()))
             .collect();
         let mut noise = TaskNoise::new(self.params.seed, self.params.noise);
         // Absolute cluster-dynamics jitter: drawn once per run (container
@@ -134,7 +164,7 @@ impl<'a> Engine<'a> {
             // next-use distance from this job onward.
             let hints: HashMap<DatasetId, crate::eviction::DatasetHints> = job_uses
                 .iter()
-                .map(|(&d, uses)| {
+                .map(|&(d, uses)| {
                     let remaining = uses.iter().filter(|&&u| u >= ji).count() as u64;
                     let next = uses
                         .iter()
@@ -207,7 +237,7 @@ impl<'a> Engine<'a> {
         };
         Ok(RunReport {
             app: self.app.name().to_owned(),
-            schedule: schedule.clone(),
+            schedule: shared.map_or_else(|| Arc::new(schedule.clone()), Arc::clone),
             machines,
             total_time_s: now,
             job_times_s: job_times,

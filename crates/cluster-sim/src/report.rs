@@ -1,6 +1,7 @@
 //! Run reports: timings, cache statistics, and task-level traces.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -150,8 +151,10 @@ impl StageTiming {
 pub struct RunReport {
     /// Application name.
     pub app: String,
-    /// Schedule the engine enforced.
-    pub schedule: Schedule,
+    /// Schedule the engine enforced (shared — reports are cloned and
+    /// fanned across threads during training, so the schedule rides along
+    /// by reference count instead of deep copy).
+    pub schedule: Arc<Schedule>,
     /// Number of machines.
     pub machines: u32,
     /// End-to-end wall-clock time, seconds (including startup).
@@ -198,7 +201,7 @@ mod tests {
     fn cost_is_machines_times_time() {
         let r = RunReport {
             app: "x".into(),
-            schedule: Schedule::empty(),
+            schedule: Arc::new(Schedule::empty()),
             machines: 7,
             total_time_s: 120.0,
             job_times_s: vec![],

@@ -32,6 +32,7 @@
 //! schedule counts imply the same pruning).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -85,8 +86,10 @@ impl DatasetMetricsView {
 /// One produced schedule, with its provenance numbers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RankedSchedule {
-    /// The ordered persist/unpersist instructions.
-    pub schedule: Schedule,
+    /// The ordered persist/unpersist instructions (shared — downstream
+    /// recommendations and reports reference the schedule without deep
+    /// copies).
+    pub schedule: Arc<Schedule>,
     /// Total caching benefit, seconds (at sample-run scale).
     pub benefit_s: f64,
     /// Memory budget, bytes (at sample-run scale).
@@ -168,7 +171,7 @@ pub fn detect_hotspots(
         let schedule = assemble_schedule(&la, &cached);
         let budget = schedule.memory_budget(|d| metrics.size[d.index()]);
         schedules.push(RankedSchedule {
-            schedule,
+            schedule: Arc::new(schedule),
             benefit_s: total_benefit,
             budget_bytes: budget,
         });

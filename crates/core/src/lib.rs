@@ -39,6 +39,7 @@
 
 pub mod hotspot;
 pub mod memory_calibration;
+pub mod parallel;
 pub mod param_calibration;
 pub mod pipeline;
 pub mod recommend;
@@ -48,6 +49,7 @@ pub mod transfer;
 
 pub use hotspot::{detect_hotspots, DatasetMetricsView, HotspotConfig, RankedSchedule};
 pub use memory_calibration::{MemoryCalibration, MemoryFactor};
+pub use parallel::{resolve_threads, run_indexed, try_run_indexed};
 pub use param_calibration::{ParamCalibration, SizeModel};
 pub use pipeline::{OfflineTraining, TrainedJuggler, TrainingConfig};
 pub use recommend::{CostModel, MachineMinutes, Recommendation, RecommendationMenu, TieredHourly};

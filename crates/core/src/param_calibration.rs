@@ -84,12 +84,16 @@ impl ParamCalibration {
     }
 
     /// Datasets needed by a set of schedules (helper for selecting what to
-    /// calibrate).
+    /// calibrate). Accepts any iterator of schedule references, so callers
+    /// holding `Arc<Schedule>`s need not clone them into a slice.
     #[must_use]
-    pub fn datasets_of(schedules: &[Schedule]) -> BTreeSet<DatasetId> {
+    pub fn datasets_of<'a, I>(schedules: I) -> BTreeSet<DatasetId>
+    where
+        I: IntoIterator<Item = &'a Schedule>,
+    {
         schedules
-            .iter()
-            .flat_map(|s| s.persisted())
+            .into_iter()
+            .flat_map(Schedule::persisted)
             .collect()
     }
 

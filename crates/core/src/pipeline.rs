@@ -7,7 +7,8 @@
 //! amortize training).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions, RunReport};
 use dagflow::{DagError, DatasetId};
@@ -16,6 +17,7 @@ use workloads::{Workload, WorkloadParams};
 
 use crate::hotspot::{detect_hotspots, DatasetMetricsView, HotspotConfig, RankedSchedule};
 use crate::memory_calibration::{MemoryCalibration, MemoryFactor};
+use crate::parallel::try_run_indexed;
 use crate::param_calibration::ParamCalibration;
 use crate::recommend::{CostModel, MachineMinutes, Recommendation, RecommendationMenu};
 use crate::time_model::TimeModel;
@@ -74,6 +76,12 @@ pub struct TrainingConfig {
     pub max_machines: u32,
     /// RNG seed threaded into every simulated run.
     pub seed: u64,
+    /// Worker threads for the independent training experiments. `0` means
+    /// automatic: the `JUGGLER_THREADS` environment variable if set, else
+    /// the machine's available parallelism. `1` forces the sequential
+    /// path. Every run owns its seed, so the trained artifact is
+    /// bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for TrainingConfig {
@@ -84,6 +92,7 @@ impl Default for TrainingConfig {
             hotspot: HotspotConfig::default(),
             max_machines: 12,
             seed: 0x5EED,
+            threads: 0,
         }
     }
 }
@@ -101,6 +110,13 @@ impl StageCost {
     fn add(&mut self, report: &RunReport) {
         self.runs += 1;
         self.machine_minutes += report.cost_machine_minutes();
+    }
+
+    /// Accumulates a run's cost from its machine-minutes alone (used when
+    /// the report itself stays on a worker thread).
+    fn add_cost(&mut self, machine_minutes: f64) {
+        self.runs += 1;
+        self.machine_minutes += machine_minutes;
     }
 }
 
@@ -183,7 +199,7 @@ impl TrainedJuggler {
                 let time = self.time_models[i].predict(examples, features);
                 Recommendation {
                     schedule_index: i,
-                    schedule: rs.schedule.clone(),
+                    schedule: Arc::clone(&rs.schedule),
                     predicted_size_bytes: size,
                     machines,
                     predicted_time_s: time,
@@ -233,7 +249,7 @@ impl TrainedJuggler {
                 let time = transfer.map_or(base, |t| t.predict(base));
                 Recommendation {
                     schedule_index: i,
-                    schedule: rs.schedule.clone(),
+                    schedule: Arc::clone(&rs.schedule),
                     predicted_size_bytes: size,
                     machines,
                     predicted_time_s: time,
@@ -298,37 +314,37 @@ impl OfflineTraining {
         let sample = workload.sample_params();
         let sample_app = workload.build(&sample);
         let calib_cluster = ClusterConfig::new(1, config.calibration_spec);
-        let out = profile_run(
-            &sample_app,
-            &sample_app.default_schedule().clone(),
-            calib_cluster,
-            sim(1),
-        )?;
+        let out = profile_run(&sample_app, sample_app.default_schedule(), calib_cluster, sim(1))?;
         costs.hotspot.add(&out.report);
         let metrics = DatasetMetricsView::from_metrics(&out.metrics, sample_app.dataset_count());
         let schedules = detect_hotspots(&sample_app, &metrics, &config.hotspot);
 
-        // ── Stage 2: parameter calibration (3×3 instrumented runs). ──
+        // ── Stage 2: parameter calibration (3×3 instrumented runs, one
+        //    grid point per worker; each point owns its seed). ──
         let (e_axis, f_axis) = workload.training_axes();
         let grid = ParamCalibration::training_grid(&e_axis, &f_axis);
-        let wanted: Vec<DatasetId> = ParamCalibration::datasets_of(
-            &schedules.iter().map(|s| s.schedule.clone()).collect::<Vec<_>>(),
-        )
-        .into_iter()
-        .collect();
-        let mut observations: HashMap<DatasetId, Vec<(f64, f64, u64)>> = HashMap::new();
-        for (gi, &(e, f)) in grid.iter().enumerate() {
+        let wanted: BTreeSet<DatasetId> =
+            ParamCalibration::datasets_of(schedules.iter().map(|s| s.schedule.as_ref()));
+        let grid_runs = try_run_indexed::<_, TrainingError, _>(grid.len(), config.threads, |gi| {
+            let (e, f) = grid[gi];
             let params = WorkloadParams::auto(e as u64, f as u64, sample.iterations);
             let app = workload.build(&params);
-            let run = profile_run(&app, &app.default_schedule().clone(), calib_cluster, sim(2 + gi as u64))?;
-            costs.param_calibration.add(&run.report);
-            for m in &run.metrics {
-                if wanted.contains(&m.dataset) {
-                    observations
-                        .entry(m.dataset)
-                        .or_default()
-                        .push((e, f, m.size_bytes));
-                }
+            let run = profile_run(&app, app.default_schedule(), calib_cluster, sim(2 + gi as u64))
+                .map_err(TrainingError::from)?;
+            let sizes: Vec<(DatasetId, u64)> = run
+                .metrics
+                .iter()
+                .filter(|m| wanted.contains(&m.dataset))
+                .map(|m| (m.dataset, m.size_bytes))
+                .collect();
+            Ok((run.report.cost_machine_minutes(), sizes))
+        })?;
+        // Accumulate in grid order — identical at any thread count.
+        let mut observations: HashMap<DatasetId, Vec<(f64, f64, u64)>> = HashMap::new();
+        for ((machine_minutes, sizes), &(e, f)) in grid_runs.iter().zip(&grid) {
+            costs.param_calibration.add_cost(*machine_minutes);
+            for &(dataset, size_bytes) in sizes {
+                observations.entry(dataset).or_default().push((e, f, size_bytes));
             }
         }
         let sizes = match ParamCalibration::fit(&observations) {
@@ -347,7 +363,7 @@ impl OfflineTraining {
             let params = WorkloadParams::auto(e_fill as u64, f_fill as u64, sample.iterations);
             let app = workload.build(&params);
             let engine = Engine::new(&app, calib_cluster, sim(20));
-            let report = engine.run(&first.schedule, RunOptions::default())?;
+            let report = engine.run_shared(&first.schedule, RunOptions::default())?;
             costs.memory_calibration.add(&report);
             MemoryFactor::from_run(&app, &first.schedule, &report)
         } else {
@@ -355,23 +371,35 @@ impl OfflineTraining {
         };
 
         // ── Stage 4: execution-time models (9 runs per schedule on the
-        //    recommended configuration, full iteration counts). ──
+        //    recommended configuration, full iteration counts). The
+        //    (schedule × grid-point) matrix is flattened onto the worker
+        //    pool; the seed offset `40 + k` matches the sequential loop. ──
         let paper = workload.paper_params();
+        let cells = schedules.len() * grid.len();
+        let matrix = try_run_indexed::<_, TrainingError, _>(cells, config.threads, |k| {
+            let (si, gi) = (k / grid.len(), k % grid.len());
+            let rs = &schedules[si];
+            let (e, f) = grid[gi];
+            let size = sizes.predict_schedule_size(&rs.schedule, e, f);
+            let machines = memory_factor
+                .recommend_machines(size, &config.target_spec)
+                .min(config.max_machines);
+            let params = WorkloadParams::auto(e as u64, f as u64, paper.iterations);
+            let app = workload.build(&params);
+            let cluster = ClusterConfig::new(machines, config.target_spec);
+            let engine = Engine::new(&app, cluster, sim(40 + k as u64));
+            let report = engine
+                .run_shared(&rs.schedule, RunOptions::default())
+                .map_err(TrainingError::from)?;
+            Ok((report.cost_machine_minutes(), (e, f, report.total_time_s)))
+        })?;
         let mut time_models = Vec::with_capacity(schedules.len());
-        for (si, rs) in schedules.iter().enumerate() {
+        for si in 0..schedules.len() {
+            let row = &matrix[si * grid.len()..(si + 1) * grid.len()];
             let mut points = Vec::with_capacity(grid.len());
-            for (gi, &(e, f)) in grid.iter().enumerate() {
-                let size = sizes.predict_schedule_size(&rs.schedule, e, f);
-                let machines = memory_factor
-                    .recommend_machines(size, &config.target_spec)
-                    .min(config.max_machines);
-                let params = WorkloadParams::auto(e as u64, f as u64, paper.iterations);
-                let app = workload.build(&params);
-                let cluster = ClusterConfig::new(machines, config.target_spec);
-                let engine = Engine::new(&app, cluster, sim(40 + (si * grid.len() + gi) as u64));
-                let report = engine.run(&rs.schedule, RunOptions::default())?;
-                costs.time_models.add(&report);
-                points.push((e, f, report.total_time_s));
+            for &(machine_minutes, point) in row {
+                costs.time_models.add_cost(machine_minutes);
+                points.push(point);
             }
             time_models.push(TimeModel::fit(si, &points)?);
         }
@@ -404,28 +432,34 @@ impl OfflineTraining {
         assert!(!iteration_axis.is_empty(), "need at least one iteration level");
         let (e_axis, f_axis) = workload.training_axes();
         let grid = ParamCalibration::training_grid(&e_axis, &f_axis);
+        // Flatten the (schedule × grid × iterations) cube onto the worker
+        // pool; the seed offset `900 + k` matches the sequential loop.
+        let per_schedule = grid.len() * iteration_axis.len();
+        let cells = trained.schedules.len() * per_schedule;
+        let runs = try_run_indexed::<_, TrainingError, _>(cells, config.threads, |k| {
+            let si = k / per_schedule;
+            let (gi, ii) = ((k % per_schedule) / iteration_axis.len(), k % iteration_axis.len());
+            let rs = &trained.schedules[si];
+            let (e, f) = grid[gi];
+            let iters = iteration_axis[ii];
+            let size = trained.sizes.predict_schedule_size(&rs.schedule, e, f);
+            let machines = trained
+                .memory_factor
+                .recommend_machines(size, &config.target_spec)
+                .min(config.max_machines);
+            let params = WorkloadParams::auto(e as u64, f as u64, iters);
+            let app = workload.build(&params);
+            let mut sim = workload.sim_params();
+            sim.seed = config.seed.wrapping_add(900 + k as u64);
+            let cluster = ClusterConfig::new(machines, config.target_spec);
+            let report = Engine::new(&app, cluster, sim)
+                .run_shared(&rs.schedule, RunOptions::default())
+                .map_err(TrainingError::from)?;
+            Ok((e, f, f64::from(iters), report.total_time_s))
+        })?;
         let mut models = Vec::with_capacity(trained.schedules.len());
-        for (si, rs) in trained.schedules.iter().enumerate() {
-            let mut points = Vec::new();
-            for (gi, &(e, f)) in grid.iter().enumerate() {
-                let size = trained.sizes.predict_schedule_size(&rs.schedule, e, f);
-                let machines = trained
-                    .memory_factor
-                    .recommend_machines(size, &config.target_spec)
-                    .min(config.max_machines);
-                for (ii, &iters) in iteration_axis.iter().enumerate() {
-                    let params = WorkloadParams::auto(e as u64, f as u64, iters);
-                    let app = workload.build(&params);
-                    let mut sim = workload.sim_params();
-                    sim.seed = config
-                        .seed
-                        .wrapping_add(900 + (si * grid.len() * iteration_axis.len() + gi * iteration_axis.len() + ii) as u64);
-                    let cluster = ClusterConfig::new(machines, config.target_spec);
-                    let report = Engine::new(&app, cluster, sim).run(&rs.schedule, RunOptions::default())?;
-                    points.push((e, f, f64::from(iters), report.total_time_s));
-                }
-            }
-            models.push(TimeModel::fit_with_iterations(si, &points)?);
+        for (si, points) in runs.chunks(per_schedule).enumerate() {
+            models.push(TimeModel::fit_with_iterations(si, points)?);
         }
         Ok(models)
     }

@@ -1,6 +1,8 @@
 //! The end-user flow of §5.5: size estimator → cluster-configuration
 //! selector → execution-time predictor → cost estimator → Pareto menu.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use dagflow::Schedule;
@@ -58,8 +60,9 @@ impl CostModel for TieredHourly {
 pub struct Recommendation {
     /// Index of the schedule in the trained family.
     pub schedule_index: usize,
-    /// The schedule itself.
-    pub schedule: Schedule,
+    /// The schedule itself (shared with the trained family — menu
+    /// construction never deep-copies schedules).
+    pub schedule: Arc<Schedule>,
     /// Predicted total size of the cached datasets, bytes.
     pub predicted_size_bytes: u64,
     /// Recommended machine count (Eq. 6).
@@ -141,7 +144,7 @@ mod tests {
     fn rec(idx: usize, time: f64, cost: f64) -> Recommendation {
         Recommendation {
             schedule_index: idx,
-            schedule: Schedule::empty(),
+            schedule: Arc::new(Schedule::empty()),
             predicted_size_bytes: 0,
             machines: 1,
             predicted_time_s: time,

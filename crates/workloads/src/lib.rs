@@ -44,7 +44,11 @@ use cluster_sim::SimParams;
 use dagflow::Application;
 
 /// A generatable benchmark application.
-pub trait Workload {
+///
+/// `Send + Sync` so trait objects can be shared with the scoped worker
+/// threads of the offline-training runner; implementations are stateless
+/// unit structs, so the bound costs nothing.
+pub trait Workload: Send + Sync {
     /// Short uppercase name as the paper uses it (`LIR`, `LOR`, …).
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full offline verification: tier-1 (build + tests) plus lint gates.
+# Everything resolves against the vendored compat/ crates, so this runs
+# without network access; --offline makes that explicit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests (workspace) =="
+cargo test -q --offline --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "all checks passed"

@@ -27,6 +27,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "list" => cmd_list(),
         "train" => cmd_train(rest),
+        "train-all" => cmd_train_all(rest),
         "recommend" => cmd_recommend(rest),
         "schedules" => cmd_schedules(rest),
         "sweep" => cmd_sweep(rest),
@@ -52,14 +53,20 @@ juggler — autonomous cost optimization for iterative big-data applications
 
 USAGE:
   juggler list
-  juggler train <WORKLOAD> [--out FILE]
+  juggler train <WORKLOAD> [--out FILE] [--threads N]
+  juggler train-all [--out-dir DIR] [--threads N]
   juggler recommend <ARTIFACT.json> -e <EXAMPLES> -f <FEATURES> [--ram-gb N]
   juggler schedules <WORKLOAD>
   juggler sweep <WORKLOAD> [--schedule N | --ops \"p(1) u(1) p(2)\"]
   juggler dot <WORKLOAD> [--schedule N]
   juggler trace <WORKLOAD> [--machines N] [--width N]
 
-WORKLOAD: LIR | LOR | PCA | RFC | SVM";
+WORKLOAD: LIR | LOR | PCA | RFC | SVM
+
+--threads 0 (the default) auto-sizes the experiment worker pool from the
+JUGGLER_THREADS environment variable or the machine's parallelism;
+--threads 1 forces sequential runs. Artifacts are bit-identical either
+way.";
 
 fn find_workload(name: &str) -> Result<Box<dyn Workload>, String> {
     all_workloads()
@@ -96,12 +103,26 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the shared `--threads N` flag (0 = automatic).
+fn threads_flag(args: &[String]) -> Result<usize, String> {
+    match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1) {
+            Some(t) => parse_num(t, "--threads"),
+            None => Err("--threads requires a value".into()),
+        },
+        None => Ok(0),
+    }
+}
+
 fn cmd_train(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("train needs a workload name")?;
     let w = find_workload(name)?;
+    let config = TrainingConfig {
+        threads: threads_flag(args)?,
+        ..TrainingConfig::default()
+    };
     eprintln!("training Juggler for {} (four offline stages)...", w.name());
-    let trained = OfflineTraining::run(w.as_ref(), &TrainingConfig::default())
-        .map_err(|e| e.to_string())?;
+    let trained = OfflineTraining::run(w.as_ref(), &config).map_err(|e| e.to_string())?;
     let json = serde_json::to_string_pretty(&trained).map_err(|e| e.to_string())?;
     match flag(args, "--out") {
         Some(path) => {
@@ -114,6 +135,44 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             );
         }
         None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_train_all(args: &[String]) -> Result<(), String> {
+    let threads = threads_flag(args)?;
+    let out_dir = flag(args, "--out-dir");
+    let ws = all_workloads();
+    eprintln!(
+        "training {} workloads on {} worker(s)...",
+        ws.len(),
+        juggler_suite::juggler::resolve_threads(threads)
+    );
+    // Whole workloads fan across the pool; each training then runs its
+    // own stages sequentially so the pool is not oversubscribed.
+    let results = juggler_suite::juggler::try_run_indexed::<_, String, _>(ws.len(), threads, |i| {
+        let config = TrainingConfig {
+            threads: 1,
+            ..TrainingConfig::default()
+        };
+        OfflineTraining::run(ws[i].as_ref(), &config).map_err(|e| format!("{}: {e}", ws[i].name()))
+    })?;
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    }
+    for trained in &results {
+        println!(
+            "{:<5} {} schedules, memory factor {:.3}, training cost {:.1} machine-min",
+            trained.workload,
+            trained.schedules.len(),
+            trained.memory_factor.factor,
+            trained.costs.total_machine_minutes()
+        );
+        if let Some(dir) = &out_dir {
+            let path = std::path::Path::new(dir).join(format!("{}.json", trained.workload.to_lowercase()));
+            let json = serde_json::to_string_pretty(trained).map_err(|e| e.to_string())?;
+            std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
     }
     Ok(())
 }
@@ -247,6 +306,7 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
                 .get(idx)
                 .ok_or_else(|| format!("schedule {} does not exist", idx + 1))?
                 .schedule
+                .as_ref()
                 .clone()
         }
         None => app.default_schedule().clone(),

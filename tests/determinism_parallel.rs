@@ -1,0 +1,81 @@
+//! The parallel experiment runner's determinism contract: training on a
+//! worker pool must produce an artifact byte-identical to the sequential
+//! run, because every simulated experiment owns its RNG seed and results
+//! are gathered in index order.
+
+use juggler_suite::juggler::pipeline::{OfflineTraining, TrainingConfig};
+use juggler_suite::juggler::{resolve_threads, run_indexed, try_run_indexed};
+use juggler_suite::workloads::{LogisticRegression, Pca, Workload};
+
+fn config_with_threads(threads: usize) -> TrainingConfig {
+    TrainingConfig {
+        threads,
+        ..TrainingConfig::default()
+    }
+}
+
+/// Serializes a trained artifact to its canonical JSON bytes.
+fn artifact_bytes(w: &dyn Workload, threads: usize) -> String {
+    let trained = OfflineTraining::run(w, &config_with_threads(threads)).expect("training succeeds");
+    serde_json::to_string_pretty(&trained).expect("artifact serializes")
+}
+
+#[test]
+fn parallel_training_is_bit_identical_to_sequential() {
+    let workloads: [&dyn Workload; 2] = [&Pca, &LogisticRegression];
+    for w in workloads {
+        let sequential = artifact_bytes(w, 1);
+        for threads in [2, 4] {
+            let parallel = artifact_bytes(w, threads);
+            assert_eq!(
+                sequential,
+                parallel,
+                "{}: artifact differs between threads=1 and threads={threads}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn iteration_models_are_bit_identical_to_sequential() {
+    let w = Pca;
+    let axis = [1u32, 2, 4];
+    let trained = OfflineTraining::run(&w, &config_with_threads(1)).expect("training succeeds");
+    let sequential =
+        OfflineTraining::fit_iteration_models(&w, &config_with_threads(1), &trained, &axis)
+            .expect("sequential fit succeeds");
+    let parallel =
+        OfflineTraining::fit_iteration_models(&w, &config_with_threads(4), &trained, &axis)
+            .expect("parallel fit succeeds");
+    let seq_json = serde_json::to_string(&sequential).unwrap();
+    let par_json = serde_json::to_string(&parallel).unwrap();
+    assert_eq!(seq_json, par_json);
+}
+
+#[test]
+fn threads_one_takes_the_sequential_fallback() {
+    // With one worker the runner never spawns: the closure observes the
+    // caller's thread id on every item.
+    let caller = std::thread::current().id();
+    let ids = run_indexed(8, 1, |_| std::thread::current().id());
+    assert!(ids.iter().all(|&id| id == caller));
+
+    // And with several workers at least one item runs off-thread (8 items
+    // across 4 workers; the work-stealing loop makes this deterministic
+    // enough — workers are spawned before the caller's thread joins in).
+    let results = try_run_indexed::<_, (), _>(8, 4, |i| {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        Ok((i, std::thread::current().id()))
+    })
+    .expect("infallible closure");
+    assert_eq!(results.len(), 8);
+    assert!(results.iter().all(|&(_, id)| id != caller));
+}
+
+#[test]
+fn explicit_thread_request_wins_over_environment() {
+    assert_eq!(resolve_threads(2), 2);
+    assert_eq!(resolve_threads(7), 7);
+    assert!(resolve_threads(0) >= 1);
+}
