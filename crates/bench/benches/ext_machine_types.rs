@@ -26,7 +26,7 @@ fn main() {
         let mut sim = w.sim_params();
         sim.seed = seed;
         Engine::new(&app, ClusterConfig::new(machines, *spec), sim)
-            .run(&trained.schedules[0].schedule, RunOptions { collect_traces: false, partition_skew: 0.15 })
+            .run(&trained.schedules[0].schedule, RunOptions { collect_traces: false, partition_skew: 0.15, ..RunOptions::default() })
             .expect("run succeeds")
     };
 

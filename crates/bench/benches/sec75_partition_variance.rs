@@ -34,6 +34,7 @@ fn main() {
             RunOptions {
                 collect_traces: true,
                 partition_skew: 0.33, // the paper's up-to-2x spread
+                ..RunOptions::default()
             },
         )
         .expect("run succeeds");

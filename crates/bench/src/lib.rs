@@ -39,6 +39,7 @@ pub fn actual_run(
             RunOptions {
                 collect_traces: false,
                 partition_skew: 0.15,
+                ..RunOptions::default()
             },
         )
         .expect("schedule validated upstream")
@@ -69,6 +70,7 @@ pub fn sweep(
                 RunOptions {
                     collect_traces: false,
                     partition_skew: 0.15,
+                    ..RunOptions::default()
                 },
             )
             .expect("schedule validated upstream")

@@ -18,6 +18,7 @@ use crate::memory::BlockStore;
 use crate::report::{CacheStats, RunReport, StageTiming};
 use crate::rng::TaskNoise;
 use crate::task::{Sizing, TaskEnv};
+use crate::trace::{TraceConfig, TraceCounters, TraceRecorder};
 
 /// Per-run options.
 #[derive(Debug, Clone, Copy, Default)]
@@ -27,6 +28,30 @@ pub struct RunOptions {
     pub collect_traces: bool,
     /// Per-partition size skew amplitude (0 = perfectly even partitions).
     pub partition_skew: f64,
+    /// Structured trace recording (spans + counters into a ring buffer,
+    /// exported via [`crate::trace::RunTrace`]). Disabled by default; when
+    /// disabled every recording call is a no-op.
+    pub trace: TraceConfig,
+}
+
+/// Cumulative run-wide counters for a trace snapshot: cache behaviour
+/// summed over every dataset, plus executor-level spill/locality tallies.
+/// Sums are order-independent, so snapshots are deterministic regardless
+/// of `HashMap` iteration order.
+fn gather_counters(store: &BlockStore, state: &ExecutorState) -> TraceCounters {
+    let mut c = TraceCounters {
+        spills: state.spilled_tasks,
+        locality_fallbacks: state.locality_fallbacks,
+        ..TraceCounters::default()
+    };
+    for s in store.stats().values() {
+        c.cache_hits += s.hits;
+        c.cache_misses += s.misses;
+        c.evictions += s.evictions;
+        c.insert_failures += s.insert_failures;
+        c.unpersisted += s.unpersisted;
+    }
+    c
 }
 
 /// The simulation engine. Construct once per (application, cluster,
@@ -147,6 +172,7 @@ impl<'a> Engine<'a> {
         let mut per_job_cache = Vec::with_capacity(self.app.jobs().len());
         let mut stage_times = Vec::new();
         let mut traces = Vec::new();
+        let mut recorder = TraceRecorder::new(options.trace);
 
         let mut pending_failure = self.params.failure;
         for ji in 0..self.app.jobs().len() {
@@ -200,7 +226,15 @@ impl<'a> Engine<'a> {
                     .collect();
                 let stage_start = now;
                 now = run_stage(
-                    &env, &mut store, &mut state, job, stage, &consumers, now, &mut traces,
+                    &env,
+                    &mut store,
+                    &mut state,
+                    job,
+                    stage,
+                    &consumers,
+                    now,
+                    &mut traces,
+                    &mut recorder,
                 );
                 stage_times.push(StageTiming {
                     job,
@@ -209,6 +243,10 @@ impl<'a> Engine<'a> {
                     finish: now,
                     tasks: stage.num_tasks,
                 });
+                if recorder.enabled() {
+                    recorder.stage_span(job.0, stage.id.0, stage_start, now, stage.num_tasks);
+                    recorder.counter_snapshot(now, gather_counters(&store, &state));
+                }
             }
             // Serial driver work: job bookkeeping plus per-machine
             // coordination (the area-B term), with a small absolute wobble
@@ -217,6 +255,7 @@ impl<'a> Engine<'a> {
                 + self.params.driver_per_machine_s * f64::from(machines)
                 + state.noise.uniform() * self.params.cluster_jitter_s * 0.02;
             job_times.push(now - job_start);
+            recorder.job_span(job.0, job_start, now);
 
             let deltas: Vec<(DatasetId, u64, u64)> = store
                 .stats()
@@ -230,6 +269,7 @@ impl<'a> Engine<'a> {
             per_job_cache.push(deltas);
         }
 
+        let trace = recorder.finish(gather_counters(&store, &state));
         let cache = CacheStats {
             peak_storage_bytes: store.peak_storage(),
             peak_exec_bytes: store.peak_exec(),
@@ -245,6 +285,7 @@ impl<'a> Engine<'a> {
             per_job_cache,
             stage_times,
             traces,
+            trace,
             spilled_tasks: state.spilled_tasks,
             total_tasks: state.total_tasks,
         })
@@ -431,11 +472,48 @@ mod tests {
                 &Schedule::empty(),
                 RunOptions {
                     collect_traces: true,
-                    partition_skew: 0.0,
+                    ..RunOptions::default()
                 },
             )
             .unwrap();
         assert_eq!(traced.traces.len() as u64, traced.total_tasks);
+    }
+
+    #[test]
+    fn structured_trace_records_spans_and_counters() {
+        let app = iterative_app(3);
+        let cluster = ClusterConfig::new(2, MachineSpec::paper_example());
+        let engine = Engine::new(&app, cluster, quiet_params());
+        // Disabled by default: no trace, no allocation.
+        let plain = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        assert!(plain.trace.is_none());
+
+        let opts = RunOptions {
+            trace: crate::trace::TraceConfig::enabled(),
+            ..RunOptions::default()
+        };
+        let traced = engine
+            .run(&Schedule::persist_all([DatasetId(1)]), opts)
+            .unwrap();
+        let trace = traced.trace.as_ref().expect("trace present");
+        let (jobs, stages, waves, tasks, snaps) = trace.event_counts();
+        assert_eq!(jobs, traced.job_times_s.len());
+        assert_eq!(stages, traced.stage_times.len());
+        assert_eq!(tasks as u64, traced.total_tasks);
+        assert!(waves >= stages, "≥1 wave per stage");
+        // One counter snapshot per stage.
+        assert_eq!(snaps, traced.stage_times.len());
+        // Final counters match the report's aggregate cache stats.
+        let hits: u64 = traced.cache.per_dataset.values().map(|s| s.hits).sum();
+        assert_eq!(trace.counters.cache_hits, hits);
+        assert_eq!(trace.counters.spills, traced.spilled_tasks);
+        assert_eq!(trace.task_durations.count, traced.total_tasks);
+        assert_eq!(trace.dropped_events, 0);
+        // Identical runs produce identical traces (seeded determinism).
+        let again = engine
+            .run(&Schedule::persist_all([DatasetId(1)]), opts)
+            .unwrap();
+        assert_eq!(traced.trace, again.trace);
     }
 
     #[test]

@@ -16,10 +16,20 @@ use crate::memory::BlockStore;
 use crate::report::TaskTrace;
 use crate::rng::TaskNoise;
 use crate::task::{walk_task, TaskEnv};
+use crate::trace::TraceRecorder;
 
 /// How long a task will wait for its preferred (cache-local) machine before
 /// falling back to any machine, seconds. Mirrors `spark.locality.wait = 3s`.
 const LOCALITY_WAIT_S: f64 = 3.0;
+
+/// Total task slots of a cluster. Both factors are widened to `usize`
+/// *before* multiplying: the old `(machines * cores) as usize` computed the
+/// product in `u32`, which overflows (panic in debug, silent wraparound in
+/// release) on large machine-sweep configurations like 2^16 × 2^16.
+#[must_use]
+pub fn total_slots(machines: u32, cores: u32) -> usize {
+    machines as usize * cores as usize
+}
 
 /// Mutable per-run scheduling state shared across stages.
 pub struct ExecutorState {
@@ -34,6 +44,9 @@ pub struct ExecutorState {
     pub spilled_tasks: u64,
     /// Total tasks executed.
     pub total_tasks: u64,
+    /// Tasks that preferred their cache-local machine but ran elsewhere
+    /// because the locality wait was exceeded.
+    pub locality_fallbacks: u64,
 }
 
 impl ExecutorState {
@@ -41,11 +54,12 @@ impl ExecutorState {
     #[must_use]
     pub fn new(machines: u32, cores: u32, noise: TaskNoise) -> Self {
         ExecutorState {
-            core_free: vec![0.0; (machines * cores) as usize],
+            core_free: vec![0.0; total_slots(machines, cores)],
             exec_claims: (0..machines).map(|_| Vec::new()).collect(),
             noise,
             spilled_tasks: 0,
             total_tasks: 0,
+            locality_fallbacks: 0,
         }
     }
 
@@ -65,7 +79,8 @@ impl ExecutorState {
 }
 
 /// Runs one stage starting at `stage_start`; returns the stage finish time
-/// and appends traces when tracing is on.
+/// and appends traces when tracing is on. Structured span events (tasks,
+/// waves) go to `recorder` when it is enabled.
 #[allow(clippy::too_many_arguments)]
 pub fn run_stage(
     env: &TaskEnv<'_>,
@@ -76,9 +91,14 @@ pub fn run_stage(
     shuffle_consumers: &[DatasetId],
     stage_start: f64,
     traces: &mut Vec<TaskTrace>,
+    recorder: &mut TraceRecorder,
 ) -> f64 {
     let machines = env.cluster.machines as usize;
     let cores = env.cluster.spec.cores as usize;
+    // Wave bookkeeping for the structured trace: wave `w` holds the tasks
+    // dispatched onto the `w`-th round of cluster slots.
+    let slots = total_slots(env.cluster.machines, env.cluster.spec.cores).max(1);
+    let mut waves: Vec<(f64, f64, u32)> = Vec::new();
     // Execution memory a task claims: its fair share of the execution
     // pool (Spark's UnifiedMemoryManager grants each of N concurrent
     // tasks up to 1/N of the pool). The workload-specific factor says how
@@ -126,6 +146,10 @@ pub fn run_stage(
             None => global_best,
         };
         let machine = slot / cores;
+        let locality_fallback = preferred.is_some_and(|m| m != machine);
+        if locality_fallback {
+            state.locality_fallbacks += 1;
+        }
         let start = slot_free.max(dispatch_ready).max(stage_start);
 
         // Memory: release expired claims, then claim for this task.
@@ -151,6 +175,28 @@ pub fn run_stage(
         state.exec_claims[machine].push((finish, claimed));
         stage_finish = stage_finish.max(finish);
 
+        if recorder.enabled() {
+            recorder.task_span(
+                job.0,
+                stage.id.0,
+                task_idx,
+                machine as u32,
+                (slot % cores) as u32,
+                start,
+                finish,
+                claimed < exec_bytes,
+                locality_fallback,
+            );
+            let wave = task_idx as usize / slots;
+            if waves.len() <= wave {
+                waves.resize(wave + 1, (f64::INFINITY, f64::NEG_INFINITY, 0));
+            }
+            let w = &mut waves[wave];
+            w.0 = w.0.min(start);
+            w.1 = w.1.max(finish);
+            w.2 += 1;
+        }
+
         if env.trace {
             // Shift step offsets to absolute times, scaled to the noisy
             // duration so steps still tile the task exactly.
@@ -174,6 +220,9 @@ pub fn run_stage(
             });
         }
     }
+    for (wi, &(start, finish, tasks)) in waves.iter().enumerate() {
+        recorder.wave_span(job.0, stage.id.0, wi as u32, start, finish, tasks);
+    }
     // Release claims that expire at stage end so the next stage starts
     // clean.
     for m in 0..machines {
@@ -187,6 +236,8 @@ mod tests {
     use super::*;
     use dagflow::{AppBuilder, Application, ComputeCost, NarrowKind, SourceFormat, StagePlan};
     use std::collections::HashMap;
+
+    use crate::trace::TraceConfig;
 
     use crate::config::{ClusterConfig, MachineSpec, NoiseParams, SimParams};
     use crate::task::Sizing;
@@ -242,6 +293,7 @@ mod tests {
             );
             let plan = StagePlan::build(&app, dagflow::JobId(0));
             let mut traces = Vec::new();
+            let mut recorder = TraceRecorder::new(TraceConfig::default());
             let finish = run_stage(
                 &env,
                 &mut store,
@@ -251,6 +303,7 @@ mod tests {
                 &[],
                 0.0,
                 &mut traces,
+                &mut recorder,
             );
             assert!(
                 (finish - expect).abs() < 0.05,
@@ -281,12 +334,13 @@ mod tests {
         let mut state = ExecutorState::new(2, 4, TaskNoise::new(0, NoiseParams::NONE));
         let plan = StagePlan::build(&app, dagflow::JobId(0));
         let mut traces = Vec::new();
-        run_stage(&env, &mut store, &mut state, dagflow::JobId(0), plan.result_stage(), &[], 0.0, &mut traces);
+        let mut recorder = TraceRecorder::new(TraceConfig::default());
+        run_stage(&env, &mut store, &mut state, dagflow::JobId(0), plan.result_stage(), &[], 0.0, &mut traces, &mut recorder);
         // Record where each partition was cached.
         let homes: Vec<Option<usize>> = (0..2).map(|p| store.residency(dagflow::DatasetId(1), p)).collect();
         traces.clear();
         // Run again: each task must land on its cached machine.
-        let finish = run_stage(&env, &mut store, &mut state, dagflow::JobId(0), plan.result_stage(), &[], 10.0, &mut traces);
+        let finish = run_stage(&env, &mut store, &mut state, dagflow::JobId(0), plan.result_stage(), &[], 10.0, &mut traces, &mut recorder);
         for t in &traces {
             assert_eq!(Some(t.machine as usize), homes[t.task as usize], "locality respected");
         }
@@ -320,7 +374,8 @@ mod tests {
         let mut state = ExecutorState::new(2, 4, TaskNoise::new(7, params.noise));
         let plan = StagePlan::build(&app, dagflow::JobId(0));
         let mut traces = Vec::new();
-        run_stage(&env, &mut store, &mut state, dagflow::JobId(0), plan.result_stage(), &[], 0.0, &mut traces);
+        let mut recorder = TraceRecorder::new(TraceConfig::default());
+        run_stage(&env, &mut store, &mut state, dagflow::JobId(0), plan.result_stage(), &[], 0.0, &mut traces, &mut recorder);
         assert_eq!(traces.len(), 8);
         for t in &traces {
             assert!((t.steps.first().unwrap().start - t.start).abs() < 1e-9);
@@ -356,9 +411,24 @@ mod tests {
         let mut state = ExecutorState::new(1, 4, TaskNoise::new(0, NoiseParams::NONE));
         let plan = StagePlan::build(&app, dagflow::JobId(0));
         let mut traces = Vec::new();
-        let finish = run_stage(&env, &mut store, &mut state, dagflow::JobId(0), plan.result_stage(), &[], 0.0, &mut traces);
+        let mut recorder = TraceRecorder::new(TraceConfig::default());
+        let finish = run_stage(&env, &mut store, &mut state, dagflow::JobId(0), plan.result_stage(), &[], 0.0, &mut traces, &mut recorder);
         assert_eq!(state.spilled_tasks, 4);
         // 4 tasks of 2 s on 4 cores ⇒ one 2 s wave.
         assert!((finish - 2.0).abs() < 0.01, "finish {finish}");
+    }
+
+    /// Regression: `2^16 machines × 2^16 cores` overflows a `u32` product
+    /// (the old `(machines * cores) as usize`); the widened helper must
+    /// return the true slot count.
+    #[test]
+    fn total_slots_widens_before_multiplying() {
+        assert_eq!(total_slots(1 << 16, 1 << 16), 1usize << 32);
+        assert_eq!(total_slots(u32::MAX, 1), u32::MAX as usize);
+        assert_eq!(
+            total_slots(u32::MAX, u32::MAX),
+            (u32::MAX as usize) * (u32::MAX as usize)
+        );
+        assert_eq!(total_slots(0, 8), 0);
     }
 }

@@ -38,10 +38,14 @@ pub mod memory;
 pub mod report;
 pub mod rng;
 pub mod task;
+pub mod trace;
 pub mod trace_view;
 
 pub use config::{ClusterConfig, FailureSpec, MachineSpec, MemoryLayout, NoiseParams, SimParams};
 pub use engine::{Engine, RunOptions};
 pub use eviction::EvictionPolicyKind;
 pub use report::{CacheStats, DatasetCacheStats, PipelineStep, RunReport, StageTiming, StepKind, TaskTrace};
+pub use trace::{
+    DurationHistogram, RunTrace, TraceConfig, TraceCounters, TraceEvent, TraceRecorder,
+};
 pub use trace_view::render_gantt;

@@ -170,6 +170,9 @@ pub struct RunReport {
     pub stage_times: Vec<StageTiming>,
     /// Task traces (present when requested via `RunOptions`).
     pub traces: Vec<TaskTrace>,
+    /// Structured span/counter trace (present when `RunOptions::trace` was
+    /// enabled); exportable as Chrome `trace_event` JSON or JSONL.
+    pub trace: Option<crate::trace::RunTrace>,
     /// Count of tasks that had to spill (could not claim execution
     /// memory).
     pub spilled_tasks: u64,
@@ -209,6 +212,7 @@ mod tests {
             per_job_cache: vec![],
             stage_times: vec![],
             traces: vec![],
+            trace: None,
             spilled_tasks: 0,
             total_tasks: 0,
         };

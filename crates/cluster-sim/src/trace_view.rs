@@ -106,7 +106,7 @@ mod tests {
                 &Schedule::empty(),
                 RunOptions {
                     collect_traces: true,
-                    partition_skew: 0.0,
+                    ..RunOptions::default()
                 },
             )
             .unwrap()

@@ -88,7 +88,7 @@ proptest! {
         };
         let cluster = ClusterConfig::new(s.machines, MachineSpec::private_cluster());
         let engine = Engine::new(&app, cluster, sim(s.seed));
-        let opts = RunOptions { collect_traces: true, partition_skew: 0.2 };
+        let opts = RunOptions { collect_traces: true, partition_skew: 0.2, ..RunOptions::default() };
         let a = engine.run(&schedule, opts).unwrap();
         let b = engine.run(&schedule, opts).unwrap();
         prop_assert_eq!(a.total_time_s, b.total_time_s);

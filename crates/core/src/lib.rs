@@ -48,10 +48,10 @@ pub mod time_model;
 pub mod transfer;
 
 pub use hotspot::{detect_hotspots, DatasetMetricsView, HotspotConfig, RankedSchedule};
-pub use memory_calibration::{MemoryCalibration, MemoryFactor};
+pub use memory_calibration::{MemoryCalibration, MemoryFactor, ScaleOutcome, ScaledParams};
 pub use parallel::{resolve_threads, run_indexed, try_run_indexed};
 pub use param_calibration::{ParamCalibration, SizeModel};
-pub use pipeline::{OfflineTraining, TrainedJuggler, TrainingConfig};
+pub use pipeline::{OfflineTraining, PipelineStageTiming, PipelineTimings, TrainedJuggler, TrainingConfig};
 pub use recommend::{CostModel, MachineMinutes, Recommendation, RecommendationMenu, TieredHourly};
 pub use time_model::TimeModel;
 pub use summary::model_card;

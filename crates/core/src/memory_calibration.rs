@@ -59,16 +59,81 @@ impl MemoryFactor {
         spec.unified_memory() as f64 * self.factor
     }
 
+    /// Eq. 5 in whole bytes: `⌊M × factor⌋`. The integer form both Eq. 6
+    /// and exact-fit tests agree on.
+    #[must_use]
+    pub fn memory_for_caching_bytes(&self, spec: &MachineSpec) -> u64 {
+        self.memory_for_caching(spec).max(0.0) as u64
+    }
+
     /// Recommended machine count for a schedule of `schedule_bytes`
     /// (Eq. 6). At least one machine.
+    ///
+    /// Integer ceiling division: the old float `ceil()` rounded an
+    /// exactly-divisible `schedule_bytes = k × MemoryForCaching` up to
+    /// `k + 1` machines whenever the quotient landed a ULP above `k`, and
+    /// huge schedules silently truncated through `as u32`. Counts beyond
+    /// `u32::MAX` saturate instead.
     #[must_use]
     pub fn recommend_machines(&self, schedule_bytes: u64, spec: &MachineSpec) -> u32 {
-        let per_machine = self.memory_for_caching(spec);
-        if per_machine <= 0.0 || schedule_bytes == 0 {
+        let per_machine = self.memory_for_caching_bytes(spec);
+        if per_machine == 0 || schedule_bytes == 0 {
             return 1;
         }
-        (schedule_bytes as f64 / per_machine).ceil().max(1.0) as u32
+        u32::try_from(schedule_bytes.div_ceil(per_machine)).unwrap_or(u32::MAX)
     }
+}
+
+/// How [`MemoryCalibration::scale_params_to_target`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScaleOutcome {
+    /// Bisection bracketed the target and converged.
+    Converged,
+    /// The target exceeded `predict` even after 64 doublings of the scale
+    /// factor; parameters are clamped at the upper bracket.
+    ClampedHigh {
+        /// Size the clamped parameters actually predict.
+        achieved_bytes: f64,
+    },
+    /// The target lies below `predict` at the minimum scale `1e-3`;
+    /// parameters are clamped at the lower bracket.
+    ClampedLow {
+        /// Size the clamped parameters actually predict.
+        achieved_bytes: f64,
+    },
+}
+
+impl ScaleOutcome {
+    /// Whether the target was actually reached.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        matches!(self, ScaleOutcome::Converged)
+    }
+
+    /// Human-readable note for pipeline reports; `None` when converged.
+    #[must_use]
+    pub fn note(&self, target_bytes: f64) -> Option<String> {
+        match *self {
+            ScaleOutcome::Converged => None,
+            ScaleOutcome::ClampedHigh { achieved_bytes } => Some(format!(
+                "calibration target {target_bytes:.3e} B unreachable: clamped high at {achieved_bytes:.3e} B"
+            )),
+            ScaleOutcome::ClampedLow { achieved_bytes } => Some(format!(
+                "calibration target {target_bytes:.3e} B below minimum scale: clamped low at {achieved_bytes:.3e} B"
+            )),
+        }
+    }
+}
+
+/// Result of scaling `(e0, f0)` toward a target predicted size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaledParams {
+    /// Scaled first parameter.
+    pub e: f64,
+    /// Scaled second parameter.
+    pub f: f64,
+    /// Whether the target was reached or the scale was clamped.
+    pub outcome: ScaleOutcome,
 }
 
 /// Memory-calibration helpers.
@@ -80,21 +145,45 @@ impl MemoryCalibration {
     /// `predicted_size(t·e0, t·f0) ≈ target_bytes` — how Juggler "chooses
     /// values for P1 and P2 such that the size of the schedule equals M".
     /// Bisection over `t`; `predict` must be monotone in `t`.
+    ///
+    /// When the target cannot be bracketed — above `eval` after 64
+    /// doublings, or already below `eval(1e-3)` — the previous version
+    /// silently returned parameters that predicted something else
+    /// entirely. Now the returned [`ScaledParams::outcome`] says whether
+    /// the scale converged or was clamped, and at what achieved size.
     #[must_use]
     pub fn scale_params_to_target(
         e0: f64,
         f0: f64,
         target_bytes: f64,
         predict: impl Fn(f64, f64) -> f64,
-    ) -> (f64, f64) {
+    ) -> ScaledParams {
         let eval = |t: f64| predict(e0 * t, f0 * t);
         // Bracket the target.
         let mut lo = 1e-3;
         let mut hi = 1.0;
+        if eval(lo) >= target_bytes {
+            return ScaledParams {
+                e: e0 * lo,
+                f: f0 * lo,
+                outcome: ScaleOutcome::ClampedLow {
+                    achieved_bytes: eval(lo),
+                },
+            };
+        }
         let mut guard = 0;
         while eval(hi) < target_bytes && guard < 64 {
             hi *= 2.0;
             guard += 1;
+        }
+        if eval(hi) < target_bytes {
+            return ScaledParams {
+                e: e0 * hi,
+                f: f0 * hi,
+                outcome: ScaleOutcome::ClampedHigh {
+                    achieved_bytes: eval(hi),
+                },
+            };
         }
         for _ in 0..80 {
             let mid = 0.5 * (lo + hi);
@@ -105,7 +194,11 @@ impl MemoryCalibration {
             }
         }
         let t = 0.5 * (lo + hi);
-        (e0 * t, f0 * t)
+        ScaledParams {
+            e: e0 * t,
+            f: f0 * t,
+            outcome: ScaleOutcome::Converged,
+        }
     }
 }
 
@@ -156,15 +249,99 @@ mod tests {
     #[test]
     fn scaling_hits_target_size() {
         // Size law 4.49·e·f; target 2 GB.
-        let (e, f) = MemoryCalibration::scale_params_to_target(
+        let sp = MemoryCalibration::scale_params_to_target(
             70_000.0,
             50_000.0,
             2.0e9,
             |e, f| 4.49 * e * f,
         );
-        let got = 4.49 * e * f;
+        assert!(sp.outcome.converged());
+        let got = 4.49 * sp.e * sp.f;
         assert!((got - 2.0e9).abs() / 2.0e9 < 1e-6, "{got}");
         // Aspect ratio preserved.
-        assert!((e / f - 70_000.0 / 50_000.0).abs() < 1e-9);
+        assert!((sp.e / sp.f - 70_000.0 / 50_000.0).abs() < 1e-9);
+    }
+
+    /// Regression (Eq. 6 float ceil): exactly-divisible schedules must not
+    /// round up to an extra machine.
+    #[test]
+    fn exact_fit_schedules_round_to_exact_machine_counts() {
+        let spec = MachineSpec::paper_example();
+        for factor in [0.5, 0.613, 0.798, 0.9, 1.0] {
+            let mf = MemoryFactor { factor };
+            let per = mf.memory_for_caching_bytes(&spec);
+            assert!(per > 0);
+            for k in [1u64, 2, 3, 7, 12, 100, 4096] {
+                assert_eq!(
+                    mf.recommend_machines(k * per, &spec),
+                    u32::try_from(k).unwrap(),
+                    "factor {factor}, k {k}: k×MemoryForCaching must need exactly k machines"
+                );
+                assert_eq!(
+                    mf.recommend_machines(k * per + 1, &spec),
+                    u32::try_from(k + 1).unwrap(),
+                    "factor {factor}, k {k}: one byte over must need k+1"
+                );
+            }
+        }
+    }
+
+    /// Regression (Eq. 6 `as u32` truncation): astronomically large
+    /// schedules saturate at `u32::MAX` machines instead of wrapping.
+    #[test]
+    fn huge_schedules_saturate_instead_of_truncating() {
+        // A 1-byte caching region forces the count to schedule_bytes.
+        let spec = MachineSpec {
+            ram_bytes: 0,
+            ..MachineSpec::paper_example()
+        };
+        let mf = MemoryFactor { factor: 1.0 };
+        // Degenerate M = 0: stay at the 1-machine floor, no division.
+        assert_eq!(mf.recommend_machines(u64::MAX, &spec), 1);
+        // A Raspberry-Pi-class machine: M ≈ 120 MB. u64::MAX bytes of
+        // schedule would need ~1.5e11 machines — far past u32::MAX.
+        let spec = MachineSpec {
+            ram_bytes: 500_000_000,
+            ..MachineSpec::paper_example()
+        };
+        let mf = MemoryFactor { factor: 1.0 };
+        assert!(mf.memory_for_caching_bytes(&spec) > 0);
+        assert_eq!(
+            mf.recommend_machines(u64::MAX, &spec),
+            u32::MAX,
+            "count beyond u32::MAX saturates"
+        );
+    }
+
+    /// Regression: an unreachable (too large) target is reported as
+    /// clamped-high, not silently returned as if converged.
+    #[test]
+    fn unreachable_target_reports_clamped_high() {
+        // predict saturates at 1 GB no matter how far the params scale.
+        let sp = MemoryCalibration::scale_params_to_target(1.0, 1.0, 5.0e9, |e, f| {
+            (e * f * 1e6).min(1.0e9)
+        });
+        match sp.outcome {
+            ScaleOutcome::ClampedHigh { achieved_bytes } => {
+                assert!((achieved_bytes - 1.0e9).abs() < 1.0, "{achieved_bytes}");
+            }
+            other => panic!("expected ClampedHigh, got {other:?}"),
+        }
+        assert!(sp.outcome.note(5.0e9).unwrap().contains("clamped high"));
+    }
+
+    /// Regression: a target below `eval(1e-3)` is reported as clamped-low.
+    #[test]
+    fn microscopic_target_reports_clamped_low() {
+        let sp =
+            MemoryCalibration::scale_params_to_target(1.0e6, 1.0e6, 10.0, |e, f| e * f);
+        match sp.outcome {
+            ScaleOutcome::ClampedLow { achieved_bytes } => {
+                assert!(achieved_bytes >= 10.0);
+                assert!((sp.e - 1.0e3).abs() < 1e-9, "clamped at t = 1e-3");
+            }
+            other => panic!("expected ClampedLow, got {other:?}"),
+        }
+        assert!(sp.outcome.note(10.0).unwrap().contains("clamped low"));
     }
 }

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions, RunReport};
+use cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions, RunReport, TraceConfig};
 use dagflow::{DagError, DatasetId};
 use instrument::profile_run;
 use workloads::{Workload, WorkloadParams};
@@ -82,6 +82,11 @@ pub struct TrainingConfig {
     /// path. Every run owns its seed, so the trained artifact is
     /// bit-identical at any setting.
     pub threads: usize,
+    /// Structured-trace recording for the pipeline's single-run stages
+    /// (the stage-3 memory-calibration run). Disabled by default; the
+    /// trace never enters the serialized [`TrainedJuggler`], so artifacts
+    /// stay bit-identical with or without it.
+    pub trace: TraceConfig,
 }
 
 impl Default for TrainingConfig {
@@ -93,7 +98,64 @@ impl Default for TrainingConfig {
             max_machines: 12,
             seed: 0x5EED,
             threads: 0,
+            trace: TraceConfig::default(),
         }
+    }
+}
+
+/// Wall-clock timing of one offline-pipeline stage. Host timing only —
+/// never part of the serialized artifact (it would break the bit-identical
+/// determinism contract).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineStageTiming {
+    /// Stage label (`"1: hotspot detection"`, …).
+    pub stage: String,
+    /// Host wall-clock seconds the stage took.
+    pub wall_s: f64,
+    /// Experiment runs the stage performed.
+    pub runs: u32,
+}
+
+/// Per-stage wall-clock timings of one pipeline execution, plus
+/// calibration notes (e.g. a clamped stage-3 scale target).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PipelineTimings {
+    /// Stages in execution order.
+    pub stages: Vec<PipelineStageTiming>,
+    /// Non-fatal calibration anomalies, human-readable.
+    pub notes: Vec<String>,
+}
+
+impl PipelineTimings {
+    fn push(&mut self, stage: &str, started: std::time::Instant, runs: u32) {
+        self.stages.push(PipelineStageTiming {
+            stage: stage.to_owned(),
+            wall_s: started.elapsed().as_secs_f64(),
+            runs,
+        });
+    }
+
+    /// Total wall-clock seconds across recorded stages.
+    #[must_use]
+    pub fn total_wall_s(&self) -> f64 {
+        self.stages.iter().map(|s| s.wall_s).sum()
+    }
+
+    /// Multi-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stages {
+            out.push_str(&format!(
+                "  stage {:<28} {:>9.3} s  ({} runs)\n",
+                s.stage, s.wall_s, s.runs
+            ));
+        }
+        out.push_str(&format!("  total {:>32.3} s\n", self.total_wall_s()));
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
     }
 }
 
@@ -303,6 +365,18 @@ impl OfflineTraining {
     /// Trains Juggler for one workload. Deterministic for a given
     /// (workload, config).
     pub fn run(workload: &dyn Workload, config: &TrainingConfig) -> Result<TrainedJuggler, TrainingError> {
+        Self::run_traced(workload, config).map(|(trained, _)| trained)
+    }
+
+    /// Like [`OfflineTraining::run`], also returning per-stage wall-clock
+    /// timings and calibration notes. The timings are host-side
+    /// observability only; the returned [`TrainedJuggler`] is byte-for-byte
+    /// the one [`OfflineTraining::run`] produces.
+    pub fn run_traced(
+        workload: &dyn Workload,
+        config: &TrainingConfig,
+    ) -> Result<(TrainedJuggler, PipelineTimings), TrainingError> {
+        let mut timings = PipelineTimings::default();
         let mut costs = TrainingCosts::default();
         let sim = |seed_off: u64| {
             let mut p = workload.sim_params();
@@ -311,6 +385,7 @@ impl OfflineTraining {
         };
 
         // ── Stage 1: hotspot detection (one instrumented sample run). ──
+        let clock = std::time::Instant::now();
         let sample = workload.sample_params();
         let sample_app = workload.build(&sample);
         let calib_cluster = ClusterConfig::new(1, config.calibration_spec);
@@ -318,9 +393,11 @@ impl OfflineTraining {
         costs.hotspot.add(&out.report);
         let metrics = DatasetMetricsView::from_metrics(&out.metrics, sample_app.dataset_count());
         let schedules = detect_hotspots(&sample_app, &metrics, &config.hotspot);
+        timings.push("1: hotspot detection", clock, costs.hotspot.runs);
 
         // ── Stage 2: parameter calibration (3×3 instrumented runs, one
         //    grid point per worker; each point owns its seed). ──
+        let clock = std::time::Instant::now();
         let (e_axis, f_axis) = workload.training_axes();
         let grid = ParamCalibration::training_grid(&e_axis, &f_axis);
         let wanted: BTreeSet<DatasetId> =
@@ -352,28 +429,44 @@ impl OfflineTraining {
             Err(_) if observations.is_empty() => ParamCalibration::default(),
             Err(e) => return Err(e.into()),
         };
+        timings.push("2: parameter calibration", clock, costs.param_calibration.runs);
 
         // ── Stage 3: memory calibration (one run filling M). ──
+        let clock = std::time::Instant::now();
         let memory_factor = if let Some(first) = schedules.first() {
             let m_bytes = config.calibration_spec.unified_memory() as f64;
             let (e0, f0) = (*e_axis.last().expect("axes non-empty"), *f_axis.last().expect("axes non-empty"));
-            let (e_fill, f_fill) = MemoryCalibration::scale_params_to_target(e0, f0, m_bytes, |e, f| {
+            let scaled = MemoryCalibration::scale_params_to_target(e0, f0, m_bytes, |e, f| {
                 sizes.predict_schedule_size(&first.schedule, e, f) as f64
             });
-            let params = WorkloadParams::auto(e_fill as u64, f_fill as u64, sample.iterations);
+            if let Some(note) = scaled.outcome.note(m_bytes) {
+                timings.notes.push(note);
+            }
+            let params = WorkloadParams::auto(scaled.e as u64, scaled.f as u64, sample.iterations);
             let app = workload.build(&params);
             let engine = Engine::new(&app, calib_cluster, sim(20));
-            let report = engine.run_shared(&first.schedule, RunOptions::default())?;
+            let report = engine.run_shared(
+                &first.schedule,
+                RunOptions {
+                    trace: config.trace,
+                    ..RunOptions::default()
+                },
+            )?;
             costs.memory_calibration.add(&report);
+            if let Some(trace) = &report.trace {
+                timings.notes.push(format!("stage-3 {}", trace.summary()));
+            }
             MemoryFactor::from_run(&app, &first.schedule, &report)
         } else {
             MemoryFactor { factor: 1.0 }
         };
+        timings.push("3: memory calibration", clock, costs.memory_calibration.runs);
 
         // ── Stage 4: execution-time models (9 runs per schedule on the
         //    recommended configuration, full iteration counts). The
         //    (schedule × grid-point) matrix is flattened onto the worker
         //    pool; the seed offset `40 + k` matches the sequential loop. ──
+        let clock = std::time::Instant::now();
         let paper = workload.paper_params();
         let cells = schedules.len() * grid.len();
         let matrix = try_run_indexed::<_, TrainingError, _>(cells, config.threads, |k| {
@@ -403,17 +496,21 @@ impl OfflineTraining {
             }
             time_models.push(TimeModel::fit(si, &points)?);
         }
+        timings.push("4: execution-time models", clock, costs.time_models.runs);
 
-        Ok(TrainedJuggler {
-            workload: workload.name().to_owned(),
-            schedules,
-            sizes,
-            memory_factor,
-            time_models,
-            target_spec: config.target_spec,
-            max_machines: config.max_machines,
-            costs,
-        })
+        Ok((
+            TrainedJuggler {
+                workload: workload.name().to_owned(),
+                schedules,
+                sizes,
+                memory_factor,
+                time_models,
+                target_spec: config.target_spec,
+                max_machines: config.max_machines,
+                costs,
+            },
+            timings,
+        ))
     }
 }
 

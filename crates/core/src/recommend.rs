@@ -73,6 +73,15 @@ pub struct Recommendation {
     pub predicted_cost_machine_min: f64,
 }
 
+impl Recommendation {
+    /// Whether both predictions are finite — a degenerate NNLS fit can
+    /// emit NaN or ±inf, which must never crash menu construction.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.predicted_time_s.is_finite() && self.predicted_cost_machine_min.is_finite()
+    }
+}
+
 /// The menu returned to the end user: Pareto-efficient schedules only
 /// ("Juggler does not offer a schedule if another one is faster and
 /// cheaper"), plus the dominated ones for inspection.
@@ -82,12 +91,20 @@ pub struct RecommendationMenu {
     pub options: Vec<Recommendation>,
     /// Options suppressed because another is both faster and cheaper.
     pub dominated: Vec<Recommendation>,
+    /// Candidates quarantined because a prediction was NaN or infinite
+    /// (degenerate model fit) — reported, never offered.
+    pub invalid: Vec<Recommendation>,
 }
 
 impl RecommendationMenu {
-    /// Splits candidates into Pareto-efficient and dominated sets.
+    /// Splits candidates into Pareto-efficient, dominated, and invalid
+    /// (non-finite prediction) sets. Never panics: non-finite candidates
+    /// are quarantined into [`RecommendationMenu::invalid`] before the
+    /// Pareto pass, and the cost sort uses [`f64::total_cmp`].
     #[must_use]
-    pub fn from_candidates(mut candidates: Vec<Recommendation>) -> Self {
+    pub fn from_candidates(candidates: Vec<Recommendation>) -> Self {
+        let (candidates, invalid): (Vec<_>, Vec<_>) =
+            candidates.into_iter().partition(Recommendation::is_finite);
         let mut dominated_flags = vec![false; candidates.len()];
         for i in 0..candidates.len() {
             for j in 0..candidates.len() {
@@ -105,7 +122,7 @@ impl RecommendationMenu {
         }
         let mut options = Vec::new();
         let mut dominated = Vec::new();
-        for (i, c) in candidates.drain(..).enumerate() {
+        for (i, c) in candidates.into_iter().enumerate() {
             if dominated_flags[i] {
                 dominated.push(c);
             } else {
@@ -114,10 +131,13 @@ impl RecommendationMenu {
         }
         options.sort_by(|a, b| {
             a.predicted_cost_machine_min
-                .partial_cmp(&b.predicted_cost_machine_min)
-                .expect("finite costs")
+                .total_cmp(&b.predicted_cost_machine_min)
         });
-        RecommendationMenu { options, dominated }
+        RecommendationMenu {
+            options,
+            dominated,
+            invalid,
+        }
     }
 
     /// The minimal-cost option (the paper's headline recommendation).
@@ -129,11 +149,9 @@ impl RecommendationMenu {
     /// The minimal-time option among Pareto survivors.
     #[must_use]
     pub fn fastest(&self) -> Option<&Recommendation> {
-        self.options.iter().min_by(|a, b| {
-            a.predicted_time_s
-                .partial_cmp(&b.predicted_time_s)
-                .expect("finite times")
-        })
+        self.options
+            .iter()
+            .min_by(|a, b| a.predicted_time_s.total_cmp(&b.predicted_time_s))
     }
 }
 
@@ -213,5 +231,40 @@ mod tests {
             rec(1, 50.0, 25.0),
         ]);
         assert_eq!(menu.options.len(), 2);
+    }
+
+    /// Regression: NaN/inf predictions from a degenerate fit used to panic
+    /// in `partial_cmp().expect(...)`; now they are quarantined.
+    #[test]
+    fn non_finite_predictions_are_quarantined_not_panicking() {
+        let menu = RecommendationMenu::from_candidates(vec![
+            rec(0, f64::NAN, 10.0),
+            rec(1, 50.0, f64::INFINITY),
+            rec(2, f64::NEG_INFINITY, f64::NAN),
+            rec(3, 60.0, 20.0),
+            rec(4, 40.0, 30.0),
+        ]);
+        assert_eq!(menu.invalid.len(), 3);
+        let bad: Vec<usize> = menu.invalid.iter().map(|r| r.schedule_index).collect();
+        assert_eq!(bad, vec![0, 1, 2]);
+        // The finite candidates still form a menu; neither dominates.
+        assert_eq!(menu.options.len(), 2);
+        assert_eq!(menu.cheapest().unwrap().schedule_index, 3);
+        assert_eq!(menu.fastest().unwrap().schedule_index, 4);
+    }
+
+    /// Regression: an all-non-finite candidate set yields an empty (not
+    /// crashing) menu with everything reported.
+    #[test]
+    fn all_non_finite_candidates_yield_empty_menu() {
+        let menu = RecommendationMenu::from_candidates(vec![
+            rec(0, f64::NAN, f64::NAN),
+            rec(1, f64::INFINITY, 1.0),
+        ]);
+        assert!(menu.options.is_empty());
+        assert!(menu.dominated.is_empty());
+        assert_eq!(menu.invalid.len(), 2);
+        assert!(menu.cheapest().is_none());
+        assert!(menu.fastest().is_none());
     }
 }

@@ -1,0 +1,107 @@
+//! Property-based tests of the recommendation menu: construction must
+//! never panic — not even on NaN/±inf predictions from a degenerate model
+//! fit — and the surviving menu must stay Pareto-consistent.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use dagflow::Schedule;
+use juggler::recommend::{Recommendation, RecommendationMenu};
+
+fn rec(idx: usize, time: f64, cost: f64) -> Recommendation {
+    Recommendation {
+        schedule_index: idx,
+        schedule: Arc::new(Schedule::empty()),
+        predicted_size_bytes: 0,
+        machines: 1,
+        predicted_time_s: time,
+        predicted_cost_machine_min: cost,
+    }
+}
+
+/// A predicted value: usually finite, sometimes NaN or ±inf.
+fn prediction() -> impl Strategy<Value = f64> {
+    (0u8..10, 0.0f64..1.0e6).prop_map(|(sel, v)| match sel {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => v,
+    })
+}
+
+fn candidates() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((prediction(), prediction()), 0..14)
+}
+
+fn dominates(a: &Recommendation, b: &Recommendation) -> bool {
+    a.predicted_time_s < b.predicted_time_s - 1e-12
+        && a.predicted_cost_machine_min < b.predicted_cost_machine_min - 1e-12
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Construction never panics and every candidate lands in exactly one
+    /// of the three buckets, with non-finite ones quarantined.
+    #[test]
+    fn menu_partitions_all_candidates(preds in candidates()) {
+        let input: Vec<Recommendation> = preds
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, c))| rec(i, t, c))
+            .collect();
+        let n = input.len();
+        let menu = RecommendationMenu::from_candidates(input);
+        prop_assert_eq!(menu.options.len() + menu.dominated.len() + menu.invalid.len(), n);
+        for o in menu.options.iter().chain(&menu.dominated) {
+            prop_assert!(o.is_finite(), "finite buckets hold only finite predictions");
+        }
+        for bad in &menu.invalid {
+            prop_assert!(!bad.is_finite(), "quarantine holds only non-finite predictions");
+        }
+        // cheapest()/fastest() never panic either.
+        let _ = menu.cheapest();
+        let _ = menu.fastest();
+    }
+
+    /// Pareto consistency: no offered option is dominated by another
+    /// candidate; every suppressed option is dominated by some finite
+    /// candidate; options are sorted by cost.
+    #[test]
+    fn menu_is_pareto_consistent(preds in candidates()) {
+        let input: Vec<Recommendation> = preds
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, c))| rec(i, t, c))
+            .collect();
+        let menu = RecommendationMenu::from_candidates(input);
+        let finite: Vec<&Recommendation> =
+            menu.options.iter().chain(&menu.dominated).collect();
+        for o in &menu.options {
+            prop_assert!(
+                !finite.iter().any(|c| dominates(c, o)),
+                "offered option {} is dominated",
+                o.schedule_index
+            );
+        }
+        for d in &menu.dominated {
+            prop_assert!(
+                finite.iter().any(|c| dominates(c, d)),
+                "suppressed option {} has no dominator",
+                d.schedule_index
+            );
+        }
+        for w in menu.options.windows(2) {
+            prop_assert!(
+                w[0].predicted_cost_machine_min <= w[1].predicted_cost_machine_min,
+                "options must be sorted by cost"
+            );
+        }
+        if let Some(fastest) = menu.fastest() {
+            for o in &menu.options {
+                prop_assert!(fastest.predicted_time_s <= o.predicted_time_s);
+            }
+        }
+    }
+}

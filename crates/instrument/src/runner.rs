@@ -35,7 +35,7 @@ pub fn profile_run(
         &mapped,
         RunOptions {
             collect_traces: true,
-            partition_skew: 0.0,
+            ..RunOptions::default()
         },
     )?;
     let db = ProfilingDatabase::new();

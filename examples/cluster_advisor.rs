@@ -40,7 +40,7 @@ fn main() {
             sim.seed = 0xADB1 ^ u64::from(machines);
             let engine = Engine::new(&app, ClusterConfig::new(machines, trained.target_spec), sim);
             let report = engine
-                .run(&rs.schedule, RunOptions { collect_traces: false, partition_skew: 0.15 })
+                .run(&rs.schedule, RunOptions { collect_traces: false, partition_skew: 0.15, ..RunOptions::default() })
                 .expect("run succeeds");
             let cost = report.cost_machine_minutes();
             if cost < best.1 {

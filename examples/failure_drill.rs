@@ -24,7 +24,7 @@ fn main() {
         sim.seed = 0xD01;
         sim.failure = failure;
         Engine::new(&app, cluster, sim)
-            .run(&schedule, RunOptions { collect_traces: true, partition_skew: 0.15 })
+            .run(&schedule, RunOptions { collect_traces: true, partition_skew: 0.15, ..RunOptions::default() })
             .expect("run succeeds")
     };
 

@@ -14,4 +14,10 @@ cargo test -q --offline --workspace
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== trace golden (Chrome trace_event export is byte-stable) =="
+cargo test -q --offline --test trace_golden
+
+echo "== trace overhead (<5% budget; records results/BENCH_trace_overhead.json) =="
+cargo bench --offline -p bench --bench trace_overhead
+
 echo "all checks passed"

@@ -7,12 +7,12 @@
 //! juggler schedules SVM                      # Table 2 view for one workload
 //! juggler sweep SVM --schedule 1             # cost on 1..12 machines
 //! juggler dot LOR > lor.dot                  # Graphviz DAG export
-//! juggler trace SVM --machines 4             # ASCII Gantt of a sample run
+//! juggler trace SVM --machines 4             # Gantt + Chrome trace JSON + stage timings
 //! ```
 
 use std::process::ExitCode;
 
-use juggler_suite::cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions};
+use juggler_suite::cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions, TraceConfig};
 use juggler_suite::dagflow::to_dot;
 use juggler_suite::juggler::pipeline::{OfflineTraining, TrainedJuggler, TrainingConfig};
 use juggler_suite::workloads::{all_workloads, Workload};
@@ -59,7 +59,8 @@ USAGE:
   juggler schedules <WORKLOAD>
   juggler sweep <WORKLOAD> [--schedule N | --ops \"p(1) u(1) p(2)\"]
   juggler dot <WORKLOAD> [--schedule N]
-  juggler trace <WORKLOAD> [--machines N] [--width N]
+  juggler trace <WORKLOAD> [--machines N] [--width N] [--out FILE]
+                 [--jsonl FILE] [--no-pipeline] [--threads N]
 
 WORKLOAD: LIR | LOR | PCA | RFC | SVM
 
@@ -213,6 +214,14 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
     for d in &menu.dominated {
         println!("  {:<26} dominated (another option is faster and cheaper)", d.schedule.notation());
     }
+    for bad in &menu.invalid {
+        println!(
+            "  {:<26} INVALID (non-finite prediction: time {} s, cost {}) — check the model fit",
+            bad.schedule.notation(),
+            bad.predicted_time_s,
+            bad.predicted_cost_machine_min
+        );
+    }
     Ok(())
 }
 
@@ -245,7 +254,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             let mut sim = w.sim_params();
             sim.seed = 0xC11 ^ u64::from(machines);
             let report = Engine::new(&app, ClusterConfig::new(machines, MachineSpec::private_cluster()), sim)
-                .run(&schedule, RunOptions { collect_traces: false, partition_skew: 0.15 })
+                .run(&schedule, RunOptions { collect_traces: false, partition_skew: 0.15, ..RunOptions::default() })
                 .map_err(|e| e.to_string())?;
             println!(
                 "{machines:>9} {:>9.1}s {:>14.1}",
@@ -279,7 +288,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         let mut sim = w.sim_params();
         sim.seed = 0xC11 ^ u64::from(machines);
         let report = Engine::new(&app, ClusterConfig::new(machines, trained.target_spec), sim)
-            .run(&rs.schedule, RunOptions { collect_traces: false, partition_skew: 0.15 })
+            .run(&rs.schedule, RunOptions { collect_traces: false, partition_skew: 0.15, ..RunOptions::default() })
             .map_err(|e| e.to_string())?;
         let marker = if machines == recommended { "  <- recommended" } else { "" };
         println!(
@@ -335,7 +344,11 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     )
     .run(
         &app.default_schedule().clone(),
-        RunOptions { collect_traces: true, partition_skew: 0.15 },
+        RunOptions {
+            collect_traces: true,
+            partition_skew: 0.15,
+            trace: TraceConfig::enabled(),
+        },
     )
     .map_err(|e| e.to_string())?;
     print!("{}", juggler_suite::cluster_sim::render_gantt(&report, width));
@@ -343,5 +356,45 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         "total {:.1}s on {machines} machines, {} tasks, {} spilled",
         report.total_time_s, report.total_tasks, report.spilled_tasks
     );
+    let trace = report.trace.as_ref().expect("trace was enabled");
+    println!("{}", trace.summary());
+
+    // Chrome trace_event export (chrome://tracing, Perfetto).
+    let out = flag(args, "--out")
+        .unwrap_or_else(|| format!("trace_{}.json", w.name().to_lowercase()));
+    let run_name = format!("{} sample run ({machines} machines)", w.name());
+    std::fs::write(&out, trace.to_chrome_json(&run_name))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote Chrome trace_event JSON to {out} (open in chrome://tracing or Perfetto)");
+    if let Some(path) = flag(args, "--jsonl") {
+        std::fs::write(&path, trace.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote JSONL event log to {path}");
+    }
+
+    // Per-pipeline-stage wall-clock timings (stage 1 through the stage-5
+    // menu construction), skipped with --no-pipeline.
+    if !args.iter().any(|a| a == "--no-pipeline") {
+        let config = TrainingConfig {
+            threads: threads_flag(args)?,
+            ..TrainingConfig::default()
+        };
+        eprintln!("timing the offline pipeline for {}...", w.name());
+        let (trained, timings) =
+            OfflineTraining::run_traced(w.as_ref(), &config).map_err(|e| e.to_string())?;
+        let paper = w.paper_params();
+        let clock = std::time::Instant::now();
+        let menu = trained.recommend(paper.e(), paper.f());
+        let menu_s = clock.elapsed().as_secs_f64();
+        println!("pipeline stage timings:");
+        print!("{}", timings.summary());
+        println!(
+            "  stage {:<28} {:>9.3} s  ({} options, {} dominated, {} invalid)",
+            "5: menu construction",
+            menu_s,
+            menu.options.len(),
+            menu.dominated.len(),
+            menu.invalid.len()
+        );
+    }
     Ok(())
 }

@@ -18,7 +18,7 @@ fn run(
     let mut sim = w.sim_params();
     sim.seed = 7 ^ u64::from(machines);
     Engine::new(&app, ClusterConfig::new(machines, spec), sim)
-        .run(schedule, RunOptions { collect_traces: false, partition_skew: 0.15 })
+        .run(schedule, RunOptions { collect_traces: false, partition_skew: 0.15, ..RunOptions::default() })
         .unwrap()
 }
 
