@@ -79,9 +79,13 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, &mut |b| {
-            f(b, input);
-        });
+        run_benchmark(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            &mut |b| {
+                f(b, input);
+            },
+        );
         self
     }
 
@@ -129,7 +133,10 @@ impl Bencher {
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
-    let mut b = Bencher { samples: Vec::new(), sample_size };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{name:<40} (no samples)");

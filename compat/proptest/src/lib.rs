@@ -452,9 +452,11 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr $(,)?) => {{
         let (__a, __b) = (&$a, &$b);
         if *__a == *__b {
-            return ::std::result::Result::Err(
-                ::std::format!("assertion failed: {:?} == {:?}", __a, __b),
-            );
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {:?} == {:?}",
+                __a,
+                __b
+            ));
         }
     }};
 }

@@ -20,8 +20,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Skips `#[...]` attribute pairs at the cursor.
@@ -156,7 +162,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     i += 1;
     if let Some(TokenTree::Punct(p)) = toks.get(i) {
         if p.as_char() == '<' {
-            return Err(format!("generic type `{name}` is not supported by the serde stub derive"));
+            return Err(format!(
+                "generic type `{name}` is not supported by the serde stub derive"
+            ));
         }
     }
     match kind.as_str() {
@@ -178,7 +186,10 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         "enum" => match toks.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 let inner: Vec<TokenTree> = g.stream().into_iter().collect();
-                Ok(Item::Enum { name, variants: parse_variants(&inner)? })
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(&inner)?,
+                })
             }
             other => Err(format!("unexpected enum body: {other:?}")),
         },
@@ -384,7 +395,9 @@ fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("compile_error literal")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error literal")
 }
 
 /// Derives `serde::Serialize` (stub data model).

@@ -295,8 +295,7 @@ impl<'a> Parser<'a> {
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
                                 16,
                             )
                             .map_err(|_| self.err("bad \\u escape"))?;
@@ -314,7 +313,10 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 character.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("unexpected end"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unexpected end"))?;
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -342,7 +344,9 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
         if is_float {
-            text.parse::<f64>().map(Value::Float).map_err(|_| self.err("invalid number"))
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid number"))
         } else if let Ok(n) = text.parse::<i64>() {
             Ok(Value::Int(n))
         } else if let Ok(n) = text.parse::<u64>() {
@@ -354,7 +358,10 @@ impl<'a> Parser<'a> {
 }
 
 fn parse(s: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -444,7 +451,9 @@ mod tests {
 
     #[test]
     fn parses_escapes_and_numbers() {
-        let v: Value = from_str(r#"{"s": "a\"b\\c\n", "n": -42, "big": 18446744073709551615, "f": 1.5e3}"#).unwrap();
+        let v: Value =
+            from_str(r#"{"s": "a\"b\\c\n", "n": -42, "big": 18446744073709551615, "f": 1.5e3}"#)
+                .unwrap();
         assert_eq!(v["s"], Value::Str("a\"b\\c\n".to_owned()));
         assert_eq!(v["n"], Value::Int(-42));
         assert_eq!(v["big"], Value::UInt(u64::MAX));

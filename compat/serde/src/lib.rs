@@ -67,7 +67,10 @@ impl Value {
     pub fn expect_object(&self, what: &str) -> Result<&[(String, Value)], DeError> {
         match self {
             Value::Object(entries) => Ok(entries),
-            other => Err(DeError(format!("expected object for {what}, got {}", other.kind()))),
+            other => Err(DeError(format!(
+                "expected object for {what}, got {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -75,7 +78,10 @@ impl Value {
     pub fn expect_array(&self, what: &str) -> Result<&[Value], DeError> {
         match self {
             Value::Array(items) => Ok(items),
-            other => Err(DeError(format!("expected array for {what}, got {}", other.kind()))),
+            other => Err(DeError(format!(
+                "expected array for {what}, got {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -118,7 +124,9 @@ impl std::ops::IndexMut<&str> for Value {
         if !matches!(self, Value::Object(_)) {
             *self = Value::Object(Vec::new());
         }
-        let Value::Object(entries) = self else { unreachable!() };
+        let Value::Object(entries) = self else {
+            unreachable!()
+        };
         if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
             &mut entries[pos].1
         } else {
@@ -372,7 +380,10 @@ impl<T: Serialize> Serialize for Vec<T> {
 
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_json_value(v: &Value) -> Result<Self, DeError> {
-        v.expect_array("Vec")?.iter().map(T::from_json_value).collect()
+        v.expect_array("Vec")?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
     }
 }
 
@@ -386,9 +397,15 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn from_json_value(v: &Value) -> Result<Self, DeError> {
         let items = v.expect_array("array")?;
         if items.len() != N {
-            return Err(DeError(format!("expected array of {N}, got {}", items.len())));
+            return Err(DeError(format!(
+                "expected array of {N}, got {}",
+                items.len()
+            )));
         }
-        let parsed: Vec<T> = items.iter().map(T::from_json_value).collect::<Result<_, _>>()?;
+        let parsed: Vec<T> = items
+            .iter()
+            .map(T::from_json_value)
+            .collect::<Result<_, _>>()?;
         parsed
             .try_into()
             .map_err(|_| DeError("array length mismatch".to_owned()))
@@ -432,7 +449,10 @@ impl<T: Serialize> Serialize for BTreeSet<T> {
 
 impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
     fn from_json_value(v: &Value) -> Result<Self, DeError> {
-        v.expect_array("BTreeSet")?.iter().map(T::from_json_value).collect()
+        v.expect_array("BTreeSet")?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
     }
 }
 
@@ -446,7 +466,10 @@ impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
 
 impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
     fn from_json_value(v: &Value) -> Result<Self, DeError> {
-        v.expect_array("HashSet")?.iter().map(T::from_json_value).collect()
+        v.expect_array("HashSet")?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
     }
 }
 
@@ -504,9 +527,7 @@ fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
             .map(|(p, q)| compare_values(p, q))
             .find(|o| *o != Ordering::Equal)
             .unwrap_or_else(|| x.len().cmp(&y.len())),
-        _ if rank(a) == 2 && rank(b) == 2 => {
-            num(a).partial_cmp(&num(b)).unwrap_or(Ordering::Equal)
-        }
+        _ if rank(a) == 2 && rank(b) == 2 => num(a).partial_cmp(&num(b)).unwrap_or(Ordering::Equal),
         _ => rank(a).cmp(&rank(b)),
     }
 }
@@ -610,7 +631,10 @@ mod tests {
     fn option_roundtrip() {
         assert_eq!(None::<u32>.to_json_value(), Value::Null);
         assert_eq!(Option::<u32>::from_json_value(&Value::Null).unwrap(), None);
-        assert_eq!(Option::<u32>::from_json_value(&Value::Int(3)).unwrap(), Some(3));
+        assert_eq!(
+            Option::<u32>::from_json_value(&Value::Int(3)).unwrap(),
+            Some(3)
+        );
     }
 
     #[test]

@@ -140,10 +140,7 @@ mod tests {
         for &(s, m) in &[(1.0, 4u32), (1.0, 8), (0.5, 2), (1.0, 12)] {
             let p = model.predict(s, m);
             let t = truth(s, m);
-            assert!(
-                (p - t).abs() / t < 0.05,
-                "predict({s},{m}) = {p} vs {t}"
-            );
+            assert!((p - t).abs() / t < 0.05, "predict({s},{m}) = {p} vs {t}");
         }
     }
 
@@ -170,7 +167,10 @@ mod tests {
         // …but badly wrong in area A.
         let p1 = model.predict(1.0, 1);
         let t1 = truth(1.0, 1);
-        assert!(p1 < t1 / 3.0, "Ernest should grossly underestimate: {p1} vs {t1}");
+        assert!(
+            p1 < t1 / 3.0,
+            "Ernest should grossly underestimate: {p1} vs {t1}"
+        );
         // And the cost-minimal recommendation collapses to one machine.
         assert_eq!(model.cheapest_machines(1.0, 12), 1);
     }

@@ -30,7 +30,5 @@ pub mod selection;
 pub mod sizing;
 
 pub use ernest::{ErnestModel, ErnestTrainer};
-pub use selection::{
-    DatasetSelector, Hagedorn, Jindal, Lrc, Mrd, Nagel, SelectionMetrics,
-};
+pub use selection::{DatasetSelector, Hagedorn, Jindal, Lrc, Mrd, Nagel, SelectionMetrics};
 pub use sizing::{MemTune, RelM, SizingBaseline, SizingInputs, SystemML};

@@ -240,15 +240,43 @@ mod tests {
     fn fixture() -> (Application, SelectionMetrics) {
         let mut b = AppBuilder::new("sel");
         let src = b.source("src", SourceFormat::DistributedFs, 100, 10_000_000, 4);
-        let big = b.narrow("big", NarrowKind::Map, &[src], 100, 8_000_000, ComputeCost::FREE);
-        let small = b.narrow("small", NarrowKind::Map, &[big], 100, 1_000_000, ComputeCost::FREE);
+        let big = b.narrow(
+            "big",
+            NarrowKind::Map,
+            &[src],
+            100,
+            8_000_000,
+            ComputeCost::FREE,
+        );
+        let small = b.narrow(
+            "small",
+            NarrowKind::Map,
+            &[big],
+            100,
+            1_000_000,
+            ComputeCost::FREE,
+        );
         // Jobs: 5 over `small`, then 3 over `big` directly.
         for i in 0..5 {
-            let v = b.narrow(format!("vs{i}"), NarrowKind::Map, &[small], 1, 8, ComputeCost::FREE);
+            let v = b.narrow(
+                format!("vs{i}"),
+                NarrowKind::Map,
+                &[small],
+                1,
+                8,
+                ComputeCost::FREE,
+            );
             b.job("count", v);
         }
         for i in 0..3 {
-            let v = b.narrow(format!("vb{i}"), NarrowKind::Map, &[big], 1, 8, ComputeCost::FREE);
+            let v = b.narrow(
+                format!("vb{i}"),
+                NarrowKind::Map,
+                &[big],
+                1,
+                8,
+                ComputeCost::FREE,
+            );
             b.job("count", v);
         }
         let app = b.build().unwrap();
@@ -301,7 +329,13 @@ mod tests {
     #[test]
     fn families_are_incremental() {
         let (app, m) = fixture();
-        for sel in [&Lrc as &dyn DatasetSelector, &Mrd, &Hagedorn, &Nagel, &Jindal] {
+        for sel in [
+            &Lrc as &dyn DatasetSelector,
+            &Mrd,
+            &Hagedorn,
+            &Nagel,
+            &Jindal,
+        ] {
             let schedules = sel.schedules(&app, &m);
             for w in schedules.windows(2) {
                 let a: BTreeSet<DatasetId> = w[0].persisted().into_iter().collect();
@@ -328,7 +362,14 @@ mod tests {
         let v1 = b.narrow("v1", NarrowKind::Map, &[a], 1, 8, ComputeCost::FREE);
         b.job("count", v1); // job 1 uses A
         for i in 0..3 {
-            let v = b.narrow(format!("f{i}"), NarrowKind::Map, &[src], 1, 8, ComputeCost::FREE);
+            let v = b.narrow(
+                format!("f{i}"),
+                NarrowKind::Map,
+                &[src],
+                1,
+                8,
+                ComputeCost::FREE,
+            );
             b.job("count", v); // jobs 2-4: neither
         }
         let v5 = b.narrow("v5", NarrowKind::Map, &[bb], 1, 8, ComputeCost::FREE);

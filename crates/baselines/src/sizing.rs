@@ -109,9 +109,8 @@ impl SizingBaseline for SystemML {
     }
     fn machines(&self, inputs: &SizingInputs, spec: &MachineSpec) -> u32 {
         let m = spec.unified_memory() as f64;
-        let demand = inputs.cached_bytes as f64
-            + inputs.input_bytes as f64
-            + inputs.output_bytes as f64;
+        let demand =
+            inputs.cached_bytes as f64 + inputs.input_bytes as f64 + inputs.output_bytes as f64;
         ceil_div(demand, m)
     }
 }
@@ -126,7 +125,7 @@ mod tests {
 
     fn inputs() -> SizingInputs {
         SizingInputs {
-            cached_bytes: 15_700_000_000,  // LOR schedule #1 at paper scale
+            cached_bytes: 15_700_000_000, // LOR schedule #1 at paper scale
             input_bytes: 26_100_000_000,
             output_bytes: 500_000_000,
             peak_exec_per_machine: 500_000_000,

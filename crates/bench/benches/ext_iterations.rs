@@ -61,7 +61,14 @@ fn main() {
     }
     print_table(
         "§6.1: LOR schedule #1 across iteration counts",
-        &["iterations", "actual", "base model", "acc", "iteration-aware", "acc"],
+        &[
+            "iterations",
+            "actual",
+            "base model",
+            "acc",
+            "iteration-aware",
+            "acc",
+        ],
         &rows,
     );
     println!(

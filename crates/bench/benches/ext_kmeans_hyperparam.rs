@@ -21,10 +21,14 @@ fn actual(k: u32, e: f64, f: f64, machines: u32, seed: u64) -> f64 {
     let app = w.build(&params);
     let mut sim = w.sim_params();
     sim.seed = seed;
-    Engine::new(&app, ClusterConfig::new(machines, cluster_sim::MachineSpec::private_cluster()), sim)
-        .run(&app.default_schedule().clone(), RunOptions::default())
-        .expect("run succeeds")
-        .total_time_s
+    Engine::new(
+        &app,
+        ClusterConfig::new(machines, cluster_sim::MachineSpec::private_cluster()),
+        sim,
+    )
+    .run(&app.default_schedule().clone(), RunOptions::default())
+    .expect("run succeeds")
+    .total_time_s
 }
 
 fn main() {
@@ -39,7 +43,12 @@ fn main() {
     for &e in &e_axis {
         for &f in &f_axis {
             for &k in &[5u32, 15, 30] {
-                points.push((e, f, f64::from(k), actual(k, e, f, machines, 0xAB ^ u64::from(k))));
+                points.push((
+                    e,
+                    f,
+                    f64::from(k),
+                    actual(k, e, f, machines, 0xAB ^ u64::from(k)),
+                ));
             }
         }
     }
@@ -72,7 +81,14 @@ fn main() {
     }
     print_table(
         "§6.1: K-Means across the cluster-count hyper-parameter",
-        &["k", "actual", "k-aware model", "acc", "fixed-k model", "acc"],
+        &[
+            "k",
+            "actual",
+            "k-aware model",
+            "acc",
+            "fixed-k model",
+            "acc",
+        ],
         &rows,
     );
     println!(

@@ -26,7 +26,14 @@ fn main() {
         let mut sim = w.sim_params();
         sim.seed = seed;
         Engine::new(&app, ClusterConfig::new(machines, *spec), sim)
-            .run(&trained.schedules[0].schedule, RunOptions { collect_traces: false, partition_skew: 0.15, ..RunOptions::default() })
+            .run(
+                &trained.schedules[0].schedule,
+                RunOptions {
+                    collect_traces: false,
+                    partition_skew: 0.15,
+                    ..RunOptions::default()
+                },
+            )
             .expect("run succeeds")
     };
 
@@ -75,7 +82,14 @@ fn main() {
     }
     print_table(
         "§6.2: LOR schedule #1 across machine types",
-        &["type", "RAM", "rec. machines", "optimal", "naive acc", "transfer acc (3 probes)"],
+        &[
+            "type",
+            "RAM",
+            "rec. machines",
+            "optimal",
+            "naive acc",
+            "transfer acc (3 probes)",
+        ],
         &rows,
     );
     println!(

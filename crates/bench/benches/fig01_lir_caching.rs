@@ -74,9 +74,12 @@ fn main() {
         "Minimal-cost ratio (best cached vs best default): {:.1}% (paper: 34.3%)",
         min_cost_cached / min_cost_default * 100.0
     );
-    bench::save_results("fig01_lir_caching", &serde_json::json!({
-        "avg_time_ratio": avg_t,
-        "min_cost_ratio": min_cost_cached / min_cost_default,
-        "paper": {"avg_time_ratio": 0.548, "min_cost_ratio": 0.343},
-    }));
+    bench::save_results(
+        "fig01_lir_caching",
+        &serde_json::json!({
+            "avg_time_ratio": avg_t,
+            "min_cost_ratio": min_cost_cached / min_cost_default,
+            "paper": {"avg_time_ratio": 0.548, "min_cost_ratio": 0.343},
+        }),
+    );
 }

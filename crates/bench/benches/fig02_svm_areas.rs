@@ -14,10 +14,10 @@
 //! * Ernest is accurate in area B, wrong in area A, and recommends one
 //!   machine whose real cost is an order of magnitude above optimal.
 
+use baselines::ErnestTrainer;
 use bench::{fmt_secs, optimal_config, print_table, MACHINE_RANGE};
 use cluster_sim::MachineSpec;
 use dagflow::DatasetId;
-use baselines::ErnestTrainer;
 use workloads::{SupportVectorMachine, Workload, WorkloadParams};
 
 fn main() {
@@ -59,7 +59,14 @@ fn main() {
         .collect();
     print_table(
         "Figure 2: SVM time/cost vs cluster size (dev schedule p(2))",
-        &["machines", "time", "cost (m*min)", "evicted", "Ernest t^", "Ernest err"],
+        &[
+            "machines",
+            "time",
+            "cost (m*min)",
+            "evicted",
+            "Ernest t^",
+            "Ernest err",
+        ],
         &rows,
     );
 
@@ -74,18 +81,23 @@ fn main() {
         "Cost on 1 machine: {cost_1:.1} machine-min ({:.1}x optimal)",
         cost_1 / opt_cost
     );
-    println!("Ernest recommends {ernest_m} machine(s), predicting {ernest_cost_claim:.1} machine-min;");
+    println!(
+        "Ernest recommends {ernest_m} machine(s), predicting {ernest_cost_claim:.1} machine-min;"
+    );
     println!(
         "actual cost there is {actual_at_ernest:.1} machine-min ({:.1}x Ernest's estimate)",
         actual_at_ernest / ernest_cost_claim.max(1e-9)
     );
-    bench::save_results("fig02_svm_areas", &serde_json::json!({
-        "optimal_machines": opt_m,
-        "cost_1_vs_optimal": cost_1 / opt_cost,
-        "ernest_machines": ernest_m,
-        "actual_vs_ernest_estimate": actual_at_ernest / ernest_cost_claim.max(1e-9),
-        "paper": {"optimal_machines": 7, "cost_1_vs_optimal": 12.0, "ernest_machines": 1, "actual_vs_ernest_estimate": 16.0},
-    }));
+    bench::save_results(
+        "fig02_svm_areas",
+        &serde_json::json!({
+            "optimal_machines": opt_m,
+            "cost_1_vs_optimal": cost_1 / opt_cost,
+            "ernest_machines": ernest_m,
+            "actual_vs_ernest_estimate": actual_at_ernest / ernest_cost_claim.max(1e-9),
+            "paper": {"optimal_machines": 7, "cost_1_vs_optimal": 12.0, "ernest_machines": 1, "actual_vs_ernest_estimate": 16.0},
+        }),
+    );
 
     // Steady-state cache picture on one machine (the paper's recompute
     // observation behind the 97x task-time ratio).
@@ -96,6 +108,8 @@ fn main() {
         .find(|(d, _, _)| *d == cached)
         .copied()
     {
-        println!("\nSteady-state iteration on 1 machine: {h1} cached reads, {m1} recomputed partitions");
+        println!(
+            "\nSteady-state iteration on 1 machine: {h1} cached reads, {m1} recomputed partitions"
+        );
     }
 }

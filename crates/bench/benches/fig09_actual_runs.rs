@@ -20,7 +20,11 @@ fn main() {
             .enumerate()
             .map(|(i, rs)| {
                 let rec = trained.machines_for(i, params.e(), params.f());
-                (format!("SCHEDULE #{}", i + 1), rs.schedule.clone(), Some(rec))
+                (
+                    format!("SCHEDULE #{}", i + 1),
+                    rs.schedule.clone(),
+                    Some(rec),
+                )
             })
             .collect();
         let default = w.build(&params).default_schedule().clone();

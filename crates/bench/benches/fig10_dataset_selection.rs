@@ -68,7 +68,10 @@ fn main() {
             }
         }
         print_table(
-            &format!("Figure 10: {} dataset selection (minimal cost, machine-min)", w.name()),
+            &format!(
+                "Figure 10: {} dataset selection (minimal cost, machine-min)",
+                w.name()
+            ),
             &["approach", "schedule", "ops", "min cost"],
             &rows,
         );

@@ -88,7 +88,15 @@ fn main() {
     }
     print_table(
         "Figure 11: average minimal cost per approach (machine-min)",
-        &["app", "Juggler", "Nagel'13", "Jindal'18", "Hagedorn'18", "LRC", "MRD"],
+        &[
+            "app",
+            "Juggler",
+            "Nagel'13",
+            "Jindal'18",
+            "Hagedorn'18",
+            "LRC",
+            "MRD",
+        ],
         &rows,
     );
     println!(

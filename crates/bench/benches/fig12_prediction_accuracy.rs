@@ -57,7 +57,9 @@ fn main() {
     }
     print_table(
         "Figure 12: execution-time prediction accuracy per schedule",
-        &["app", "schedule", "machines", "actual", "Juggler", "acc", "Ernest", "acc"],
+        &[
+            "app", "schedule", "machines", "actual", "Juggler", "acc", "Ernest", "acc",
+        ],
         &rows,
     );
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -66,9 +68,12 @@ fn main() {
         avg(&juggler_accs),
         avg(&ernest_accs)
     );
-    bench::save_results("fig12_prediction_accuracy", &serde_json::json!({
-        "juggler_avg_accuracy_pct": avg(&juggler_accs),
-        "ernest_avg_accuracy_pct": avg(&ernest_accs),
-        "paper": {"juggler": 90.6, "ernest": 53.2},
-    }));
+    bench::save_results(
+        "fig12_prediction_accuracy",
+        &serde_json::json!({
+            "juggler_avg_accuracy_pct": avg(&juggler_accs),
+            "ernest_avg_accuracy_pct": avg(&ernest_accs),
+            "paper": {"juggler": 90.6, "ernest": 53.2},
+        }),
+    );
 }

@@ -34,7 +34,14 @@ fn main() {
     }
     print_table(
         "Figure 13: predicted vs actual cached-dataset sizes",
-        &["app", "schedule", "dataset", "predicted", "actual", "accuracy"],
+        &[
+            "app",
+            "schedule",
+            "dataset",
+            "predicted",
+            "actual",
+            "accuracy",
+        ],
         &rows,
     );
     println!("\nWorst-case size error: {worst_err:.2}% (paper: 0.91%)");

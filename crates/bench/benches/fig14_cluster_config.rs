@@ -42,7 +42,15 @@ fn main() {
     }
     print_table(
         "Figure 14: recommended vs optimal cluster configuration",
-        &["app", "schedule", "recommended", "optimal", "cost@rec", "cost@opt", "extra cost"],
+        &[
+            "app",
+            "schedule",
+            "recommended",
+            "optimal",
+            "cost@rec",
+            "cost@opt",
+            "extra cost",
+        ],
         &rows,
     );
     let avg_extra = extra_cost_pct.iter().sum::<f64>() / extra_cost_pct.len() as f64;
@@ -50,10 +58,13 @@ fn main() {
         "\nOptimal in {optimal_hits}/{total} cases ({:.0}%; paper: 50%), average extra cost {avg_extra:.1}% (paper: 7.3%)",
         optimal_hits as f64 / total as f64 * 100.0
     );
-    bench::save_results("fig14_cluster_config", &serde_json::json!({
-        "optimal_cases": optimal_hits,
-        "total_cases": total,
-        "avg_extra_cost_pct": avg_extra,
-        "paper": {"optimal_fraction": 0.5, "avg_extra_cost_pct": 7.3},
-    }));
+    bench::save_results(
+        "fig14_cluster_config",
+        &serde_json::json!({
+            "optimal_cases": optimal_hits,
+            "total_cases": total,
+            "avg_extra_cost_pct": avg_extra,
+            "paper": {"optimal_fraction": 0.5, "avg_extra_cost_pct": 7.3},
+        }),
+    );
 }

@@ -13,8 +13,11 @@ use baselines::{MemTune, RelM, SizingBaseline, SizingInputs, SystemML};
 use bench::{print_table, MACHINE_RANGE};
 
 fn main() {
-    let baselines: Vec<Box<dyn SizingBaseline>> =
-        vec![Box::new(MemTune), Box::new(RelM::default()), Box::new(SystemML)];
+    let baselines: Vec<Box<dyn SizingBaseline>> = vec![
+        Box::new(MemTune),
+        Box::new(RelM::default()),
+        Box::new(SystemML),
+    ];
     let max_m = *MACHINE_RANGE.end();
 
     let mut rows = Vec::new();
@@ -28,19 +31,14 @@ fn main() {
 
         for (i, rs) in trained.schedules.iter().enumerate() {
             let juggler_m = trained.machines_for(i, params.e(), params.f());
-            let juggler_run =
-                bench::actual_run(w.as_ref(), &params, &rs.schedule, juggler_m, spec);
+            let juggler_run = bench::actual_run(w.as_ref(), &params, &rs.schedule, juggler_m, spec);
 
             // The "analyzed actual run" the baselines consume.
-            let outputs: u64 = app
-                .jobs()
-                .iter()
-                .map(|j| app.dataset(j.target).bytes)
-                .sum();
+            let outputs: u64 = app.jobs().iter().map(|j| app.dataset(j.target).bytes).sum();
             let inputs = SizingInputs {
-                cached_bytes: rs.schedule.memory_budget(|d| {
-                    trained.sizes.predict_dataset(d, params.e(), params.f())
-                }),
+                cached_bytes: rs
+                    .schedule
+                    .memory_budget(|d| trained.sizes.predict_dataset(d, params.e(), params.f())),
                 input_bytes: app.input_bytes(),
                 output_bytes: outputs,
                 peak_exec_per_machine: juggler_run.cache.peak_exec_bytes
@@ -86,7 +84,5 @@ fn main() {
         &["approach", "extra cost", "time delta"],
         &t4,
     );
-    println!(
-        "\nPaper reference: MemTune +36%/-9%, RelM +46%/-46%, SystemML +9%/-18%."
-    );
+    println!("\nPaper reference: MemTune +36%/-9%, RelM +46%/-46%, SystemML +9%/-18%.");
 }

@@ -35,7 +35,14 @@ fn main() {
     }
     print_table(
         "Figure 16: training cost share per stage",
-        &["app", "hotspot", "param calib", "memory calib", "time models", "total (m-min)"],
+        &[
+            "app",
+            "hotspot",
+            "param calib",
+            "memory calib",
+            "time models",
+            "total (m-min)",
+        ],
         &rows,
     );
     println!(

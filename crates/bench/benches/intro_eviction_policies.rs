@@ -30,7 +30,14 @@ fn main() {
             sim.eviction_policy = policy;
             let engine = Engine::new(&app, ClusterConfig::new(machines, spec), sim);
             let report = engine
-                .run(&schedule, RunOptions { collect_traces: false, partition_skew: 0.15, ..RunOptions::default() })
+                .run(
+                    &schedule,
+                    RunOptions {
+                        collect_traces: false,
+                        partition_skew: 0.15,
+                        ..RunOptions::default()
+                    },
+                )
                 .expect("run succeeds");
             let cost = report.cost_machine_minutes();
             if policy == EvictionPolicyKind::Lru {

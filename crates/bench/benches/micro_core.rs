@@ -18,11 +18,40 @@ use workloads::{LogisticRegression, Pca, Workload};
 fn synthetic_app(iters: usize) -> Application {
     let mut b = AppBuilder::new("synthetic");
     let src = b.source("in", SourceFormat::DistributedFs, 10_000, 1 << 30, 16);
-    let parsed = b.narrow("parsed", NarrowKind::Map, &[src], 10_000, 1 << 30, ComputeCost::new(0.001, 0.0, 1e-10));
-    let points = b.narrow("points", NarrowKind::Map, &[parsed], 10_000, 1 << 29, ComputeCost::new(0.001, 0.0, 1e-10));
+    let parsed = b.narrow(
+        "parsed",
+        NarrowKind::Map,
+        &[src],
+        10_000,
+        1 << 30,
+        ComputeCost::new(0.001, 0.0, 1e-10),
+    );
+    let points = b.narrow(
+        "points",
+        NarrowKind::Map,
+        &[parsed],
+        10_000,
+        1 << 29,
+        ComputeCost::new(0.001, 0.0, 1e-10),
+    );
     for i in 0..iters {
-        let m = b.narrow(format!("m{i}"), NarrowKind::Map, &[points], 10_000, 1 << 20, ComputeCost::new(0.001, 0.0, 1e-9));
-        let g = b.wide_with_partitions(format!("g{i}"), WideKind::TreeAggregate, &[m], 1, 1 << 12, 1, ComputeCost::new(0.001, 0.0, 1e-9));
+        let m = b.narrow(
+            format!("m{i}"),
+            NarrowKind::Map,
+            &[points],
+            10_000,
+            1 << 20,
+            ComputeCost::new(0.001, 0.0, 1e-9),
+        );
+        let g = b.wide_with_partitions(
+            format!("g{i}"),
+            WideKind::TreeAggregate,
+            &[m],
+            1,
+            1 << 12,
+            1,
+            ComputeCost::new(0.001, 0.0, 1e-9),
+        );
         b.job("agg", g);
     }
     b.build().unwrap()
@@ -44,7 +73,9 @@ fn bench_hotspot(c: &mut Criterion) {
     for iters in [50usize, 200, 800] {
         let app = synthetic_app(iters);
         let metrics = DatasetMetricsView {
-            et: (0..app.dataset_count()).map(|i| 0.01 + (i % 7) as f64 * 0.02).collect(),
+            et: (0..app.dataset_count())
+                .map(|i| 0.01 + (i % 7) as f64 * 0.02)
+                .collect(),
             size: app.datasets().iter().map(|d| d.bytes).collect(),
         };
         group.bench_with_input(BenchmarkId::from_parameter(iters), &(), |b, ()| {
@@ -65,7 +96,11 @@ fn bench_model_fitting(c: &mut Criterion) {
         v
     };
     c.bench_function("fit_best_size_models", |b| {
-        b.iter(|| fit_best(&ModelSpec::size_candidates(), &samples).unwrap().cv_error);
+        b.iter(|| {
+            fit_best(&ModelSpec::size_candidates(), &samples)
+                .unwrap()
+                .cv_error
+        });
     });
 }
 
@@ -81,7 +116,10 @@ fn bench_simulator(c: &mut Criterion) {
     c.bench_function("simulate_lor_sample_run", |b| {
         b.iter(|| {
             let engine = Engine::new(&app, cluster, sim);
-            engine.run(&Schedule::empty(), RunOptions::default()).unwrap().total_time_s
+            engine
+                .run(&Schedule::empty(), RunOptions::default())
+                .unwrap()
+                .total_time_s
         });
     });
 }

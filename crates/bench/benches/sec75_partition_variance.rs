@@ -58,9 +58,10 @@ fn main() {
     let mut per_machine = vec![0.0f64; machines as usize];
     for t in &report.traces {
         // Count the final cache-read wave: last job touching D6.
-        if t.steps.iter().any(|s| {
-            s.dataset == d6 && s.kind == cluster_sim::StepKind::CacheRead
-        }) {
+        if t.steps
+            .iter()
+            .any(|s| s.dataset == d6 && s.kind == cluster_sim::StepKind::CacheRead)
+        {
             per_machine[t.machine as usize] += sizes[t.task as usize % sizes.len()];
         }
     }

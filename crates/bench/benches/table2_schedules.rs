@@ -16,8 +16,13 @@ fn main() {
         let sample = w.sample_params();
         let app = w.build(&sample);
         let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
-        let out = profile_run(&app, &app.default_schedule().clone(), cluster, w.sim_params())
-            .expect("sample run succeeds");
+        let out = profile_run(
+            &app,
+            &app.default_schedule().clone(),
+            cluster,
+            w.sim_params(),
+        )
+        .expect("sample run succeeds");
         let metrics = DatasetMetricsView::from_metrics(&out.metrics, app.dataset_count());
         let schedules = detect_hotspots(&app, &metrics, &HotspotConfig::default());
 

@@ -20,9 +20,11 @@ fn main() {
         // Default: average over all configurations (the paper's Line 1).
         let default = w.build(&params).default_schedule().clone();
         let sweep = bench::sweep(w.as_ref(), &params, &default, spec);
-        let default_cost =
-            sweep.iter().map(cluster_sim::RunReport::cost_machine_minutes).sum::<f64>()
-                / sweep.len() as f64;
+        let default_cost = sweep
+            .iter()
+            .map(cluster_sim::RunReport::cost_machine_minutes)
+            .sum::<f64>()
+            / sweep.len() as f64;
 
         // Juggler: schedules on recommended configurations, averaged.
         let mut jcost = 0.0;

@@ -21,7 +21,10 @@ fn train_once(w: &dyn Workload, threads: usize) -> (f64, String) {
     let t0 = Instant::now();
     let trained = OfflineTraining::run(w, &config).expect("training succeeds");
     let secs = t0.elapsed().as_secs_f64();
-    (secs, serde_json::to_string(&trained).expect("artifact serializes"))
+    (
+        secs,
+        serde_json::to_string(&trained).expect("artifact serializes"),
+    )
 }
 
 fn main() {

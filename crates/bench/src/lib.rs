@@ -143,7 +143,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -160,7 +163,10 @@ pub fn save_results(bench_name: &str, value: &serde_json::Value) {
     let write = || -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{bench_name}.json"));
-        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))?;
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(value).expect("serializable"),
+        )?;
         Ok(path)
     };
     match write() {
@@ -169,29 +175,17 @@ pub fn save_results(bench_name: &str, value: &serde_json::Value) {
     }
 }
 
-/// Formats seconds compactly.
+/// Formats seconds compactly (delegates to the shared [`obs`] helper so
+/// every human-facing duration in the workspace uses the same units).
 #[must_use]
 pub fn fmt_secs(s: f64) -> String {
-    if s >= 3600.0 {
-        format!("{:.1}h", s / 3600.0)
-    } else if s >= 60.0 {
-        format!("{:.1}m", s / 60.0)
-    } else {
-        format!("{s:.1}s")
-    }
+    obs::fmt_duration_s(s)
 }
 
-/// Formats bytes compactly.
+/// Formats bytes compactly (delegates to the shared [`obs`] helper).
 #[must_use]
 pub fn fmt_bytes(b: u64) -> String {
-    let bf = b as f64;
-    if bf >= 1e9 {
-        format!("{:.1} GB", bf / 1e9)
-    } else if bf >= 1e6 {
-        format!("{:.1} MB", bf / 1e6)
-    } else {
-        format!("{:.1} kB", bf / 1e3)
-    }
+    obs::fmt_bytes(b)
 }
 
 #[cfg(test)]
@@ -200,9 +194,9 @@ mod tests {
 
     #[test]
     fn format_helpers() {
-        assert_eq!(fmt_secs(30.0), "30.0s");
-        assert_eq!(fmt_secs(90.0), "1.5m");
-        assert_eq!(fmt_secs(7200.0), "2.0h");
+        assert_eq!(fmt_secs(30.0), "30 s");
+        assert_eq!(fmt_secs(150.0), "2.5 min");
+        assert_eq!(fmt_secs(7200.0), "2 h");
         assert_eq!(fmt_bytes(1_500), "1.5 kB");
         assert_eq!(fmt_bytes(35_800_000_000), "35.8 GB");
     }

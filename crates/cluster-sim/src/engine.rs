@@ -10,7 +10,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use dagflow::{Application, DagError, DatasetId, JobId, LineageAnalysis, Schedule, ScheduleOp, StagePlan};
+use dagflow::{
+    Application, DagError, DatasetId, JobId, LineageAnalysis, Schedule, ScheduleOp, StagePlan,
+};
 
 use crate::config::{ClusterConfig, SimParams};
 use crate::executor::{run_stage, ExecutorState};
@@ -38,6 +40,51 @@ pub struct RunOptions {
 /// summed over every dataset, plus executor-level spill/locality tallies.
 /// Sums are order-independent, so snapshots are deterministic regardless
 /// of `HashMap` iteration order.
+/// Feeds one finished run's counters into the global metrics registry.
+/// A single branch when the registry is disabled (the default).
+fn record_run_metrics(counters: &TraceCounters, total_tasks: u64) {
+    let reg = obs::global();
+    if !reg.enabled() {
+        return;
+    }
+    reg.counter("sim_runs_total", "simulated runs completed")
+        .inc();
+    reg.counter("sim_tasks_total", "tasks executed across all runs")
+        .add(total_tasks);
+    reg.counter(
+        "sim_cache_hits_total",
+        "cache reads that found the block resident",
+    )
+    .add(counters.cache_hits);
+    reg.counter(
+        "sim_cache_misses_total",
+        "cache reads that missed, forcing recomputation",
+    )
+    .add(counters.cache_misses);
+    reg.counter(
+        "sim_evictions_total",
+        "blocks evicted under memory pressure",
+    )
+    .add(counters.evictions);
+    reg.counter(
+        "sim_insert_failures_total",
+        "cache inserts rejected for lack of memory",
+    )
+    .add(counters.insert_failures);
+    reg.counter("sim_unpersisted_total", "blocks dropped by unpersist/swap")
+        .add(counters.unpersisted);
+    reg.counter(
+        "sim_spills_total",
+        "tasks that could not claim execution memory and spilled",
+    )
+    .add(counters.spills);
+    reg.counter(
+        "sim_locality_fallbacks_total",
+        "tasks that gave up on their cache-local machine and ran elsewhere",
+    )
+    .add(counters.locality_fallbacks);
+}
+
 fn gather_counters(store: &BlockStore, state: &ExecutorState) -> TraceCounters {
     let mut c = TraceCounters {
         spills: state.spilled_tasks,
@@ -196,10 +243,13 @@ impl<'a> Engine<'a> {
                         .iter()
                         .find(|&&u| u >= ji)
                         .map_or(u32::MAX, |&u| (u - ji) as u32);
-                    (d, crate::eviction::DatasetHints {
-                        remaining_refs: remaining,
-                        next_use_distance: next,
-                    })
+                    (
+                        d,
+                        crate::eviction::DatasetHints {
+                            remaining_refs: remaining,
+                            next_use_distance: next,
+                        },
+                    )
                 })
                 .collect();
             store.set_hints(hints);
@@ -269,7 +319,9 @@ impl<'a> Engine<'a> {
             per_job_cache.push(deltas);
         }
 
-        let trace = recorder.finish(gather_counters(&store, &state));
+        let final_counters = gather_counters(&store, &state);
+        record_run_metrics(&final_counters, state.total_tasks);
+        let trace = recorder.finish(final_counters);
         let cache = CacheStats {
             peak_storage_bytes: store.peak_storage(),
             peak_exec_bytes: store.peak_exec(),
@@ -376,9 +428,14 @@ mod tests {
         let app = iterative_app(10);
         let cluster = ClusterConfig::new(2, MachineSpec::paper_example());
         let engine = Engine::new(&app, cluster, quiet_params());
-        let cold = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        let cold = engine
+            .run(&Schedule::empty(), RunOptions::default())
+            .unwrap();
         let hot = engine
-            .run(&Schedule::persist_all([DatasetId(1)]), RunOptions::default())
+            .run(
+                &Schedule::persist_all([DatasetId(1)]),
+                RunOptions::default(),
+            )
             .unwrap();
         assert!(
             hot.total_time_s < cold.total_time_s * 0.6,
@@ -398,7 +455,9 @@ mod tests {
         let app = iterative_app(5);
         let cluster = ClusterConfig::new(2, MachineSpec::paper_example());
         let engine = Engine::new(&app, cluster, quiet_params());
-        let r = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        let r = engine
+            .run(&Schedule::empty(), RunOptions::default())
+            .unwrap();
         let sum: f64 = r.job_times_s.iter().sum();
         assert!((r.total_time_s - (sum + quiet_params().app_startup_s)).abs() < 1e-9);
         assert_eq!(r.job_times_s.len(), 5);
@@ -437,7 +496,10 @@ mod tests {
         };
         let engine = Engine::new(&app, cluster, params);
         let r = engine
-            .run(&Schedule::persist_all([DatasetId(1)]), RunOptions::default())
+            .run(
+                &Schedule::persist_all([DatasetId(1)]),
+                RunOptions::default(),
+            )
             .unwrap();
         let stats = r.cache.per_dataset.get(&DatasetId(1)).unwrap();
         assert_eq!(stats.resident_partitions, 4, "capacity/size fraction stays");
@@ -451,7 +513,10 @@ mod tests {
         // More machines: everything fits, misses vanish after job 1.
         let big = Engine::new(&app, ClusterConfig::new(2, spec), params);
         let r2 = big
-            .run(&Schedule::persist_all([DatasetId(1)]), RunOptions::default())
+            .run(
+                &Schedule::persist_all([DatasetId(1)]),
+                RunOptions::default(),
+            )
             .unwrap();
         let last2 = r2.per_job_cache.last().unwrap();
         let (_, hits2, misses2) = last2.iter().find(|(d, _, _)| *d == DatasetId(1)).unwrap();
@@ -465,7 +530,9 @@ mod tests {
         let app = iterative_app(2);
         let cluster = ClusterConfig::new(1, MachineSpec::paper_example());
         let engine = Engine::new(&app, cluster, quiet_params());
-        let quiet = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        let quiet = engine
+            .run(&Schedule::empty(), RunOptions::default())
+            .unwrap();
         assert!(quiet.traces.is_empty());
         let traced = engine
             .run(
@@ -485,7 +552,9 @@ mod tests {
         let cluster = ClusterConfig::new(2, MachineSpec::paper_example());
         let engine = Engine::new(&app, cluster, quiet_params());
         // Disabled by default: no trace, no allocation.
-        let plain = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        let plain = engine
+            .run(&Schedule::empty(), RunOptions::default())
+            .unwrap();
         assert!(plain.trace.is_none());
 
         let opts = RunOptions {
@@ -521,7 +590,9 @@ mod tests {
         let app = iterative_app(4);
         let cluster = ClusterConfig::new(2, MachineSpec::paper_example());
         let engine = Engine::new(&app, cluster, quiet_params());
-        let r = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        let r = engine
+            .run(&Schedule::empty(), RunOptions::default())
+            .unwrap();
         assert!(!r.stage_times.is_empty());
         let startup = quiet_params().app_startup_s;
         for st in &r.stage_times {
@@ -555,9 +626,14 @@ mod tests {
         let app = iterative_app(5);
         let cluster = ClusterConfig::new(2, MachineSpec::paper_example());
         let engine = Engine::new(&app, cluster, quiet_params());
-        let cold = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+        let cold = engine
+            .run(&Schedule::empty(), RunOptions::default())
+            .unwrap();
         let hot = engine
-            .run(&Schedule::persist_all([DatasetId(1)]), RunOptions::default())
+            .run(
+                &Schedule::persist_all([DatasetId(1)]),
+                RunOptions::default(),
+            )
             .unwrap();
         // Same stage count here (caching shortens tasks, not stages), but
         // the cached map stages are far quicker after job 0.
@@ -581,15 +657,36 @@ mod tests {
         // x (400 MB) → y (400 MB); schedule p(x) p(y) vs p(x) u(x) p(y).
         let mut b = AppBuilder::new("swap");
         let src = b.source("in", SourceFormat::DistributedFs, 100, 400_000_000, 4);
-        let x = b.narrow("x", NarrowKind::Map, &[src], 100, 400_000_000, ComputeCost::new(0.01, 0.0, 1e-9));
-        let y = b.narrow("y", NarrowKind::Map, &[x], 100, 400_000_000, ComputeCost::new(0.01, 0.0, 1e-9));
+        let x = b.narrow(
+            "x",
+            NarrowKind::Map,
+            &[src],
+            100,
+            400_000_000,
+            ComputeCost::new(0.01, 0.0, 1e-9),
+        );
+        let y = b.narrow(
+            "y",
+            NarrowKind::Map,
+            &[x],
+            100,
+            400_000_000,
+            ComputeCost::new(0.01, 0.0, 1e-9),
+        );
         // Two jobs over x (so caching x pays), then jobs over y only.
         let vx = b.narrow("vx", NarrowKind::Map, &[x], 1, 8, ComputeCost::FREE);
         b.job("count", vx);
         let vx2 = b.narrow("vx2", NarrowKind::Map, &[x], 1, 8, ComputeCost::FREE);
         b.job("count", vx2);
         for i in 0..3 {
-            let v = b.narrow(format!("vy{i}"), NarrowKind::Map, &[y], 1, 8, ComputeCost::FREE);
+            let v = b.narrow(
+                format!("vy{i}"),
+                NarrowKind::Map,
+                &[y],
+                1,
+                8,
+                ComputeCost::FREE,
+            );
             b.job("count", v);
         }
         let app = b.build().unwrap();
@@ -611,8 +708,24 @@ mod tests {
             r_swap.cache.peak_storage_bytes
         );
         // After the run, x is gone, y resident.
-        assert_eq!(r_swap.cache.per_dataset.get(&x).unwrap().resident_partitions, 0);
-        assert_eq!(r_swap.cache.per_dataset.get(&y).unwrap().resident_partitions, 4);
+        assert_eq!(
+            r_swap
+                .cache
+                .per_dataset
+                .get(&x)
+                .unwrap()
+                .resident_partitions,
+            0
+        );
+        assert_eq!(
+            r_swap
+                .cache
+                .per_dataset
+                .get(&y)
+                .unwrap()
+                .resident_partitions,
+            4
+        );
     }
 
     #[test]
@@ -622,17 +735,42 @@ mod tests {
         // stage must be skipped.
         let mut b = AppBuilder::new("skip");
         let src = b.source("in", SourceFormat::DistributedFs, 8_000, 1_120_000_000, 8);
-        let parsed = b.narrow("parsed", NarrowKind::Map, &[src], 8_000, 800_000_000, ComputeCost::new(0.05, 1e-5, 4e-9));
-        let agg = b.wide("agg", WideKind::ReduceByKey, &[parsed], 4_000, 200_000_000, ComputeCost::new(0.01, 0.0, 1e-9));
+        let parsed = b.narrow(
+            "parsed",
+            NarrowKind::Map,
+            &[src],
+            8_000,
+            800_000_000,
+            ComputeCost::new(0.05, 1e-5, 4e-9),
+        );
+        let agg = b.wide(
+            "agg",
+            WideKind::ReduceByKey,
+            &[parsed],
+            4_000,
+            200_000_000,
+            ComputeCost::new(0.01, 0.0, 1e-9),
+        );
         for i in 0..4 {
-            let v = b.narrow(format!("v{i}"), NarrowKind::Map, &[agg], 1, 8, ComputeCost::FREE);
+            let v = b.narrow(
+                format!("v{i}"),
+                NarrowKind::Map,
+                &[agg],
+                1,
+                8,
+                ComputeCost::FREE,
+            );
             b.job("count", v);
         }
         let app = b.build().unwrap();
         let cluster = ClusterConfig::new(2, MachineSpec::paper_example());
         let engine = Engine::new(&app, cluster, quiet_params());
-        let cold = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
-        let hot = engine.run(&Schedule::persist_all([agg]), RunOptions::default()).unwrap();
+        let cold = engine
+            .run(&Schedule::empty(), RunOptions::default())
+            .unwrap();
+        let hot = engine
+            .run(&Schedule::persist_all([agg]), RunOptions::default())
+            .unwrap();
         let startup = quiet_params().app_startup_s;
         assert!(
             hot.total_time_s - startup < (cold.total_time_s - startup) * 0.5,

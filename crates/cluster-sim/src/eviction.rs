@@ -111,7 +111,13 @@ pub fn select_victim(kind: EvictionPolicyKind, candidates: &[VictimCandidate]) -
         EvictionPolicyKind::Mrd => candidates
             .iter()
             .enumerate()
-            .max_by_key(|(_, c)| (c.hints.next_use_distance, u64::MAX - c.last_access, c.dataset))
+            .max_by_key(|(_, c)| {
+                (
+                    c.hints.next_use_distance,
+                    u64::MAX - c.last_access,
+                    c.dataset,
+                )
+            })
             .map(|(i, _)| i),
     };
     idx
@@ -121,7 +127,13 @@ pub fn select_victim(kind: EvictionPolicyKind, candidates: &[VictimCandidate]) -
 mod tests {
     use super::*;
 
-    fn cand(dataset: u32, last_access: u64, inserted: u64, refs: u64, dist: u32) -> VictimCandidate {
+    fn cand(
+        dataset: u32,
+        last_access: u64,
+        inserted: u64,
+        refs: u64,
+        dist: u32,
+    ) -> VictimCandidate {
         VictimCandidate {
             dataset: DatasetId(dataset),
             bytes: 100,
@@ -136,19 +148,31 @@ mod tests {
 
     #[test]
     fn lru_picks_oldest_access() {
-        let c = [cand(0, 5, 1, 9, 1), cand(1, 2, 9, 9, 1), cand(2, 8, 2, 9, 1)];
+        let c = [
+            cand(0, 5, 1, 9, 1),
+            cand(1, 2, 9, 9, 1),
+            cand(2, 8, 2, 9, 1),
+        ];
         assert_eq!(select_victim(EvictionPolicyKind::Lru, &c), Some(1));
     }
 
     #[test]
     fn fifo_picks_oldest_insert() {
-        let c = [cand(0, 5, 3, 9, 1), cand(1, 2, 9, 9, 1), cand(2, 8, 1, 9, 1)];
+        let c = [
+            cand(0, 5, 3, 9, 1),
+            cand(1, 2, 9, 9, 1),
+            cand(2, 8, 1, 9, 1),
+        ];
         assert_eq!(select_victim(EvictionPolicyKind::Fifo, &c), Some(2));
     }
 
     #[test]
     fn lrc_picks_fewest_remaining_refs() {
-        let c = [cand(0, 5, 1, 3, 1), cand(1, 2, 2, 1, 1), cand(2, 8, 3, 7, 1)];
+        let c = [
+            cand(0, 5, 1, 3, 1),
+            cand(1, 2, 2, 1, 1),
+            cand(2, 8, 3, 7, 1),
+        ];
         assert_eq!(select_victim(EvictionPolicyKind::Lrc, &c), Some(1));
     }
 
@@ -160,7 +184,11 @@ mod tests {
 
     #[test]
     fn mrd_picks_farthest_next_use() {
-        let c = [cand(0, 5, 1, 9, 2), cand(1, 2, 2, 9, 40), cand(2, 8, 3, 9, 7)];
+        let c = [
+            cand(0, 5, 1, 9, 2),
+            cand(1, 2, 2, 9, 40),
+            cand(2, 8, 3, 9, 7),
+        ];
         assert_eq!(select_victim(EvictionPolicyKind::Mrd, &c), Some(1));
     }
 

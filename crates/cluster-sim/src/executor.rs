@@ -156,7 +156,14 @@ pub fn run_stage(
         state.expire_claims(store, machine, start);
         let claimed = store.claim_exec(machine, exec_bytes);
 
-        let mut walk = walk_task(env, store, machine, stage.output, task_idx, shuffle_consumers);
+        let mut walk = walk_task(
+            env,
+            store,
+            machine,
+            stage.output,
+            task_idx,
+            shuffle_consumers,
+        );
         let (noise_factor, is_straggler) = state.noise.sample();
         let mut duration = walk.duration * noise_factor;
         if is_straggler {
@@ -244,7 +251,13 @@ mod tests {
 
     fn fixture(partitions: u32) -> Application {
         let mut b = AppBuilder::new("exec");
-        let src = b.source("in", SourceFormat::DistributedFs, 1000, 80_000_000 * u64::from(partitions), partitions);
+        let src = b.source(
+            "in",
+            SourceFormat::DistributedFs,
+            1000,
+            80_000_000 * u64::from(partitions),
+            partitions,
+        );
         let m = b.narrow(
             "m",
             NarrowKind::Map,
@@ -335,14 +348,40 @@ mod tests {
         let plan = StagePlan::build(&app, dagflow::JobId(0));
         let mut traces = Vec::new();
         let mut recorder = TraceRecorder::new(TraceConfig::default());
-        run_stage(&env, &mut store, &mut state, dagflow::JobId(0), plan.result_stage(), &[], 0.0, &mut traces, &mut recorder);
+        run_stage(
+            &env,
+            &mut store,
+            &mut state,
+            dagflow::JobId(0),
+            plan.result_stage(),
+            &[],
+            0.0,
+            &mut traces,
+            &mut recorder,
+        );
         // Record where each partition was cached.
-        let homes: Vec<Option<usize>> = (0..2).map(|p| store.residency(dagflow::DatasetId(1), p)).collect();
+        let homes: Vec<Option<usize>> = (0..2)
+            .map(|p| store.residency(dagflow::DatasetId(1), p))
+            .collect();
         traces.clear();
         // Run again: each task must land on its cached machine.
-        let finish = run_stage(&env, &mut store, &mut state, dagflow::JobId(0), plan.result_stage(), &[], 10.0, &mut traces, &mut recorder);
+        let finish = run_stage(
+            &env,
+            &mut store,
+            &mut state,
+            dagflow::JobId(0),
+            plan.result_stage(),
+            &[],
+            10.0,
+            &mut traces,
+            &mut recorder,
+        );
         for t in &traces {
-            assert_eq!(Some(t.machine as usize), homes[t.task as usize], "locality respected");
+            assert_eq!(
+                Some(t.machine as usize),
+                homes[t.task as usize],
+                "locality respected"
+            );
         }
         // Cached reads: 140 MB at 2 GB/s = 0.07 s each, both parallel.
         assert!(finish - 10.0 < 0.2, "cached rerun took {}", finish - 10.0);
@@ -375,7 +414,17 @@ mod tests {
         let plan = StagePlan::build(&app, dagflow::JobId(0));
         let mut traces = Vec::new();
         let mut recorder = TraceRecorder::new(TraceConfig::default());
-        run_stage(&env, &mut store, &mut state, dagflow::JobId(0), plan.result_stage(), &[], 0.0, &mut traces, &mut recorder);
+        run_stage(
+            &env,
+            &mut store,
+            &mut state,
+            dagflow::JobId(0),
+            plan.result_stage(),
+            &[],
+            0.0,
+            &mut traces,
+            &mut recorder,
+        );
         assert_eq!(traces.len(), 8);
         for t in &traces {
             assert!((t.steps.first().unwrap().start - t.start).abs() < 1e-9);
@@ -412,7 +461,17 @@ mod tests {
         let plan = StagePlan::build(&app, dagflow::JobId(0));
         let mut traces = Vec::new();
         let mut recorder = TraceRecorder::new(TraceConfig::default());
-        let finish = run_stage(&env, &mut store, &mut state, dagflow::JobId(0), plan.result_stage(), &[], 0.0, &mut traces, &mut recorder);
+        let finish = run_stage(
+            &env,
+            &mut store,
+            &mut state,
+            dagflow::JobId(0),
+            plan.result_stage(),
+            &[],
+            0.0,
+            &mut traces,
+            &mut recorder,
+        );
         assert_eq!(state.spilled_tasks, 4);
         // 4 tasks of 2 s on 4 cores ⇒ one 2 s wave.
         assert!((finish - 2.0).abs() < 0.01, "finish {finish}");

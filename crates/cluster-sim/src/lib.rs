@@ -44,7 +44,9 @@ pub mod trace_view;
 pub use config::{ClusterConfig, FailureSpec, MachineSpec, MemoryLayout, NoiseParams, SimParams};
 pub use engine::{Engine, RunOptions};
 pub use eviction::EvictionPolicyKind;
-pub use report::{CacheStats, DatasetCacheStats, PipelineStep, RunReport, StageTiming, StepKind, TaskTrace};
+pub use report::{
+    CacheStats, DatasetCacheStats, PipelineStep, RunReport, StageTiming, StepKind, TaskTrace,
+};
 pub use trace::{
     DurationHistogram, RunTrace, TraceConfig, TraceCounters, TraceEvent, TraceRecorder,
 };

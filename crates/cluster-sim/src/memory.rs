@@ -170,7 +170,13 @@ impl BlockStore {
     /// Attempts to cache a freshly computed partition on `machine`,
     /// evicting LRU blocks of other datasets if needed. Returns whether the
     /// block is now resident.
-    pub fn try_insert(&mut self, machine: usize, dataset: DatasetId, partition: u32, bytes: u64) -> bool {
+    pub fn try_insert(
+        &mut self,
+        machine: usize,
+        dataset: DatasetId,
+        partition: u32,
+        bytes: u64,
+    ) -> bool {
         let key = BlockKey { dataset, partition };
         if self.locations.contains_key(&key) {
             return true; // already resident (e.g. recomputed concurrently)
@@ -178,7 +184,9 @@ impl BlockStore {
         self.stat(dataset).insert_attempts += 1;
         // Evict other datasets' LRU blocks until the block fits.
         while self.machines[machine].free() < bytes {
-            let Some(victim) = self.machines[machine].victim(self.policy, &self.hints, Some(dataset)) else {
+            let Some(victim) =
+                self.machines[machine].victim(self.policy, &self.hints, Some(dataset))
+            else {
                 break;
             };
             self.evict_block(machine, victim);
@@ -427,7 +435,10 @@ mod tests {
         assert_eq!(s.storage_used(0), 400_000_000);
         // Claim 3e8 of execution: storage must shrink, but not below R.
         let claimed = s.claim_exec(0, 300_000_000);
-        assert!(claimed < 300_000_000, "cannot fully satisfy without violating R");
+        assert!(
+            claimed < 300_000_000,
+            "cannot fully satisfy without violating R"
+        );
         assert!(s.storage_used(0) >= 200_000_000, "floor respected");
         assert!(s.storage_used(0) < 400_000_000, "some eviction happened");
         // A small claim that fits after the first is released.

@@ -30,7 +30,8 @@ use crate::report::{PipelineStep, StepKind};
 #[must_use]
 pub fn skew_factor(dataset: DatasetId, partition: u32, skew: f64) -> f64 {
     // SplitMix64 over the pair for well-mixed bits.
-    let mut z = (u64::from(dataset.0) << 32 | u64::from(partition)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z =
+        (u64::from(dataset.0) << 32 | u64::from(partition)).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
@@ -90,7 +91,14 @@ pub struct TaskWalk {
 }
 
 impl TaskWalk {
-    fn push_step(&mut self, trace: bool, dataset: DatasetId, kind: StepKind, dur: f64, out_bytes: f64) {
+    fn push_step(
+        &mut self,
+        trace: bool,
+        dataset: DatasetId,
+        kind: StepKind,
+        dur: f64,
+        out_bytes: f64,
+    ) {
         let start = self.duration;
         self.duration += dur;
         if trace {
@@ -213,7 +221,13 @@ fn materialize(
     let ds = env.app.dataset(d);
     match ds.op {
         OpKind::Source(_) => {
-            walk.push_step(env.trace, d, StepKind::SourceRead, bytes / spec.disk_bandwidth, bytes);
+            walk.push_step(
+                env.trace,
+                d,
+                StepKind::SourceRead,
+                bytes / spec.disk_bandwidth,
+                bytes,
+            );
         }
         OpKind::Wide(_) => {
             let dur = shuffle_read_seconds(env, d, p);
@@ -245,7 +259,8 @@ fn apply_swap(env: &TaskEnv<'_>, store: &mut BlockStore, y: DatasetId, p: u32) {
     let px = env.app.dataset(x).partitions;
     let y_resident = store.resident_count(y);
     // Keep at most this many X blocks while Y is y_resident/py done.
-    let keep = ((f64::from(px) * (1.0 - f64::from(y_resident) / f64::from(py.max(1)))).ceil()
+    let keep = ((f64::from(px) * (1.0 - f64::from(y_resident) / f64::from(py.max(1))))
+        .ceil()
         .max(0.0)) as u32;
     // Prefer dropping the co-indexed partition, then sweep others.
     if store.resident_count(x) > keep && p < px {
@@ -425,8 +440,22 @@ mod tests {
     fn swap_drops_old_blocks_as_new_ones_arrive() {
         let mut b = AppBuilder::new("swapfix");
         let src = b.source("in", SourceFormat::DistributedFs, 100, 1_000_000, 4);
-        let x = b.narrow("x", NarrowKind::Map, &[src], 100, 1_000_000, ComputeCost::FREE);
-        let y = b.narrow("y", NarrowKind::Map, &[x], 100, 1_000_000, ComputeCost::FREE);
+        let x = b.narrow(
+            "x",
+            NarrowKind::Map,
+            &[src],
+            100,
+            1_000_000,
+            ComputeCost::FREE,
+        );
+        let y = b.narrow(
+            "y",
+            NarrowKind::Map,
+            &[x],
+            100,
+            1_000_000,
+            ComputeCost::FREE,
+        );
         b.job("count", y);
         let app = b.build().unwrap();
         let cluster = ClusterConfig::new(1, MachineSpec::paper_example());

@@ -320,14 +320,15 @@ impl RunTrace {
         c
     }
 
-    /// One-line human summary for report printing.
+    /// One-line human summary for report printing. Durations go through
+    /// [`obs::fmt_duration_s`] like every other human-facing duration.
     #[must_use]
     pub fn summary(&self) -> String {
         let (jobs, stages, waves, tasks, snaps) = self.event_counts();
         format!(
             "trace: {} events ({jobs} jobs, {stages} stages, {waves} waves, {tasks} tasks, \
              {snaps} counter snapshots), {} dropped; cache {}/{} hit/miss, {} evictions, \
-             {} spills, {} locality fallbacks; mean task {:.1} ms",
+             {} spills, {} locality fallbacks; mean task {}",
             self.events.len(),
             self.dropped_events,
             self.counters.cache_hits,
@@ -335,7 +336,7 @@ impl RunTrace {
             self.counters.evictions,
             self.counters.spills,
             self.counters.locality_fallbacks,
-            self.task_durations.mean_us() / 1e3,
+            obs::fmt_duration_s(self.task_durations.mean_us() / 1e6),
         )
     }
 
@@ -375,7 +376,11 @@ impl RunTrace {
         for e in &self.events {
             out.push(',');
             match *e {
-                TraceEvent::JobSpan { job, start_us, end_us } => {
+                TraceEvent::JobSpan {
+                    job,
+                    start_us,
+                    end_us,
+                } => {
                     let _ = write!(
                         out,
                         "{{\"ph\":\"X\",\"name\":\"job {job}\",\"cat\":\"job\",\
@@ -383,7 +388,13 @@ impl RunTrace {
                         end_us.saturating_sub(start_us)
                     );
                 }
-                TraceEvent::StageSpan { job, stage, start_us, end_us, tasks } => {
+                TraceEvent::StageSpan {
+                    job,
+                    stage,
+                    start_us,
+                    end_us,
+                    tasks,
+                } => {
                     let _ = write!(
                         out,
                         "{{\"ph\":\"X\",\"name\":\"stage {job}.{stage}\",\"cat\":\"stage\",\
@@ -392,7 +403,14 @@ impl RunTrace {
                         end_us.saturating_sub(start_us)
                     );
                 }
-                TraceEvent::WaveSpan { job, stage, wave, start_us, end_us, tasks } => {
+                TraceEvent::WaveSpan {
+                    job,
+                    stage,
+                    wave,
+                    start_us,
+                    end_us,
+                    tasks,
+                } => {
                     let _ = write!(
                         out,
                         "{{\"ph\":\"X\",\"name\":\"wave {job}.{stage}.{wave}\",\"cat\":\"wave\",\
@@ -526,7 +544,15 @@ impl TraceRecorder {
 
     /// Records a wave span.
     #[inline]
-    pub fn wave_span(&mut self, job: u32, stage: u32, wave: u32, start_s: f64, end_s: f64, tasks: u32) {
+    pub fn wave_span(
+        &mut self,
+        job: u32,
+        stage: u32,
+        wave: u32,
+        start_s: f64,
+        end_s: f64,
+        tasks: u32,
+    ) {
         if let Some(buf) = &mut self.buf {
             buf.push(TraceEvent::WaveSpan {
                 job,
@@ -673,9 +699,20 @@ mod tests {
         r.task_span(0, 0, 0, 1, 2, 0.0, 0.5, true, false);
         r.wave_span(0, 0, 0, 0.0, 0.5, 1);
         r.stage_span(0, 0, 0.0, 0.5, 1);
-        r.counter_snapshot(0.5, TraceCounters { cache_hits: 3, ..Default::default() });
+        r.counter_snapshot(
+            0.5,
+            TraceCounters {
+                cache_hits: 3,
+                ..Default::default()
+            },
+        );
         r.job_span(0, 0.0, 0.6);
-        let trace = r.finish(TraceCounters { cache_hits: 3, ..Default::default() }).unwrap();
+        let trace = r
+            .finish(TraceCounters {
+                cache_hits: 3,
+                ..Default::default()
+            })
+            .unwrap();
         let json = trace.to_chrome_json("unit \"test\"");
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         let events = parsed
@@ -711,7 +748,10 @@ mod tests {
         let mut r = TraceRecorder::new(TraceConfig::enabled());
         r.task_span(0, 0, 0, 0, 0, 0.0, 1.0, false, false);
         let trace = r
-            .finish(TraceCounters { spills: 7, ..Default::default() })
+            .finish(TraceCounters {
+                spills: 7,
+                ..Default::default()
+            })
             .unwrap();
         let s = trace.summary();
         assert!(s.contains("1 tasks"), "{s}");

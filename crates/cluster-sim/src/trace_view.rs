@@ -43,9 +43,9 @@ pub fn render_gantt(report: &RunReport, width: usize) -> String {
             machines.resize_with(mi + 1, Vec::new);
         }
         let lanes = &mut machines[mi];
-        let lane = lanes.iter_mut().find(|lane| {
-            lane.last().is_none_or(|prev| prev.finish <= t.start + 1e-9)
-        });
+        let lane = lanes
+            .iter_mut()
+            .find(|lane| lane.last().is_none_or(|prev| prev.finish <= t.start + 1e-9));
         match lane {
             Some(lane) => lane.push(t),
             None => lanes.push(vec![t]),
@@ -92,7 +92,14 @@ mod tests {
     fn traced_report(machines: u32) -> RunReport {
         let mut b = AppBuilder::new("gantt");
         let s = b.source("in", SourceFormat::DistributedFs, 1000, 800_000_000, 8);
-        let m = b.narrow("m", NarrowKind::Map, &[s], 1000, 800_000_000, ComputeCost::FREE);
+        let m = b.narrow(
+            "m",
+            NarrowKind::Map,
+            &[s],
+            1000,
+            800_000_000,
+            ComputeCost::FREE,
+        );
         b.job("count", m);
         b.job("count2", m);
         let app = b.build().unwrap();
@@ -101,15 +108,19 @@ mod tests {
             cluster_jitter_s: 0.0,
             ..SimParams::default()
         };
-        Engine::new(&app, ClusterConfig::new(machines, MachineSpec::paper_example()), params)
-            .run(
-                &Schedule::empty(),
-                RunOptions {
-                    collect_traces: true,
-                    ..RunOptions::default()
-                },
-            )
-            .unwrap()
+        Engine::new(
+            &app,
+            ClusterConfig::new(machines, MachineSpec::paper_example()),
+            params,
+        )
+        .run(
+            &Schedule::empty(),
+            RunOptions {
+                collect_traces: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]

@@ -20,22 +20,36 @@ struct Scenario {
 }
 
 fn scenario() -> impl Strategy<Value = Scenario> {
-    (1usize..6, 2u32..12, 1u64..400, 1u32..6, any::<bool>(), any::<u64>()).prop_map(
-        |(iterations, partitions, megabytes, machines, cache_core, seed)| Scenario {
-            iterations,
-            partitions,
-            megabytes,
-            machines,
-            cache_core,
-            seed,
-        },
+    (
+        1usize..6,
+        2u32..12,
+        1u64..400,
+        1u32..6,
+        any::<bool>(),
+        any::<u64>(),
     )
+        .prop_map(
+            |(iterations, partitions, megabytes, machines, cache_core, seed)| Scenario {
+                iterations,
+                partitions,
+                megabytes,
+                machines,
+                cache_core,
+                seed,
+            },
+        )
 }
 
 fn build_app(s: &Scenario) -> Application {
     let bytes = s.megabytes * 1_000_000;
     let mut b = AppBuilder::new("sim-prop");
-    let src = b.source("in", SourceFormat::DistributedFs, 10_000, bytes, s.partitions);
+    let src = b.source(
+        "in",
+        SourceFormat::DistributedFs,
+        10_000,
+        bytes,
+        s.partitions,
+    );
     let core = b.narrow(
         "core",
         NarrowKind::Map,

@@ -31,7 +31,7 @@
 //! [`HotspotConfig::min_benefit_s`] leave the pool (the paper's SVM/PCA
 //! schedule counts imply the same pruning).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -96,6 +96,97 @@ pub struct RankedSchedule {
     pub budget_bytes: u64,
 }
 
+/// Why a dataset did or did not end up in the cached set — the per-dataset
+/// verdict of Algorithm 1, surfaced by `juggler doctor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditOutcome {
+    /// Selected in the given 1-based round and kept in the final set.
+    Accepted {
+        /// Round in which the dataset won the BCR ranking.
+        round: u32,
+    },
+    /// Left the pool because its remaining benefit fell to or below
+    /// [`HotspotConfig::min_benefit_s`].
+    PrunedLowBenefit,
+    /// Still excluded at termination as the single child of a cached
+    /// parent (Algorithm 1 lines 12–13).
+    SingleChildExcluded,
+    /// Stayed eligible but was outranked on BCR every round.
+    Outranked,
+}
+
+impl AuditOutcome {
+    /// Short human label (`accepted (round 2)`, `pruned: low benefit`, …).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            AuditOutcome::Accepted { round } => format!("accepted (round {round})"),
+            AuditOutcome::PrunedLowBenefit => "pruned: low benefit".to_owned(),
+            AuditOutcome::SingleChildExcluded => {
+                "excluded: single child of cached parent".to_owned()
+            }
+            AuditOutcome::Outranked => "outranked on BCR".to_owned(),
+        }
+    }
+}
+
+/// One dataset's final audit row: the numbers from its *last* BCR
+/// evaluation plus the final verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetAudit {
+    /// The dataset.
+    pub dataset: DatasetId,
+    /// Benefit at the last evaluation, seconds (Eq. 4, sample scale).
+    pub benefit_s: f64,
+    /// Measured size, bytes (sample scale).
+    pub size_bytes: u64,
+    /// Benefit-cost ratio at the last evaluation; zero when the dataset
+    /// never reached the ranking step.
+    pub bcr: f64,
+    /// Number of BCR evaluations this dataset went through.
+    pub evaluations: u32,
+    /// The final verdict.
+    pub outcome: AuditOutcome,
+}
+
+/// One generated schedule's audit row, including those the equal-cost rule
+/// (Algorithm 1 lines 30–32) later discarded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleAudit {
+    /// Schedule notation (`p(1) p(2) u(2) p(11)`).
+    pub notation: String,
+    /// Cumulative benefit, seconds (sample scale).
+    pub benefit_s: f64,
+    /// Memory budget, bytes (sample scale).
+    pub budget_bytes: u64,
+    /// Whether the schedule survived the equal-cost discard rule.
+    pub kept: bool,
+}
+
+/// The full decision trace of one [`detect_hotspots_audited`] invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotspotAudit {
+    /// Per-dataset verdicts, ordered by dataset id.
+    pub datasets: Vec<DatasetAudit>,
+    /// Every generated schedule in generation order, kept or not.
+    pub schedules: Vec<ScheduleAudit>,
+    /// Ranking rounds executed.
+    pub rounds: u32,
+    /// Total BCR candidate evaluations across all rounds.
+    pub bcr_evaluations: u64,
+    /// Re-evaluation pull-backs (Algorithm 1 lines 16–20).
+    pub reevaluations: u32,
+}
+
+/// Per-dataset bookkeeping while the ranking loop runs.
+#[derive(Debug, Clone, Copy)]
+struct AuditCell {
+    benefit_s: f64,
+    bcr: f64,
+    evaluations: u32,
+    outcome: AuditOutcome,
+}
+
 /// Runs hotspot detection. `metrics` comes from the instrumented sample
 /// run; the lineage (computation counts) comes from the application plan.
 /// Returns schedules ordered as generated (increasing benefit and budget).
@@ -105,16 +196,46 @@ pub fn detect_hotspots(
     metrics: &DatasetMetricsView,
     config: &HotspotConfig,
 ) -> Vec<RankedSchedule> {
+    detect_hotspots_audited(app, metrics, config).0
+}
+
+/// [`detect_hotspots`] plus the [`HotspotAudit`] decision trace. The
+/// schedules are identical to the unaudited call; the audit is pure
+/// bookkeeping layered on the same loop.
+#[must_use]
+pub fn detect_hotspots_audited(
+    app: &Application,
+    metrics: &DatasetMetricsView,
+    config: &HotspotConfig,
+) -> (Vec<RankedSchedule>, HotspotAudit) {
     let la = LineageAnalysis::new(app);
     let mut pool: BTreeSet<DatasetId> = la.intermediates().into_iter().collect();
+    let mut audit: BTreeMap<DatasetId, AuditCell> = pool
+        .iter()
+        .map(|&d| {
+            (
+                d,
+                AuditCell {
+                    benefit_s: 0.0,
+                    bcr: 0.0,
+                    evaluations: 0,
+                    outcome: AuditOutcome::Outranked,
+                },
+            )
+        })
+        .collect();
     let mut cached: Vec<DatasetId> = Vec::new(); // in addition order
     let mut schedules: Vec<RankedSchedule> = Vec::new();
+    let mut rounds = 0u32;
+    let mut bcr_evaluations = 0u64;
+    let mut reevaluations = 0u32;
     // Generous bound: each round either shrinks the pool or (on
     // re-evaluation) moves a strictly higher ancestor into the schedule.
     let mut rounds_left = 4 * app.dataset_count() + 16;
 
     while !pool.is_empty() && rounds_left > 0 {
         rounds_left -= 1;
+        rounds += 1;
         let cached_set: BTreeSet<DatasetId> = cached.iter().copied().collect();
         let pulls = la.pulls(&cached_set);
 
@@ -128,18 +249,28 @@ pub fn detect_hotspots(
             } else {
                 (n - 1) as f64 * la.chain_cost(d, &cached_set, &metrics.et)
             };
+            bcr_evaluations += 1;
+            let cell = audit.get_mut(&d).expect("pool members are audited");
+            cell.evaluations += 1;
+            cell.benefit_s = benefit;
             if benefit <= config.min_benefit_s {
+                cell.outcome = AuditOutcome::PrunedLowBenefit;
                 dead.push(d);
                 continue;
             }
             if la.is_single_child_of_any(d, &cached_set) {
+                cell.outcome = AuditOutcome::SingleChildExcluded;
                 continue; // excluded while its parent is cached
             }
             let size = metrics.size[d.index()].max(1) as f64;
             let bcr = benefit / size;
+            cell.bcr = bcr;
+            cell.outcome = AuditOutcome::Outranked;
             let better = match best {
                 None => true,
-                Some((b, _, prev)) => bcr > b + f64::EPSILON || (bcr >= b - f64::EPSILON && d < prev),
+                Some((b, _, prev)) => {
+                    bcr > b + f64::EPSILON || (bcr >= b - f64::EPSILON && d < prev)
+                }
             };
             if better {
                 best = Some((bcr, benefit, d));
@@ -154,6 +285,7 @@ pub fn detect_hotspots(
 
         pool.remove(&d_max);
         cached.push(d_max);
+        audit.get_mut(&d_max).expect("audited").outcome = AuditOutcome::Accepted { round: rounds };
         let _ = benefit; // cumulative benefit is replayed exactly below
 
         // Re-evaluation: if the previously added dataset is a descendant of
@@ -163,6 +295,8 @@ pub fn detect_hotspots(
             if la.is_descendant(d_prev, d_max) {
                 cached.remove(cached.len() - 2);
                 pool.insert(d_prev);
+                reevaluations += 1;
+                audit.get_mut(&d_prev).expect("audited").outcome = AuditOutcome::Outranked;
                 continue;
             }
         }
@@ -177,7 +311,84 @@ pub fn detect_hotspots(
         });
     }
 
-    dedup_equal_cost(schedules, config)
+    let keep = dedup_keep_flags(&schedules, config);
+    let schedule_audits: Vec<ScheduleAudit> = schedules
+        .iter()
+        .zip(&keep)
+        .map(|(s, &kept)| ScheduleAudit {
+            notation: s.schedule.notation(),
+            benefit_s: s.benefit_s,
+            budget_bytes: s.budget_bytes,
+            kept,
+        })
+        .collect();
+    let kept: Vec<RankedSchedule> = schedules
+        .into_iter()
+        .zip(&keep)
+        .filter_map(|(s, &k)| k.then_some(s))
+        .collect();
+
+    record_hotspot_metrics(rounds, bcr_evaluations, reevaluations, &schedule_audits);
+    let dataset_audits = audit
+        .into_iter()
+        .map(|(dataset, cell)| DatasetAudit {
+            dataset,
+            benefit_s: cell.benefit_s,
+            size_bytes: metrics.size[dataset.index()],
+            bcr: cell.bcr,
+            evaluations: cell.evaluations,
+            outcome: cell.outcome,
+        })
+        .collect();
+    (
+        kept,
+        HotspotAudit {
+            datasets: dataset_audits,
+            schedules: schedule_audits,
+            rounds,
+            bcr_evaluations,
+            reevaluations,
+        },
+    )
+}
+
+/// Feeds one detection's decision counters into the global metrics
+/// registry (one branch when disabled).
+fn record_hotspot_metrics(
+    rounds: u32,
+    bcr_evaluations: u64,
+    reevaluations: u32,
+    schedules: &[ScheduleAudit],
+) {
+    let reg = obs::global();
+    if !reg.enabled() {
+        return;
+    }
+    reg.counter("hotspot_detections_total", "hotspot-detection invocations")
+        .inc();
+    reg.counter("hotspot_rounds_total", "BCR ranking rounds executed")
+        .add(u64::from(rounds));
+    reg.counter(
+        "hotspot_bcr_evaluations_total",
+        "candidate BCR evaluations across all ranking rounds",
+    )
+    .add(bcr_evaluations);
+    reg.counter(
+        "hotspot_reevaluations_total",
+        "re-evaluation pull-backs (Algorithm 1 lines 16-20)",
+    )
+    .add(u64::from(reevaluations));
+    let kept = schedules.iter().filter(|s| s.kept).count() as u64;
+    reg.counter(
+        "hotspot_schedules_kept_total",
+        "schedules surviving the equal-cost rule",
+    )
+    .add(kept);
+    reg.counter(
+        "hotspot_schedules_discarded_total",
+        "schedules discarded by the equal-cost rule",
+    )
+    .add(schedules.len() as u64 - kept);
 }
 
 /// Recomputes the cumulative benefit of caching `cached` in order (each
@@ -217,9 +428,9 @@ fn assemble_schedule(la: &LineageAnalysis<'_>, cached: &[DatasetId]) -> Schedule
     Schedule::from_ops(ops)
 }
 
-/// Keeps, among schedules with (approximately) equal memory budget, only
-/// the one with the highest benefit.
-fn dedup_equal_cost(mut schedules: Vec<RankedSchedule>, config: &HotspotConfig) -> Vec<RankedSchedule> {
+/// Marks, among schedules with (approximately) equal memory budget, only
+/// the one with the highest benefit as kept.
+fn dedup_keep_flags(schedules: &[RankedSchedule], config: &HotspotConfig) -> Vec<bool> {
     let mut discard = vec![false; schedules.len()];
     for i in 0..schedules.len() {
         for j in 0..schedules.len() {
@@ -243,13 +454,7 @@ fn dedup_equal_cost(mut schedules: Vec<RankedSchedule>, config: &HotspotConfig) 
             }
         }
     }
-    let mut keep = Vec::new();
-    for (i, s) in schedules.drain(..).enumerate() {
-        if !discard[i] {
-            keep.push(s);
-        }
-    }
-    keep
+    discard.iter().map(|&d| !d).collect()
 }
 
 #[cfg(test)]
@@ -263,15 +468,43 @@ mod tests {
         let mb = |x: f64| (x * 1_000_000.0) as u64;
         let mut b = AppBuilder::new("lor-fig4");
         let d0 = b.source("input", SourceFormat::DistributedFs, 70_000, mb(76.351), 8);
-        let d1 = b.narrow("parsed", NarrowKind::Map, &[d0], 70_000, mb(76.347), ComputeCost::FREE);
-        let d2 = b.narrow("points", NarrowKind::Map, &[d1], 70_000, mb(45.961), ComputeCost::FREE);
+        let d1 = b.narrow(
+            "parsed",
+            NarrowKind::Map,
+            &[d0],
+            70_000,
+            mb(76.347),
+            ComputeCost::FREE,
+        );
+        let d2 = b.narrow(
+            "points",
+            NarrowKind::Map,
+            &[d1],
+            70_000,
+            mb(45.961),
+            ComputeCost::FREE,
+        );
         let v0 = b.narrow("check", NarrowKind::Map, &[d1], 1, 8, ComputeCost::FREE);
         b.job("count", v0);
         let v1 = b.narrow("stats", NarrowKind::Map, &[d2], 1, 8, ComputeCost::FREE);
         b.job("count", v1);
-        let v2 = b.narrow("sample", NarrowKind::Sample, &[d2], 10, 80, ComputeCost::FREE);
+        let v2 = b.narrow(
+            "sample",
+            NarrowKind::Sample,
+            &[d2],
+            10,
+            80,
+            ComputeCost::FREE,
+        );
         b.job("collect", v2);
-        let d11 = b.narrow("features", NarrowKind::Map, &[d2], 70_000, mb(45.975), ComputeCost::FREE);
+        let d11 = b.narrow(
+            "features",
+            NarrowKind::Map,
+            &[d2],
+            70_000,
+            mb(45.975),
+            ComputeCost::FREE,
+        );
         for i in 0..4 {
             let g = b.wide_with_partitions(
                 format!("gradient[{i}]"),
@@ -314,7 +547,11 @@ mod tests {
         assert_eq!(s1.schedule.ops(), &[ScheduleOp::Persist(D2)]);
         assert_eq!(s1.budget_bytes, 45_961_000);
         // Benefit of caching D2: (6−1) × (14 + 10 + 2700) ms.
-        assert!((s1.benefit_s - 5.0 * 2.724).abs() < 1e-9, "{}", s1.benefit_s);
+        assert!(
+            (s1.benefit_s - 5.0 * 2.724).abs() < 1e-9,
+            "{}",
+            s1.benefit_s
+        );
 
         let s3 = &schedules[1];
         assert_eq!(
@@ -372,7 +609,14 @@ mod tests {
     fn benefit_threshold_prunes_noise() {
         let mut b = AppBuilder::new("noise");
         let s = b.source("in", SourceFormat::DistributedFs, 10, 1_000_000, 2);
-        let shared = b.narrow("shared", NarrowKind::Map, &[s], 10, 1_000_000, ComputeCost::FREE);
+        let shared = b.narrow(
+            "shared",
+            NarrowKind::Map,
+            &[s],
+            10,
+            1_000_000,
+            ComputeCost::FREE,
+        );
         let a = b.narrow("a", NarrowKind::Map, &[shared], 1, 8, ComputeCost::FREE);
         b.job("count", a);
         let c = b.narrow("c", NarrowKind::Map, &[shared], 1, 8, ComputeCost::FREE);
@@ -398,7 +642,14 @@ mod tests {
         let mut b = AppBuilder::new("singlechild");
         let s = b.source("in", SourceFormat::DistributedFs, 10, 1_000_000, 2);
         // `only` is s's single child; both are reused by two jobs.
-        let only = b.narrow("only", NarrowKind::Map, &[s], 10, 1_000_000, ComputeCost::FREE);
+        let only = b.narrow(
+            "only",
+            NarrowKind::Map,
+            &[s],
+            10,
+            1_000_000,
+            ComputeCost::FREE,
+        );
         let a = b.narrow("a", NarrowKind::Map, &[only], 1, 8, ComputeCost::FREE);
         b.job("count", a);
         let c = b.narrow("c", NarrowKind::Map, &[only], 1, 8, ComputeCost::FREE);

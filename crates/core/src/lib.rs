@@ -37,6 +37,8 @@
 //! }
 //! ```
 
+pub mod diagnostics;
+pub mod doctor;
 pub mod hotspot;
 pub mod memory_calibration;
 pub mod parallel;
@@ -47,12 +49,19 @@ pub mod summary;
 pub mod time_model;
 pub mod transfer;
 
-pub use hotspot::{detect_hotspots, DatasetMetricsView, HotspotConfig, RankedSchedule};
+pub use diagnostics::{LedgerEntry, PredictionLedger, TrainingDiagnostics};
+pub use doctor::{doctor, DoctorReport};
+pub use hotspot::{
+    detect_hotspots, detect_hotspots_audited, AuditOutcome, DatasetAudit, DatasetMetricsView,
+    HotspotAudit, HotspotConfig, RankedSchedule, ScheduleAudit,
+};
 pub use memory_calibration::{MemoryCalibration, MemoryFactor, ScaleOutcome, ScaledParams};
 pub use parallel::{resolve_threads, run_indexed, try_run_indexed};
 pub use param_calibration::{ParamCalibration, SizeModel};
-pub use pipeline::{OfflineTraining, PipelineStageTiming, PipelineTimings, TrainedJuggler, TrainingConfig};
+pub use pipeline::{
+    OfflineTraining, PipelineStageTiming, PipelineTimings, TrainedJuggler, TrainingConfig,
+};
 pub use recommend::{CostModel, MachineMinutes, Recommendation, RecommendationMenu, TieredHourly};
-pub use time_model::TimeModel;
 pub use summary::model_card;
+pub use time_model::TimeModel;
 pub use transfer::{select_probes, InstanceCatalog, InstanceType, TransferModel};

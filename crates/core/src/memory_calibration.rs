@@ -249,12 +249,9 @@ mod tests {
     #[test]
     fn scaling_hits_target_size() {
         // Size law 4.49·e·f; target 2 GB.
-        let sp = MemoryCalibration::scale_params_to_target(
-            70_000.0,
-            50_000.0,
-            2.0e9,
-            |e, f| 4.49 * e * f,
-        );
+        let sp = MemoryCalibration::scale_params_to_target(70_000.0, 50_000.0, 2.0e9, |e, f| {
+            4.49 * e * f
+        });
         assert!(sp.outcome.converged());
         let got = 4.49 * sp.e * sp.f;
         assert!((got - 2.0e9).abs() / 2.0e9 < 1e-6, "{got}");
@@ -333,8 +330,7 @@ mod tests {
     /// Regression: a target below `eval(1e-3)` is reported as clamped-low.
     #[test]
     fn microscopic_target_reports_clamped_low() {
-        let sp =
-            MemoryCalibration::scale_params_to_target(1.0e6, 1.0e6, 10.0, |e, f| e * f);
+        let sp = MemoryCalibration::scale_params_to_target(1.0e6, 1.0e6, 10.0, |e, f| e * f);
         match sp.outcome {
             ScaleOutcome::ClampedLow { achieved_bytes } => {
                 assert!(achieved_bytes >= 10.0);

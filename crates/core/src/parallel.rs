@@ -122,7 +122,11 @@ mod tests {
     fn results_are_in_index_order() {
         for threads in [1, 2, 4, 7] {
             let out = run_indexed(100, threads, |i| i * i);
-            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
         }
     }
 

@@ -12,7 +12,7 @@ use std::collections::{BTreeSet, HashMap};
 use serde::{Deserialize, Serialize};
 
 use dagflow::{DatasetId, Schedule};
-use modeling::{fit_best, full_factorial, FittedModel, ModelSpec, Sample};
+use modeling::{fit_best_with_report, full_factorial, FitReport, FittedModel, ModelSpec, Sample};
 
 /// A fitted size model for one dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,14 +40,27 @@ impl ParamCalibration {
     pub fn fit(
         observations: &HashMap<DatasetId, Vec<(f64, f64, u64)>>,
     ) -> Result<Self, modeling::FitError> {
+        Self::fit_with_reports(observations).map(|(cal, _)| cal)
+    }
+
+    /// [`Self::fit`] plus, per dataset, the full [`FitReport`] (every
+    /// candidate family's LOO-CV score, the winner, and its per-holdout
+    /// residuals) for `juggler doctor`. Reports are ordered by dataset id.
+    pub fn fit_with_reports(
+        observations: &HashMap<DatasetId, Vec<(f64, f64, u64)>>,
+    ) -> Result<(Self, Vec<(DatasetId, FitReport)>), modeling::FitError> {
         let candidates = ModelSpec::size_candidates();
         let mut models = HashMap::new();
-        for (&dataset, points) in observations {
+        let mut datasets: Vec<DatasetId> = observations.keys().copied().collect();
+        datasets.sort();
+        let mut reports = Vec::with_capacity(datasets.len());
+        for dataset in datasets {
+            let points = &observations[&dataset];
             let samples: Vec<Sample> = points
                 .iter()
                 .map(|&(e, f, b)| Sample::ef(e, f, b as f64))
                 .collect();
-            let cv = fit_best(&candidates, &samples)?;
+            let (cv, report) = fit_best_with_report(&candidates, &samples)?;
             models.insert(
                 dataset,
                 SizeModel {
@@ -56,8 +69,9 @@ impl ParamCalibration {
                     cv_error: cv.cv_error,
                 },
             );
+            reports.push((dataset, report));
         }
-        Ok(ParamCalibration { models })
+        Ok((ParamCalibration { models }, reports))
     }
 
     /// The fitted models.
@@ -117,7 +131,9 @@ mod tests {
             &[5_000.0, 20_000.0, 40_000.0],
             &[2_000.0, 10_000.0, 30_000.0],
         );
-        grid.into_iter().map(|(e, f)| (e, f, law(e, f) as u64)).collect()
+        grid.into_iter()
+            .map(|(e, f)| (e, f, law(e, f) as u64))
+            .collect()
     }
 
     #[test]
@@ -140,7 +156,10 @@ mod tests {
     #[test]
     fn recovers_affine_law() {
         let mut obs = HashMap::new();
-        obs.insert(DatasetId(5), grid_obs(|e, f| 1.0e6 + 96.0 * e + 0.008 * e * f));
+        obs.insert(
+            DatasetId(5),
+            grid_obs(|e, f| 1.0e6 + 96.0 * e + 0.008 * e * f),
+        );
         let cal = ParamCalibration::fit(&obs).unwrap();
         let pred = cal.predict_dataset(DatasetId(5), 60_000.0, 45_000.0) as f64;
         let truth = 1.0e6 + 96.0 * 60_000.0 + 0.008 * 60_000.0 * 45_000.0;

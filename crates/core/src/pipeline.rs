@@ -15,7 +15,8 @@ use dagflow::{DagError, DatasetId};
 use instrument::profile_run;
 use workloads::{Workload, WorkloadParams};
 
-use crate::hotspot::{detect_hotspots, DatasetMetricsView, HotspotConfig, RankedSchedule};
+use crate::diagnostics::TrainingDiagnostics;
+use crate::hotspot::{detect_hotspots_audited, DatasetMetricsView, HotspotConfig, RankedSchedule};
 use crate::memory_calibration::{MemoryCalibration, MemoryFactor};
 use crate::parallel::try_run_indexed;
 use crate::param_calibration::ParamCalibration;
@@ -128,9 +129,25 @@ pub struct PipelineTimings {
 
 impl PipelineTimings {
     fn push(&mut self, stage: &str, started: std::time::Instant, runs: u32) {
+        let wall_s = started.elapsed().as_secs_f64();
+        let reg = obs::global();
+        if reg.enabled() {
+            reg.counter(
+                "pipeline_stage_runs_total",
+                "experiment runs across pipeline stages",
+            )
+            .add(u64::from(runs));
+            let idx = self.stages.len() + 1;
+            reg.gauge(
+                &format!("pipeline_stage{idx}_seconds"),
+                "pipeline stage wall-clock seconds (host timing)",
+                obs::MetricClass::Timing,
+            )
+            .set(wall_s);
+        }
         self.stages.push(PipelineStageTiming {
             stage: stage.to_owned(),
-            wall_s: started.elapsed().as_secs_f64(),
+            wall_s,
             runs,
         });
     }
@@ -147,11 +164,16 @@ impl PipelineTimings {
         let mut out = String::new();
         for s in &self.stages {
             out.push_str(&format!(
-                "  stage {:<28} {:>9.3} s  ({} runs)\n",
-                s.stage, s.wall_s, s.runs
+                "  stage {:<28} {:>9}  ({} runs)\n",
+                s.stage,
+                obs::fmt_duration_s(s.wall_s),
+                s.runs
             ));
         }
-        out.push_str(&format!("  total {:>32.3} s\n", self.total_wall_s()));
+        out.push_str(&format!(
+            "  total {:>32}\n",
+            obs::fmt_duration_s(self.total_wall_s())
+        ));
         for n in &self.notes {
             out.push_str(&format!("  note: {n}\n"));
         }
@@ -253,7 +275,9 @@ impl TrainedJuggler {
             .iter()
             .enumerate()
             .map(|(i, rs)| {
-                let size = self.sizes.predict_schedule_size(&rs.schedule, examples, features);
+                let size = self
+                    .sizes
+                    .predict_schedule_size(&rs.schedule, examples, features);
                 let machines = self
                     .memory_factor
                     .recommend_machines(size, &self.target_spec)
@@ -275,9 +299,11 @@ impl TrainedJuggler {
     /// Recommended machine count for one schedule at `(e, f)` (Eq. 6).
     #[must_use]
     pub fn machines_for(&self, schedule_index: usize, examples: f64, features: f64) -> u32 {
-        let size = self
-            .sizes
-            .predict_schedule_size(&self.schedules[schedule_index].schedule, examples, features);
+        let size = self.sizes.predict_schedule_size(
+            &self.schedules[schedule_index].schedule,
+            examples,
+            features,
+        );
         self.memory_factor
             .recommend_machines(size, &self.target_spec)
             .min(self.max_machines)
@@ -302,7 +328,9 @@ impl TrainedJuggler {
             .iter()
             .enumerate()
             .map(|(i, rs)| {
-                let size = self.sizes.predict_schedule_size(&rs.schedule, examples, features);
+                let size = self
+                    .sizes
+                    .predict_schedule_size(&rs.schedule, examples, features);
                 let machines = self
                     .memory_factor
                     .recommend_machines(size, spec)
@@ -364,7 +392,10 @@ pub struct OfflineTraining;
 impl OfflineTraining {
     /// Trains Juggler for one workload. Deterministic for a given
     /// (workload, config).
-    pub fn run(workload: &dyn Workload, config: &TrainingConfig) -> Result<TrainedJuggler, TrainingError> {
+    pub fn run(
+        workload: &dyn Workload,
+        config: &TrainingConfig,
+    ) -> Result<TrainedJuggler, TrainingError> {
         Self::run_traced(workload, config).map(|(trained, _)| trained)
     }
 
@@ -376,6 +407,17 @@ impl OfflineTraining {
         workload: &dyn Workload,
         config: &TrainingConfig,
     ) -> Result<(TrainedJuggler, PipelineTimings), TrainingError> {
+        Self::run_full(workload, config).map(|(trained, timings, _)| (trained, timings))
+    }
+
+    /// The full-evidence variant: [`OfflineTraining::run_traced`] plus the
+    /// [`TrainingDiagnostics`] (hotspot decision trace, per-model fit
+    /// reports) that `juggler doctor` renders. The trained artifact is
+    /// byte-for-byte the one [`OfflineTraining::run`] produces.
+    pub fn run_full(
+        workload: &dyn Workload,
+        config: &TrainingConfig,
+    ) -> Result<(TrainedJuggler, PipelineTimings, TrainingDiagnostics), TrainingError> {
         let mut timings = PipelineTimings::default();
         let mut costs = TrainingCosts::default();
         let sim = |seed_off: u64| {
@@ -389,10 +431,16 @@ impl OfflineTraining {
         let sample = workload.sample_params();
         let sample_app = workload.build(&sample);
         let calib_cluster = ClusterConfig::new(1, config.calibration_spec);
-        let out = profile_run(&sample_app, sample_app.default_schedule(), calib_cluster, sim(1))?;
+        let out = profile_run(
+            &sample_app,
+            sample_app.default_schedule(),
+            calib_cluster,
+            sim(1),
+        )?;
         costs.hotspot.add(&out.report);
         let metrics = DatasetMetricsView::from_metrics(&out.metrics, sample_app.dataset_count());
-        let schedules = detect_hotspots(&sample_app, &metrics, &config.hotspot);
+        let (schedules, hotspot_audit) =
+            detect_hotspots_audited(&sample_app, &metrics, &config.hotspot);
         timings.push("1: hotspot detection", clock, costs.hotspot.runs);
 
         // ── Stage 2: parameter calibration (3×3 instrumented runs, one
@@ -406,8 +454,13 @@ impl OfflineTraining {
             let (e, f) = grid[gi];
             let params = WorkloadParams::auto(e as u64, f as u64, sample.iterations);
             let app = workload.build(&params);
-            let run = profile_run(&app, app.default_schedule(), calib_cluster, sim(2 + gi as u64))
-                .map_err(TrainingError::from)?;
+            let run = profile_run(
+                &app,
+                app.default_schedule(),
+                calib_cluster,
+                sim(2 + gi as u64),
+            )
+            .map_err(TrainingError::from)?;
             let sizes: Vec<(DatasetId, u64)> = run
                 .metrics
                 .iter()
@@ -421,21 +474,31 @@ impl OfflineTraining {
         for ((machine_minutes, sizes), &(e, f)) in grid_runs.iter().zip(&grid) {
             costs.param_calibration.add_cost(*machine_minutes);
             for &(dataset, size_bytes) in sizes {
-                observations.entry(dataset).or_default().push((e, f, size_bytes));
+                observations
+                    .entry(dataset)
+                    .or_default()
+                    .push((e, f, size_bytes));
             }
         }
-        let sizes = match ParamCalibration::fit(&observations) {
-            Ok(c) => c,
-            Err(_) if observations.is_empty() => ParamCalibration::default(),
+        let (sizes, size_fits) = match ParamCalibration::fit_with_reports(&observations) {
+            Ok(pair) => pair,
+            Err(_) if observations.is_empty() => (ParamCalibration::default(), Vec::new()),
             Err(e) => return Err(e.into()),
         };
-        timings.push("2: parameter calibration", clock, costs.param_calibration.runs);
+        timings.push(
+            "2: parameter calibration",
+            clock,
+            costs.param_calibration.runs,
+        );
 
         // ── Stage 3: memory calibration (one run filling M). ──
         let clock = std::time::Instant::now();
         let memory_factor = if let Some(first) = schedules.first() {
             let m_bytes = config.calibration_spec.unified_memory() as f64;
-            let (e0, f0) = (*e_axis.last().expect("axes non-empty"), *f_axis.last().expect("axes non-empty"));
+            let (e0, f0) = (
+                *e_axis.last().expect("axes non-empty"),
+                *f_axis.last().expect("axes non-empty"),
+            );
             let scaled = MemoryCalibration::scale_params_to_target(e0, f0, m_bytes, |e, f| {
                 sizes.predict_schedule_size(&first.schedule, e, f) as f64
             });
@@ -460,7 +523,11 @@ impl OfflineTraining {
         } else {
             MemoryFactor { factor: 1.0 }
         };
-        timings.push("3: memory calibration", clock, costs.memory_calibration.runs);
+        timings.push(
+            "3: memory calibration",
+            clock,
+            costs.memory_calibration.runs,
+        );
 
         // ── Stage 4: execution-time models (9 runs per schedule on the
         //    recommended configuration, full iteration counts). The
@@ -487,6 +554,7 @@ impl OfflineTraining {
             Ok((report.cost_machine_minutes(), (e, f, report.total_time_s)))
         })?;
         let mut time_models = Vec::with_capacity(schedules.len());
+        let mut time_fits = Vec::with_capacity(schedules.len());
         for si in 0..schedules.len() {
             let row = &matrix[si * grid.len()..(si + 1) * grid.len()];
             let mut points = Vec::with_capacity(grid.len());
@@ -494,10 +562,24 @@ impl OfflineTraining {
                 costs.time_models.add_cost(machine_minutes);
                 points.push(point);
             }
-            time_models.push(TimeModel::fit(si, &points)?);
+            let (model, report) = TimeModel::fit_with_report(si, &points)?;
+            time_models.push(model);
+            time_fits.push(report);
         }
         timings.push("4: execution-time models", clock, costs.time_models.runs);
 
+        let reg = obs::global();
+        if reg.enabled() {
+            reg.counter("pipeline_trainings_total", "offline trainings completed")
+                .inc();
+        }
+
+        let diagnostics = TrainingDiagnostics {
+            hotspot: hotspot_audit,
+            size_fits,
+            time_fits,
+            notes: timings.notes.clone(),
+        };
         Ok((
             TrainedJuggler {
                 workload: workload.name().to_owned(),
@@ -510,6 +592,7 @@ impl OfflineTraining {
                 costs,
             },
             timings,
+            diagnostics,
         ))
     }
 }
@@ -526,7 +609,10 @@ impl OfflineTraining {
         trained: &TrainedJuggler,
         iteration_axis: &[u32],
     ) -> Result<Vec<TimeModel>, TrainingError> {
-        assert!(!iteration_axis.is_empty(), "need at least one iteration level");
+        assert!(
+            !iteration_axis.is_empty(),
+            "need at least one iteration level"
+        );
         let (e_axis, f_axis) = workload.training_axes();
         let grid = ParamCalibration::training_grid(&e_axis, &f_axis);
         // Flatten the (schedule × grid × iterations) cube onto the worker
@@ -535,7 +621,10 @@ impl OfflineTraining {
         let cells = trained.schedules.len() * per_schedule;
         let runs = try_run_indexed::<_, TrainingError, _>(cells, config.threads, |k| {
             let si = k / per_schedule;
-            let (gi, ii) = ((k % per_schedule) / iteration_axis.len(), k % iteration_axis.len());
+            let (gi, ii) = (
+                (k % per_schedule) / iteration_axis.len(),
+                k % iteration_axis.len(),
+            );
             let rs = &trained.schedules[si];
             let (e, f) = grid[gi];
             let iters = iteration_axis[ii];

@@ -111,7 +111,8 @@ impl RecommendationMenu {
                 if i == j {
                     continue;
                 }
-                let faster = candidates[j].predicted_time_s < candidates[i].predicted_time_s - 1e-12;
+                let faster =
+                    candidates[j].predicted_time_s < candidates[i].predicted_time_s - 1e-12;
                 let cheaper = candidates[j].predicted_cost_machine_min
                     < candidates[i].predicted_cost_machine_min - 1e-12;
                 if faster && cheaper {
@@ -133,6 +134,20 @@ impl RecommendationMenu {
             a.predicted_cost_machine_min
                 .total_cmp(&b.predicted_cost_machine_min)
         });
+        let reg = obs::global();
+        if reg.enabled() {
+            reg.counter("recommend_menus_total", "recommendation menus constructed")
+                .inc();
+            reg.counter("recommend_options_total", "Pareto-surviving menu options")
+                .add(options.len() as u64);
+            reg.counter("recommend_dominated_total", "Pareto-dominated candidates")
+                .add(dominated.len() as u64);
+            reg.counter(
+                "recommend_invalid_total",
+                "candidates quarantined for non-finite predictions",
+            )
+            .add(invalid.len() as u64);
+        }
         RecommendationMenu {
             options,
             dominated,
@@ -192,10 +207,8 @@ mod tests {
     #[test]
     fn dominated_schedules_are_suppressed() {
         // Option 1 is both faster and cheaper than option 0.
-        let menu = RecommendationMenu::from_candidates(vec![
-            rec(0, 100.0, 50.0),
-            rec(1, 80.0, 40.0),
-        ]);
+        let menu =
+            RecommendationMenu::from_candidates(vec![rec(0, 100.0, 50.0), rec(1, 80.0, 40.0)]);
         assert_eq!(menu.options.len(), 1);
         assert_eq!(menu.options[0].schedule_index, 1);
         assert_eq!(menu.dominated.len(), 1);
@@ -204,10 +217,8 @@ mod tests {
     #[test]
     fn tradeoff_schedules_both_survive() {
         // Faster but more expensive vs slower but cheaper: keep both.
-        let menu = RecommendationMenu::from_candidates(vec![
-            rec(0, 100.0, 30.0),
-            rec(1, 60.0, 45.0),
-        ]);
+        let menu =
+            RecommendationMenu::from_candidates(vec![rec(0, 100.0, 30.0), rec(1, 60.0, 45.0)]);
         assert_eq!(menu.options.len(), 2);
         assert_eq!(menu.cheapest().unwrap().schedule_index, 0);
         assert_eq!(menu.fastest().unwrap().schedule_index, 1);
@@ -220,16 +231,18 @@ mod tests {
             rec(1, 30.0, 20.0),
             rec(2, 20.0, 50.0),
         ]);
-        let costs: Vec<f64> = menu.options.iter().map(|o| o.predicted_cost_machine_min).collect();
+        let costs: Vec<f64> = menu
+            .options
+            .iter()
+            .map(|o| o.predicted_cost_machine_min)
+            .collect();
         assert_eq!(costs, vec![20.0, 50.0, 90.0]);
     }
 
     #[test]
     fn equal_predictions_are_not_dominated() {
-        let menu = RecommendationMenu::from_candidates(vec![
-            rec(0, 50.0, 25.0),
-            rec(1, 50.0, 25.0),
-        ]);
+        let menu =
+            RecommendationMenu::from_candidates(vec![rec(0, 50.0, 25.0), rec(1, 50.0, 25.0)]);
         assert_eq!(menu.options.len(), 2);
     }
 

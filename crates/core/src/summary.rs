@@ -42,7 +42,10 @@ pub fn model_card(trained: &TrainedJuggler) -> String {
         out,
         "\nMemory factor: {:.3}  =>  {:.2} GB usable for caching per {} GB machine",
         trained.memory_factor.factor,
-        trained.memory_factor.memory_for_caching(&trained.target_spec) / 1e9,
+        trained
+            .memory_factor
+            .memory_for_caching(&trained.target_spec)
+            / 1e9,
         trained.target_spec.ram_bytes / 1_000_000_000,
     );
 

@@ -3,7 +3,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use modeling::{fit_best, FitError, FittedModel, ModelSpec, Sample};
+use modeling::{
+    fit_best, fit_best_with_report, FitError, FitReport, FittedModel, ModelSpec, Sample,
+};
 
 /// A fitted execution-time model for one schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -20,20 +22,29 @@ pub struct TimeModel {
 
 impl TimeModel {
     /// Fits the model from `(e, f, seconds)` training measurements.
-    pub fn fit(
+    pub fn fit(schedule_index: usize, points: &[(f64, f64, f64)]) -> Result<Self, FitError> {
+        Self::fit_with_report(schedule_index, points).map(|(tm, _)| tm)
+    }
+
+    /// [`Self::fit`] plus the full [`FitReport`] (candidate scores, winner,
+    /// per-holdout residuals) for `juggler doctor`.
+    pub fn fit_with_report(
         schedule_index: usize,
         points: &[(f64, f64, f64)],
-    ) -> Result<Self, FitError> {
+    ) -> Result<(Self, FitReport), FitError> {
         let samples: Vec<Sample> = points
             .iter()
             .map(|&(e, f, t)| Sample::ef(e, f, t))
             .collect();
-        let cv = fit_best(&ModelSpec::time_candidates(), &samples)?;
-        Ok(TimeModel {
-            schedule_index,
-            model: cv.model,
-            cv_error: cv.cv_error,
-        })
+        let (cv, report) = fit_best_with_report(&ModelSpec::time_candidates(), &samples)?;
+        Ok((
+            TimeModel {
+                schedule_index,
+                model: cv.model,
+                cv_error: cv.cv_error,
+            },
+            report,
+        ))
     }
 
     /// Fits a model extended with the iteration count (§6.1) from

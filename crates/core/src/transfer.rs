@@ -167,7 +167,10 @@ mod tests {
         let preds = vec![30.0, 31.0, 32.0, 500.0, 33.0, 250.0];
         let picks = select_probes(&preds, 3);
         assert_eq!(picks.len(), 3);
-        assert!(picks.contains(&3), "must include the extreme point: {picks:?}");
+        assert!(
+            picks.contains(&3),
+            "must include the extreme point: {picks:?}"
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ fn recipe() -> impl Strategy<Value = Recipe> {
         prop::collection::vec(0usize..1000, 1..12),
         any::<u64>(),
     )
-        .prop_map(|(nodes, jobs, et_seed)| Recipe { nodes, jobs, et_seed })
+        .prop_map(|(nodes, jobs, et_seed)| Recipe {
+            nodes,
+            jobs,
+            et_seed,
+        })
 }
 
 fn build(r: &Recipe) -> (Application, DatasetMetricsView) {
@@ -36,9 +40,23 @@ fn build(r: &Recipe) -> (Application, DatasetMetricsView) {
         ps.dedup();
         let bytes = 10_000 + (i as u64 * 7919) % 4_000_000;
         let id = if *wide {
-            b.wide(format!("w{i}"), WideKind::ReduceByKey, &ps, 100, bytes, ComputeCost::FREE)
+            b.wide(
+                format!("w{i}"),
+                WideKind::ReduceByKey,
+                &ps,
+                100,
+                bytes,
+                ComputeCost::FREE,
+            )
         } else {
-            b.narrow(format!("n{i}"), NarrowKind::Map, &ps, 100, bytes, ComputeCost::FREE)
+            b.narrow(
+                format!("n{i}"),
+                NarrowKind::Map,
+                &ps,
+                100,
+                bytes,
+                ComputeCost::FREE,
+            )
         };
         ids.push(id);
     }

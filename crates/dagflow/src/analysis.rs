@@ -163,9 +163,11 @@ impl<'a> LineageAnalysis<'a> {
     /// is not added to a schedule that already contains its parent.
     #[must_use]
     pub fn is_single_child_of_any(&self, d: DatasetId, set: &BTreeSet<DatasetId>) -> bool {
-        self.app.dataset(d).parents.iter().any(|p| {
-            set.contains(p) && self.children[p.index()].len() == 1
-        })
+        self.app
+            .dataset(d)
+            .parents
+            .iter()
+            .any(|p| set.contains(p) && self.children[p.index()].len() == 1)
     }
 
     /// Cache-aware computation counts: how many times each dataset would be
@@ -345,18 +347,46 @@ pub(crate) mod tests {
         let mb = |x: f64| (x * 1_000_000.0) as u64;
         let mut b = AppBuilder::new("lor-fig4");
         let d0 = b.source("input", SourceFormat::DistributedFs, 70_000, mb(76.351), 8);
-        let d1 = b.narrow("parsed", NarrowKind::Map, &[d0], 70_000, mb(76.347), ComputeCost::FREE);
-        let d2 = b.narrow("points", NarrowKind::Map, &[d1], 70_000, mb(45.961), ComputeCost::FREE);
+        let d1 = b.narrow(
+            "parsed",
+            NarrowKind::Map,
+            &[d0],
+            70_000,
+            mb(76.347),
+            ComputeCost::FREE,
+        );
+        let d2 = b.narrow(
+            "points",
+            NarrowKind::Map,
+            &[d1],
+            70_000,
+            mb(45.961),
+            ComputeCost::FREE,
+        );
         // Job 0: count on a view of D1.
         let v0 = b.narrow("check", NarrowKind::Map, &[d1], 1, 8, ComputeCost::FREE);
         b.job("count", v0);
         // Job 1 & 2: actions on views of D2.
         let v1 = b.narrow("stats", NarrowKind::Map, &[d2], 1, 8, ComputeCost::FREE);
         b.job("count", v1);
-        let v2 = b.narrow("sample", NarrowKind::Sample, &[d2], 10, 80, ComputeCost::FREE);
+        let v2 = b.narrow(
+            "sample",
+            NarrowKind::Sample,
+            &[d2],
+            10,
+            80,
+            ComputeCost::FREE,
+        );
         b.job("collect", v2);
         // D11: the per-iteration feature dataset, child of D2.
-        let d11 = b.narrow("features", NarrowKind::Map, &[d2], 70_000, mb(45.975), ComputeCost::FREE);
+        let d11 = b.narrow(
+            "features",
+            NarrowKind::Map,
+            &[d2],
+            70_000,
+            mb(45.975),
+            ComputeCost::FREE,
+        );
         // Jobs 3-6: iterative gradient jobs via D11.
         for i in 0..4 {
             let g = b.wide_with_partitions(

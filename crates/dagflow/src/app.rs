@@ -11,9 +11,7 @@ use crate::schedule::Schedule;
 /// Identifier of a job within an application — its position in the job list.
 /// Jobs run sequentially in this order (paper §2.1: "one or more sequential
 /// jobs").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(pub u32);
 
 impl JobId {
@@ -155,10 +153,16 @@ impl Application {
             }
             for &p in &d.parents {
                 if p.index() >= self.datasets.len() {
-                    return Err(DagError::UnknownParent { child: d.id, parent: p });
+                    return Err(DagError::UnknownParent {
+                        child: d.id,
+                        parent: p,
+                    });
                 }
                 if p >= d.id {
-                    return Err(DagError::ParentNotOlder { child: d.id, parent: p });
+                    return Err(DagError::ParentNotOlder {
+                        child: d.id,
+                        parent: p,
+                    });
                 }
             }
             if d.partitions == 0 {
@@ -276,7 +280,10 @@ mod tests {
         let mut v: serde_json::Value = serde_json::to_value(tiny_app()).unwrap();
         v["datasets"][1]["op"] = serde_json::json!({ "Source": "DistributedFs" });
         let app: Application = serde_json::from_value(v).unwrap();
-        assert!(matches!(app.validate(), Err(DagError::ArityMismatch { .. })));
+        assert!(matches!(
+            app.validate(),
+            Err(DagError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -318,12 +325,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_no_jobs() {
-        let app = Application::new(
-            "empty",
-            vec![],
-            vec![],
-            Schedule::empty(),
-        );
+        let app = Application::new("empty", vec![], vec![], Schedule::empty());
         assert!(matches!(app, Err(DagError::NoJobs)));
     }
 }

@@ -35,7 +35,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `index >= capacity`.
     pub fn insert(&mut self, index: usize) -> bool {
-        assert!(index < self.capacity, "bit {index} out of capacity {}", self.capacity);
+        assert!(
+            index < self.capacity,
+            "bit {index} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (index / 64, index % 64);
         let fresh = self.words[w] & (1 << b) == 0;
         self.words[w] |= 1 << b;

@@ -67,7 +67,8 @@ impl AppBuilder {
         partitions: u32,
         compute: ComputeCost,
     ) -> DatasetId {
-        let id = DatasetId(u32::try_from(self.datasets.len()).expect("more than u32::MAX datasets"));
+        let id =
+            DatasetId(u32::try_from(self.datasets.len()).expect("more than u32::MAX datasets"));
         for p in parents {
             assert!(
                 p.index() < self.datasets.len(),

@@ -10,9 +10,7 @@ use crate::{Bytes, Seconds};
 /// Identifier of a dataset within an application. Ids are dense indices into
 /// [`crate::Application::datasets`], and a dataset's parents always carry
 /// strictly smaller ids.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DatasetId(pub u32);
 
 impl DatasetId {

@@ -27,7 +27,13 @@ pub fn to_dot(app: &Application, highlight: &Schedule) -> String {
         let mut attrs: Vec<String> = Vec::new();
         let n = counts[d.id.index()];
         let label = if n > 1 {
-            format!("{} {}\\nn={} | {:.1} MB", d.id, d.name, n, d.bytes as f64 / 1e6)
+            format!(
+                "{} {}\\nn={} | {:.1} MB",
+                d.id,
+                d.name,
+                n,
+                d.bytes as f64 / 1e6
+            )
         } else {
             format!("{} {}", d.id, d.name)
         };
@@ -50,7 +56,13 @@ pub fn to_dot(app: &Application, highlight: &Schedule) -> String {
     }
     for d in app.datasets() {
         for p in &d.parents {
-            let _ = writeln!(out, "  d{} -> d{} [label=\"{}\"];", p.0, d.id.0, d.op.mnemonic());
+            let _ = writeln!(
+                out,
+                "  d{} -> d{} [label=\"{}\"];",
+                p.0,
+                d.id.0,
+                d.op.mnemonic()
+            );
         }
     }
     let _ = writeln!(out, "}}");
@@ -68,8 +80,23 @@ mod tests {
     fn sample() -> Application {
         let mut b = AppBuilder::new("dotdemo");
         let s = b.source("in", SourceFormat::DistributedFs, 10, 1_000_000, 2);
-        let m = b.narrow("parsed", NarrowKind::Map, &[s], 10, 900_000, ComputeCost::FREE);
-        let g = b.wide_with_partitions("agg", WideKind::TreeAggregate, &[m], 1, 64, 1, ComputeCost::FREE);
+        let m = b.narrow(
+            "parsed",
+            NarrowKind::Map,
+            &[s],
+            10,
+            900_000,
+            ComputeCost::FREE,
+        );
+        let g = b.wide_with_partitions(
+            "agg",
+            WideKind::TreeAggregate,
+            &[m],
+            1,
+            64,
+            1,
+            ComputeCost::FREE,
+        );
         b.job("collect", g);
         b.job("collect2", g);
         b.build().unwrap()
@@ -81,7 +108,11 @@ mod tests {
         let dot = to_dot(&app, &Schedule::persist_all([crate::DatasetId(1)]));
         assert!(dot.starts_with("digraph \"dotdemo\""));
         for d in app.datasets() {
-            assert!(dot.contains(&format!("d{} [", d.id.0)), "missing node {}", d.id);
+            assert!(
+                dot.contains(&format!("d{} [", d.id.0)),
+                "missing node {}",
+                d.id
+            );
         }
         assert!(dot.contains("d0 -> d1"));
         assert!(dot.contains("d1 -> d2"));
@@ -111,7 +142,14 @@ mod tests {
     fn wide_ops_render_as_hexagons_when_not_targets() {
         let mut b = AppBuilder::new("hex");
         let s = b.source("in", SourceFormat::DistributedFs, 10, 1_000, 2);
-        let g = b.wide("agg", WideKind::ReduceByKey, &[s], 5, 500, ComputeCost::FREE);
+        let g = b.wide(
+            "agg",
+            WideKind::ReduceByKey,
+            &[s],
+            5,
+            500,
+            ComputeCost::FREE,
+        );
         let v = b.narrow("view", NarrowKind::Map, &[g], 1, 8, ComputeCost::FREE);
         b.job("collect", v);
         let app = b.build().unwrap();

@@ -95,7 +95,10 @@ impl fmt::Display for DagError {
                 write!(f, "schedule references unknown dataset {dataset}")
             }
             DagError::UnpersistWithoutPersist { dataset } => {
-                write!(f, "schedule unpersists {dataset} which is not persisted at that point")
+                write!(
+                    f,
+                    "schedule unpersists {dataset} which is not persisted at that point"
+                )
             }
             DagError::DuplicatePersist { dataset } => {
                 write!(f, "schedule persists {dataset} twice")

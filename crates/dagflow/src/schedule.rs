@@ -271,7 +271,10 @@ mod tests {
             ScheduleOp::Persist(d(2)),
         ]);
         assert!(s.check().is_ok());
-        assert_eq!(s.resident_at_end().into_iter().collect::<Vec<_>>(), vec![d(2)]);
+        assert_eq!(
+            s.resident_at_end().into_iter().collect::<Vec<_>>(),
+            vec![d(2)]
+        );
     }
 
     #[test]
@@ -350,7 +353,12 @@ mod tests {
 
     #[test]
     fn parse_roundtrips_notation() {
-        for text in ["p(2)", "p(1) p(2) u(2) p(11)", "p(1) u(1) p(2) u(2) p(13)", "-"] {
+        for text in [
+            "p(2)",
+            "p(1) p(2) u(2) p(11)",
+            "p(1) u(1) p(2) u(2) p(13)",
+            "-",
+        ] {
             let s = Schedule::parse(text).unwrap();
             assert_eq!(s.notation(), text);
         }
@@ -362,7 +370,10 @@ mod tests {
         assert!(Schedule::parse("persist(1)").is_err());
         assert!(Schedule::parse("p(x)").is_err());
         assert!(Schedule::parse("p(1").is_err());
-        assert!(Schedule::parse("u(1)").is_err(), "dangling unpersist fails check()");
+        assert!(
+            Schedule::parse("u(1)").is_err(),
+            "dangling unpersist fails check()"
+        );
         assert!(Schedule::parse("p(1) p(1)").is_err(), "duplicate persist");
     }
 

@@ -15,9 +15,7 @@ use crate::app::{Application, JobId};
 use crate::dataset::DatasetId;
 
 /// Identifier of a stage within one job's [`StagePlan`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct StageId(pub u32);
 
 impl StageId {
@@ -56,7 +54,10 @@ pub struct Stage {
 impl Stage {
     /// Wide datasets materialized at the start of this stage (shuffle
     /// reads), in id order.
-    pub fn shuffle_reads<'a>(&'a self, app: &'a Application) -> impl Iterator<Item = DatasetId> + 'a {
+    pub fn shuffle_reads<'a>(
+        &'a self,
+        app: &'a Application,
+    ) -> impl Iterator<Item = DatasetId> + 'a {
         self.datasets
             .iter()
             .copied()
@@ -88,10 +89,7 @@ impl StagePlan {
         // the same shuffle files, so memoize by stage root.
         let mut memo: HashMap<DatasetId, StageId> = HashMap::new();
         build_stage(app, target, &mut stages, &mut memo);
-        let mut plan = StagePlan {
-            job,
-            stages,
-        };
+        let mut plan = StagePlan { job, stages };
         // `build_stage` emits in post-order (parents first); re-number ids to
         // match positions.
         for (i, s) in plan.stages.iter_mut().enumerate() {
@@ -179,7 +177,15 @@ mod tests {
         let mut b = AppBuilder::new("p");
         let s = b.source("in", SourceFormat::DistributedFs, 1000, 10_000, 8);
         let m = b.narrow("m", NarrowKind::Map, &[s], 1000, 10_000, ComputeCost::FREE);
-        let agg = b.wide_with_partitions("agg", WideKind::TreeAggregate, &[m], 1, 64, 1, ComputeCost::FREE);
+        let agg = b.wide_with_partitions(
+            "agg",
+            WideKind::TreeAggregate,
+            &[m],
+            1,
+            64,
+            1,
+            ComputeCost::FREE,
+        );
         let out = b.narrow("out", NarrowKind::Map, &[agg], 1, 64, ComputeCost::FREE);
         b.job("collect", out);
         let app = b.build().unwrap();
@@ -218,8 +224,22 @@ mod tests {
         let mut b = AppBuilder::new("j");
         let a = b.source("a", SourceFormat::DistributedFs, 100, 1000, 4);
         let bsrc = b.source("b", SourceFormat::DistributedFs, 100, 1000, 4);
-        let ra = b.wide("ra", WideKind::ReduceByKey, &[a], 50, 500, ComputeCost::FREE);
-        let join = b.wide("join", WideKind::Join, &[ra, bsrc], 50, 800, ComputeCost::FREE);
+        let ra = b.wide(
+            "ra",
+            WideKind::ReduceByKey,
+            &[a],
+            50,
+            500,
+            ComputeCost::FREE,
+        );
+        let join = b.wide(
+            "join",
+            WideKind::Join,
+            &[ra, bsrc],
+            50,
+            800,
+            ComputeCost::FREE,
+        );
         b.job("count", join);
         let app = b.build().unwrap();
         let plan = StagePlan::build(&app, JobId(0));
@@ -245,7 +265,14 @@ mod tests {
     fn shared_map_stage_is_memoized() {
         let mut b = AppBuilder::new("shared");
         let s = b.source("s", SourceFormat::DistributedFs, 100, 1000, 4);
-        let w1 = b.wide("w1", WideKind::ReduceByKey, &[s], 10, 100, ComputeCost::FREE);
+        let w1 = b.wide(
+            "w1",
+            WideKind::ReduceByKey,
+            &[s],
+            10,
+            100,
+            ComputeCost::FREE,
+        );
         let w2 = b.wide("w2", WideKind::GroupByKey, &[s], 10, 100, ComputeCost::FREE);
         let z = b.narrow("z", NarrowKind::Zip, &[w1, w2], 10, 200, ComputeCost::FREE);
         b.job("count", z);

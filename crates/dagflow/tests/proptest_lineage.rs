@@ -7,8 +7,8 @@ use std::collections::BTreeSet;
 use proptest::prelude::*;
 
 use dagflow::{
-    AppBuilder, Application, ComputeCost, DatasetId, JobId, LineageAnalysis, NarrowKind,
-    Schedule, SourceFormat, StagePlan, WideKind,
+    AppBuilder, Application, ComputeCost, DatasetId, JobId, LineageAnalysis, NarrowKind, Schedule,
+    SourceFormat, StagePlan, WideKind,
 };
 
 /// Compact recipe for a random application.

@@ -147,8 +147,23 @@ mod tests {
     fn sample() -> Application {
         let mut b = AppBuilder::new("s");
         let src = b.source("in", SourceFormat::DistributedFs, 100, 1_000, 4);
-        let m = b.narrow("m", NarrowKind::Map, &[src], 100, 900, ComputeCost::new(0.01, 0.0, 0.0));
-        let agg = b.wide_with_partitions("agg", WideKind::TreeAggregate, &[m], 1, 64, 1, ComputeCost::new(0.005, 0.0, 0.0));
+        let m = b.narrow(
+            "m",
+            NarrowKind::Map,
+            &[src],
+            100,
+            900,
+            ComputeCost::new(0.01, 0.0, 0.0),
+        );
+        let agg = b.wide_with_partitions(
+            "agg",
+            WideKind::TreeAggregate,
+            &[m],
+            1,
+            64,
+            1,
+            ComputeCost::new(0.005, 0.0, 0.0),
+        );
         b.job("collect", agg);
         b.job("collect2", agg);
         b.default_schedule(Schedule::persist_all([m]));
@@ -176,7 +191,10 @@ mod tests {
         for (orig_idx, &sh) in instr.shadow.iter().enumerate() {
             assert_eq!(instr.profiles[sh.index()], Some(DatasetId(orig_idx as u32)));
             let copy = instr.app.dataset(sh).parents[0];
-            assert_eq!(instr.copy_of[copy.index()], Some(DatasetId(orig_idx as u32)));
+            assert_eq!(
+                instr.copy_of[copy.index()],
+                Some(DatasetId(orig_idx as u32))
+            );
         }
     }
 

@@ -102,7 +102,11 @@ mod tests {
         let truth = 800_000_000.0;
         let err = (parsed.size_bytes as f64 - truth).abs() / truth;
         assert!(err < 0.01, "size {} vs {truth}", parsed.size_bytes);
-        let src = out.metrics.iter().find(|m| m.dataset == DatasetId(0)).unwrap();
+        let src = out
+            .metrics
+            .iter()
+            .find(|m| m.dataset == DatasetId(0))
+            .unwrap();
         assert!((src.size_bytes as f64 - 1_120_000_000.0).abs() / 1_120_000_000.0 < 0.01);
     }
 
@@ -112,7 +116,11 @@ mod tests {
         // 1 machine × 4 cores, 8 tasks ⇒ 2 waves.
         let cluster = ClusterConfig::new(1, MachineSpec::paper_example());
         let out = profile_run(&app, &Schedule::empty(), cluster, quiet()).unwrap();
-        let parsed = out.metrics.iter().find(|m| m.dataset == DatasetId(1)).unwrap();
+        let parsed = out
+            .metrics
+            .iter()
+            .find(|m| m.dataset == DatasetId(1))
+            .unwrap();
         // Per-task ENT for `parsed` is its compute time: 0.05 + 1e-5·1000 +
         // 4e-9·140e6 = 0.62 s (plus the profiling overhead of its own
         // profile, ~0.0165 s, absorbed into the *source's* interval? No:
@@ -129,7 +137,11 @@ mod tests {
         let app = iterative_app(2);
         let cluster = ClusterConfig::new(1, MachineSpec::paper_example());
         let out = profile_run(&app, &Schedule::empty(), cluster, quiet()).unwrap();
-        let src = out.metrics.iter().find(|m| m.dataset == DatasetId(0)).unwrap();
+        let src = out
+            .metrics
+            .iter()
+            .find(|m| m.dataset == DatasetId(0))
+            .unwrap();
         // 140 MB at 80 MB/s = 1.75 s per task, 2 waves ⇒ ~3.5 s.
         assert!(
             (src.et_seconds - 3.5).abs() / 3.5 < 0.05,
@@ -143,7 +155,11 @@ mod tests {
         let app = iterative_app(2);
         let cluster = ClusterConfig::new(1, MachineSpec::paper_example());
         let out = profile_run(&app, &Schedule::empty(), cluster, quiet()).unwrap();
-        let grad = out.metrics.iter().find(|m| m.dataset == DatasetId(2)).unwrap();
+        let grad = out
+            .metrics
+            .iter()
+            .find(|m| m.dataset == DatasetId(2))
+            .unwrap();
         // Write half: combine over 100 MB parsed partitions ≈ 0.11 s ×
         // 2 waves; read half: tiny fetch+merge, 1 task, 1 wave.
         assert!(grad.et_seconds > 0.2, "ET {}", grad.et_seconds);
@@ -156,10 +172,25 @@ mod tests {
         let app = iterative_app(5);
         let cluster = ClusterConfig::new(1, MachineSpec::paper_example());
         let cold = profile_run(&app, &Schedule::empty(), cluster, quiet()).unwrap();
-        let hot = profile_run(&app, &Schedule::persist_all([DatasetId(1)]), cluster, quiet())
-            .unwrap();
-        let et_cold = cold.metrics.iter().find(|m| m.dataset == DatasetId(1)).unwrap().et_seconds;
-        let et_hot = hot.metrics.iter().find(|m| m.dataset == DatasetId(1)).unwrap().et_seconds;
+        let hot = profile_run(
+            &app,
+            &Schedule::persist_all([DatasetId(1)]),
+            cluster,
+            quiet(),
+        )
+        .unwrap();
+        let et_cold = cold
+            .metrics
+            .iter()
+            .find(|m| m.dataset == DatasetId(1))
+            .unwrap()
+            .et_seconds;
+        let et_hot = hot
+            .metrics
+            .iter()
+            .find(|m| m.dataset == DatasetId(1))
+            .unwrap()
+            .et_seconds;
         // The hot run computes `parsed` once and cache-reads it afterwards;
         // measured computation time must stay in the same ballpark, not
         // shrink toward the cache-read time.

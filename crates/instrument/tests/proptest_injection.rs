@@ -33,9 +33,23 @@ fn build(r: &Recipe) -> Application {
         ps.sort_unstable();
         ps.dedup();
         let id = if *wide {
-            b.wide(format!("w{i}"), WideKind::ReduceByKey, &ps, 50, 1 << 16, ComputeCost::FREE)
+            b.wide(
+                format!("w{i}"),
+                WideKind::ReduceByKey,
+                &ps,
+                50,
+                1 << 16,
+                ComputeCost::FREE,
+            )
         } else {
-            b.narrow(format!("n{i}"), NarrowKind::Map, &ps, 50, 1 << 16, ComputeCost::FREE)
+            b.narrow(
+                format!("n{i}"),
+                NarrowKind::Map,
+                &ps,
+                50,
+                1 << 16,
+                ComputeCost::FREE,
+            )
         };
         ids.push(id);
     }

@@ -38,7 +38,10 @@ pub fn full_factorial(levels: &[Vec<f64>]) -> Vec<Vec<f64>> {
 #[must_use]
 pub fn d_optimal_greedy(candidates: &[Vec<f64>], k: usize) -> Vec<usize> {
     assert!(!candidates.is_empty(), "no candidate experiments");
-    assert!(k <= candidates.len(), "cannot select more rows than candidates");
+    assert!(
+        k <= candidates.len(),
+        "cannot select more rows than candidates"
+    );
     let ridge = 1e-6;
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
     let mut rows: Vec<Vec<f64>> = Vec::with_capacity(k);
@@ -72,10 +75,7 @@ mod tests {
 
     #[test]
     fn full_factorial_three_by_three() {
-        let grid = full_factorial(&[
-            vec![1.0, 2.0, 3.0],
-            vec![10.0, 20.0, 30.0],
-        ]);
+        let grid = full_factorial(&[vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]]);
         assert_eq!(grid.len(), 9);
         assert_eq!(grid[0], vec![1.0, 10.0]);
         assert_eq!(grid[8], vec![3.0, 30.0]);
@@ -108,7 +108,10 @@ mod tests {
             vec![1.0, -1.0],
         ];
         let picks = d_optimal_greedy(&candidates, 2);
-        assert!(picks.contains(&3), "picks {picks:?} must span both dimensions");
+        assert!(
+            picks.contains(&3),
+            "picks {picks:?} must span both dimensions"
+        );
     }
 
     #[test]

@@ -60,13 +60,19 @@ impl Term {
     /// Builds a monomial from exponents.
     #[must_use]
     pub const fn new(e_pow: u8, f_pow: u8, i_pow: u8) -> Self {
-        Term { e_pow, f_pow, i_pow }
+        Term {
+            e_pow,
+            f_pow,
+            i_pow,
+        }
     }
 
     /// Evaluates the monomial at a parameter point.
     #[must_use]
     pub fn eval(&self, e: f64, f: f64, i: f64) -> f64 {
-        e.powi(i32::from(self.e_pow)) * f.powi(i32::from(self.f_pow)) * i.powi(i32::from(self.i_pow))
+        e.powi(i32::from(self.e_pow))
+            * f.powi(i32::from(self.f_pow))
+            * i.powi(i32::from(self.i_pow))
     }
 }
 

@@ -76,8 +76,9 @@ impl FittedModel {
             .sum()
     }
 
-    /// Renders the model with its coefficients, e.g.
-    /// `1.2e3 + 4.5·e·f`.
+    /// Renders the model with its coefficients at 4 significant figures
+    /// (`%.4g` style), e.g. `1200 + 4.5·e·f`. Small coefficients switch
+    /// to scientific notation instead of rounding away to `0.000`.
     #[must_use]
     pub fn render(&self) -> String {
         if self.spec.terms.is_empty() {
@@ -88,10 +89,11 @@ impl FittedModel {
             .iter()
             .zip(&self.coeffs)
             .map(|(t, c)| {
+                let c = obs::fmt_sig(*c, 4);
                 if *t == crate::families::Term::ONE {
-                    format!("{c:.4e}")
+                    c
                 } else {
-                    format!("{c:.4e}·{t}")
+                    format!("{c}·{t}")
                 }
             })
             .collect::<Vec<_>>()
@@ -113,7 +115,10 @@ pub fn fit_spec(spec: &ModelSpec, samples: &[Sample]) -> Result<FittedModel, Fit
     if samples.is_empty() {
         return Err(FitError::NoSamples);
     }
-    let rows: Vec<Vec<f64>> = samples.iter().map(|s| spec.features(s.e, s.f, s.i)).collect();
+    let rows: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| spec.features(s.e, s.f, s.i))
+        .collect();
     let y: Vec<f64> = samples.iter().map(|s| s.y).collect();
     let coeffs = nnls(&Matrix::from_rows(&rows), &y);
     Ok(FittedModel {
@@ -122,17 +127,18 @@ pub fn fit_spec(spec: &ModelSpec, samples: &[Sample]) -> Result<FittedModel, Fit
     })
 }
 
-/// Leave-one-out cross-validation error of a spec: each sample is held out
-/// in turn, the model is fit on the rest, and the held-out relative errors
-/// are averaged (paper §5.2). Specs with more coefficients than remaining
-/// samples are penalized with infinite error.
+/// Per-holdout leave-one-out relative errors of a spec, in sample order:
+/// sample `k` of the result is the relative prediction error at sample `k`
+/// when the model was fit on everything *but* sample `k`. Empty when the
+/// spec is infeasible for the sample count (fewer than 2 samples, no
+/// terms, or more coefficients than remaining samples).
 #[must_use]
-pub fn loocv_error(spec: &ModelSpec, samples: &[Sample]) -> f64 {
+pub fn loocv_residuals(spec: &ModelSpec, samples: &[Sample]) -> Vec<f64> {
     let n = samples.len();
     if n < 2 || spec.terms.is_empty() || spec.terms.len() > n - 1 {
-        return f64::INFINITY;
+        return Vec::new();
     }
-    let mut total = 0.0;
+    let mut out = Vec::with_capacity(n);
     for hold in 0..n {
         let train: Vec<Sample> = samples
             .iter()
@@ -141,43 +147,137 @@ pub fn loocv_error(spec: &ModelSpec, samples: &[Sample]) -> f64 {
             .map(|(_, s)| *s)
             .collect();
         let Ok(model) = fit_spec(spec, &train) else {
-            return f64::INFINITY;
+            return Vec::new();
         };
         let s = samples[hold];
         let pred = model.predict(s.e, s.f, s.i);
-        total += if s.y.abs() < 1e-12 {
+        out.push(if s.y.abs() < 1e-12 {
             (pred - s.y).abs()
         } else {
             ((pred - s.y) / s.y).abs()
-        };
+        });
     }
-    total / n as f64
+    out
+}
+
+/// Leave-one-out cross-validation error of a spec: each sample is held out
+/// in turn, the model is fit on the rest, and the held-out relative errors
+/// are averaged (paper §5.2). Specs with more coefficients than remaining
+/// samples are penalized with infinite error.
+#[must_use]
+pub fn loocv_error(spec: &ModelSpec, samples: &[Sample]) -> f64 {
+    let reg = obs::global();
+    if reg.enabled() {
+        reg.counter(
+            "modeling_loocv_evaluations_total",
+            "candidate specs scored by leave-one-out cross-validation",
+        )
+        .inc();
+    }
+    let residuals = loocv_residuals(spec, samples);
+    if residuals.is_empty() {
+        return f64::INFINITY;
+    }
+    residuals.iter().sum::<f64>() / residuals.len() as f64
+}
+
+/// One candidate's score in a [`FitReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateScore {
+    /// The candidate spec.
+    pub spec: ModelSpec,
+    /// Its mean leave-one-out relative error (infinite when infeasible
+    /// for the sample count).
+    pub cv_error: f64,
+    /// Whether model selection picked this candidate.
+    pub selected: bool,
+}
+
+/// Model-quality diagnostics from one [`fit_best_with_report`] selection:
+/// every candidate's cross-validation score, the winner refit on all
+/// samples, and the winner's per-holdout residuals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitReport {
+    /// All candidates in evaluation order, each with its LOO-CV error.
+    pub candidates: Vec<CandidateScore>,
+    /// The winning model refit on all samples.
+    pub winner: FittedModel,
+    /// Mean leave-one-out relative error of the winner.
+    pub cv_error: f64,
+    /// The winner's per-holdout relative errors, in sample order (see
+    /// [`loocv_residuals`]); empty only when LOO-CV was infeasible.
+    pub residuals: Vec<f64>,
+}
+
+impl FitReport {
+    /// Mean holdout relative error (equals [`FitReport::cv_error`] when
+    /// residuals are available).
+    #[must_use]
+    pub fn mean_residual(&self) -> f64 {
+        if self.residuals.is_empty() {
+            f64::INFINITY
+        } else {
+            self.residuals.iter().sum::<f64>() / self.residuals.len() as f64
+        }
+    }
+
+    /// Worst holdout relative error.
+    #[must_use]
+    pub fn max_residual(&self) -> f64 {
+        self.residuals
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &r| m.max(r))
+    }
 }
 
 /// Full model selection: cross-validate each candidate, pick the least
 /// error, refit on all samples. Ties break toward fewer terms (the earlier,
 /// simpler candidates in the lists from [`ModelSpec`]).
 pub fn fit_best(candidates: &[ModelSpec], samples: &[Sample]) -> Result<CrossValidated, FitError> {
+    fit_best_with_report(candidates, samples).map(|(cv, _)| cv)
+}
+
+/// [`fit_best`] plus a [`FitReport`] carrying per-candidate LOO-CV scores
+/// and the winner's holdout residuals — the `juggler doctor` model-quality
+/// surface.
+pub fn fit_best_with_report(
+    candidates: &[ModelSpec],
+    samples: &[Sample],
+) -> Result<(CrossValidated, FitReport), FitError> {
     if candidates.is_empty() {
         return Err(FitError::NoCandidates);
     }
     if samples.is_empty() {
         return Err(FitError::NoSamples);
     }
-    let mut best: Option<(f64, &ModelSpec)> = None;
-    for spec in candidates {
+    let mut scores = Vec::with_capacity(candidates.len());
+    let mut best: Option<(f64, usize)> = None;
+    for (k, spec) in candidates.iter().enumerate() {
         let err = loocv_error(spec, samples);
         let better = match best {
             None => true,
             Some((e, _)) => err < e - 1e-15,
         };
         if better {
-            best = Some((err, spec));
+            best = Some((err, k));
         }
+        scores.push(CandidateScore {
+            spec: spec.clone(),
+            cv_error: err,
+            selected: false,
+        });
     }
-    let (cv_error, spec) = best.expect("candidates is non-empty");
-    let model = fit_spec(spec, samples)?;
-    Ok(CrossValidated { model, cv_error })
+    let (cv_error, kbest) = best.expect("candidates is non-empty");
+    scores[kbest].selected = true;
+    let model = fit_spec(&candidates[kbest], samples)?;
+    let residuals = loocv_residuals(&candidates[kbest], samples);
+    let report = FitReport {
+        candidates: scores,
+        winner: model.clone(),
+        cv_error,
+        residuals,
+    };
+    Ok((CrossValidated { model, cv_error }, report))
 }
 
 #[cfg(test)]
@@ -214,7 +314,10 @@ mod tests {
         assert!(cv.cv_error < 1e-6, "cv error {}", cv.cv_error);
         let pred = cv.model.predict(30_000.0, 45_000.0, 1.0);
         let truth = 1.0e7 + 96.0 * 30_000.0 + 0.008 * 30_000.0 * 45_000.0;
-        assert!(((pred - truth) / truth).abs() < 1e-6, "pred {pred}, truth {truth}");
+        assert!(
+            ((pred - truth) / truth).abs() < 1e-6,
+            "pred {pred}, truth {truth}"
+        );
     }
 
     #[test]
@@ -245,6 +348,36 @@ mod tests {
         let pred = cv.model.predict(3.0e4, 4.0e4, 70.0);
         let truth = 30.0 + 2.0e-7 * 3.0e4 * 4.0e4 * 70.0;
         assert!(((pred - truth) / truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_scores_every_candidate_and_marks_one_winner() {
+        let samples = grid(|e, f| 0.016 * e * f);
+        let candidates = ModelSpec::size_candidates();
+        let (cv, report) = fit_best_with_report(&candidates, &samples).unwrap();
+        assert_eq!(report.candidates.len(), candidates.len());
+        let selected: Vec<&CandidateScore> =
+            report.candidates.iter().filter(|c| c.selected).collect();
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].spec, cv.model.spec);
+        assert_eq!(selected[0].cv_error, cv.cv_error);
+        assert_eq!(report.residuals.len(), samples.len());
+        assert!((report.mean_residual() - cv.cv_error).abs() < 1e-15);
+        assert!(report.max_residual() >= report.mean_residual());
+        // Every other candidate scored no better than the winner.
+        for c in &report.candidates {
+            assert!(c.cv_error >= cv.cv_error - 1e-15, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn residuals_match_loocv_error() {
+        let samples = grid(|e, f| 1.0e7 + 96.0 * e + 0.008 * e * f);
+        let spec = ModelSpec::new(vec![Term::ONE, Term::E, Term::EF]);
+        let residuals = loocv_residuals(&spec, &samples);
+        assert_eq!(residuals.len(), samples.len());
+        let mean = residuals.iter().sum::<f64>() / residuals.len() as f64;
+        assert!((mean - loocv_error(&spec, &samples)).abs() < 1e-15);
     }
 
     #[test]
@@ -281,7 +414,18 @@ mod tests {
             spec: ModelSpec::new(vec![Term::ONE, Term::EF]),
             coeffs: vec![2.0, 0.5],
         };
-        assert_eq!(m.render(), "2.0000e0 + 5.0000e-1·e·f");
+        assert_eq!(m.render(), "2 + 0.5·e·f");
+    }
+
+    /// A coefficient like 3.2e-7 (typical for e·f·i time terms) must not
+    /// render as zero.
+    #[test]
+    fn render_keeps_tiny_coefficients_visible() {
+        let m = FittedModel {
+            spec: ModelSpec::new(vec![Term::ONE, Term::EFI]),
+            coeffs: vec![30.0, 3.2e-7],
+        };
+        assert_eq!(m.render(), "30 + 3.2e-7·e·f·i");
     }
 
     /// Noisy data: selection still lands on a model whose held-out error is
@@ -291,7 +435,9 @@ mod tests {
         let mut k = 0u64;
         let mut noise = move || {
             // Tiny deterministic pseudo-noise in ±0.5 %.
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((k >> 33) as f64 / 2f64.powi(31) - 0.5) * 0.01
         };
         let samples: Vec<Sample> = grid(|e, f| 96.0 * e + 0.008 * e * f)

@@ -25,7 +25,10 @@ pub mod nnls;
 
 pub use design::{d_optimal_greedy, full_factorial};
 pub use families::{ModelSpec, Term};
-pub use fit::{fit_best, fit_spec, CrossValidated, FitError, FittedModel, Sample};
+pub use fit::{
+    fit_best, fit_best_with_report, fit_spec, loocv_residuals, CandidateScore, CrossValidated,
+    FitError, FitReport, FittedModel, Sample,
+};
 pub use linalg::Matrix;
 pub use metrics::{accuracy_pct, mean_relative_error};
-pub use nnls::nnls;
+pub use nnls::{nnls, nnls_with_stats};

@@ -361,11 +361,7 @@ mod tests {
     #[test]
     fn logdet_gram_monotone_in_added_rows() {
         let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
-        let b = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ]);
+        let b = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
         assert!(b.logdet_gram(1e-9) > a.logdet_gram(1e-9));
     }
 }

@@ -18,6 +18,18 @@ use crate::linalg::Matrix;
 /// Panics if `b.len() != a.rows()`.
 #[must_use]
 pub fn nnls(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    nnls_with_stats(a, b).0
+}
+
+/// [`nnls`] plus the number of Lawson–Hanson outer iterations the solve
+/// took — the model-quality diagnostics surface this, and each solve also
+/// feeds the `modeling_nnls_*` metrics when the global registry is
+/// enabled.
+///
+/// # Panics
+/// Panics if `b.len() != a.rows()`.
+#[must_use]
+pub fn nnls_with_stats(a: &Matrix, b: &[f64]) -> (Vec<f64>, u64) {
     assert_eq!(b.len(), a.rows(), "shape mismatch in nnls");
     // Columns of calibration design matrices span many orders of magnitude
     // (a constant term next to e·f ~ 1e10). Normalize each column to unit
@@ -28,7 +40,10 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut scales = vec![1.0f64; n];
     let mut scaled = a.clone();
     for j in 0..n {
-        let norm = (0..a.rows()).map(|i| a[(i, j)] * a[(i, j)]).sum::<f64>().sqrt();
+        let norm = (0..a.rows())
+            .map(|i| a[(i, j)] * a[(i, j)])
+            .sum::<f64>()
+            .sqrt();
         if norm > 1e-300 {
             scales[j] = norm;
             for i in 0..a.rows() {
@@ -36,15 +51,31 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Vec<f64> {
             }
         }
     }
-    let mut x = nnls_normalized(&scaled, b);
+    let (mut x, iterations) = nnls_normalized(&scaled, b);
     for j in 0..n {
         x[j] /= scales[j];
     }
-    x
+    let reg = obs::global();
+    if reg.enabled() {
+        reg.counter("modeling_nnls_solves_total", "NNLS solves performed")
+            .inc();
+        reg.counter(
+            "modeling_nnls_iterations_total",
+            "Lawson-Hanson outer iterations across all solves",
+        )
+        .add(iterations);
+        reg.histogram(
+            "modeling_nnls_iterations",
+            "Lawson-Hanson outer iterations per solve",
+        )
+        .record(iterations);
+    }
+    (x, iterations)
 }
 
-/// Lawson–Hanson on a column-normalized design matrix.
-fn nnls_normalized(a: &Matrix, b: &[f64]) -> Vec<f64> {
+/// Lawson–Hanson on a column-normalized design matrix. Returns the
+/// solution and the number of outer iterations executed.
+fn nnls_normalized(a: &Matrix, b: &[f64]) -> (Vec<f64>, u64) {
     let n = a.cols();
     let at = a.transpose();
     let gram = at.matmul(a); // AᵀA, n×n
@@ -81,7 +112,9 @@ fn nnls_normalized(a: &Matrix, b: &[f64]) -> Vec<f64> {
         Some(full)
     };
 
+    let mut iterations = 0u64;
     for _ in 0..max_outer {
+        iterations += 1;
         // Gradient of ½‖Ax−b‖² is AᵀAx − Aᵀb; w = −gradient.
         let grad = gram.matvec(&x);
         let w: Vec<f64> = (0..n).map(|j| atb[j] - grad[j]).collect();
@@ -104,9 +137,7 @@ fn nnls_normalized(a: &Matrix, b: &[f64]) -> Vec<f64> {
                 passive[jmax] = false;
                 break;
             };
-            let infeasible: Vec<usize> = (0..n)
-                .filter(|&j| passive[j] && z[j] <= 0.0)
-                .collect();
+            let infeasible: Vec<usize> = (0..n).filter(|&j| passive[j] && z[j] <= 0.0).collect();
             if infeasible.is_empty() {
                 x = z;
                 break;
@@ -128,7 +159,7 @@ fn nnls_normalized(a: &Matrix, b: &[f64]) -> Vec<f64> {
             }
         }
     }
-    x
+    (x, iterations)
 }
 
 #[cfg(test)]
@@ -192,6 +223,15 @@ mod tests {
     }
 
     #[test]
+    fn stats_report_outer_iterations() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let (x, iterations) = nnls_with_stats(&a, &[2.0, 3.0, 5.0]);
+        assert!(iterations >= 2, "two variables enter the passive set");
+        assert!((x[0] - 2.0).abs() < 1e-8, "{x:?}");
+        assert!((x[1] - 3.0).abs() < 1e-8, "{x:?}");
+    }
+
+    #[test]
     fn zero_matrix_returns_zero() {
         let a = Matrix::zeros(3, 2);
         let x = nnls(&a, &[1.0, 2.0, 3.0]);
@@ -202,7 +242,13 @@ mod tests {
     fn recovers_paper_style_size_model() {
         // D_size = θ0·e + θ1·e·f with θ = (120, 8.5): the second size-model
         // family from §5.2.
-        let grid = [(1000.0, 10.0), (1000.0, 50.0), (5000.0, 10.0), (5000.0, 50.0), (9000.0, 90.0)];
+        let grid = [
+            (1000.0, 10.0),
+            (1000.0, 50.0),
+            (5000.0, 10.0),
+            (5000.0, 50.0),
+            (9000.0, 90.0),
+        ];
         let rows: Vec<Vec<f64>> = grid.iter().map(|&(e, f)| vec![e, e * f]).collect();
         let y: Vec<f64> = grid.iter().map(|&(e, f)| 120.0 * e + 8.5 * e * f).collect();
         let x = nnls(&Matrix::from_rows(&rows), &y);
@@ -221,7 +267,10 @@ mod tests {
             (4.0e4, 5.0e4),
         ];
         let rows: Vec<Vec<f64>> = grid.iter().map(|&(e, f)| vec![1.0, e, e * f]).collect();
-        let y: Vec<f64> = grid.iter().map(|&(e, f)| 3.0e6 + 40.0 * e + 0.008 * e * f).collect();
+        let y: Vec<f64> = grid
+            .iter()
+            .map(|&(e, f)| 3.0e6 + 40.0 * e + 0.008 * e * f)
+            .collect();
         let x = nnls(&Matrix::from_rows(&rows), &y);
         let pred_err: f64 = rows
             .iter()

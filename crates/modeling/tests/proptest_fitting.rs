@@ -3,15 +3,16 @@
 
 use proptest::prelude::*;
 
-use modeling::{
-    d_optimal_greedy, fit_best, full_factorial, nnls, Matrix, ModelSpec, Sample,
-};
+use modeling::{d_optimal_greedy, fit_best, full_factorial, nnls, Matrix, ModelSpec, Sample};
 
 fn design_matrix() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
     (2usize..8, 1usize..4).prop_flat_map(|(rows, cols)| {
         let cell = -100.0f64..100.0;
         (
-            prop::collection::vec(prop::collection::vec(cell.clone(), cols..=cols), rows.max(cols)..=rows.max(cols) + 4),
+            prop::collection::vec(
+                prop::collection::vec(cell.clone(), cols..=cols),
+                rows.max(cols)..=rows.max(cols) + 4,
+            ),
             prop::collection::vec(-1000.0f64..1000.0, rows.max(cols)..=rows.max(cols) + 4),
         )
             .prop_map(|(m, y)| {

@@ -1,0 +1,173 @@
+//! Shared human-facing number formatting: one implementation of
+//! significant-figure rendering, duration tiers and byte tiers, so every
+//! report in the workspace prints the same way.
+
+/// Formats `x` with `sig` significant figures, like C's `%.Ng`: plain
+/// decimal for moderate magnitudes, scientific (`1.235e5`) outside
+/// `[1e-4, 10^sig)`, trailing zeros trimmed. `fmt_sig(2.0, 4)` is `"2"`,
+/// not `"2.000"`.
+#[must_use]
+pub fn fmt_sig(x: f64, sig: usize) -> String {
+    let sig = sig.max(1);
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    // Round to `sig` significant digits via the e-format, then re-render.
+    // Working from the formatted string avoids a second float rounding
+    // step (9.9999 at 3 sig figs must become "10", not "10.0").
+    let e = format!("{:.*e}", sig - 1, x);
+    let (mantissa, exp) = e.split_once('e').expect("e-format always has an exponent");
+    let exp: i32 = exp.parse().expect("exponent is an integer");
+    let neg = mantissa.starts_with('-');
+    let digits: Vec<u8> = mantissa.bytes().filter(u8::is_ascii_digit).collect();
+    let body = if exp < -4 || exp >= sig as i32 {
+        // Scientific: trimmed mantissa + exponent.
+        let trimmed = trim_digits(&digits);
+        let mut s = String::new();
+        s.push(trimmed[0] as char);
+        if trimmed.len() > 1 {
+            s.push('.');
+            s.extend(trimmed[1..].iter().map(|&d| d as char));
+        }
+        format!("{s}e{exp}")
+    } else if exp >= 0 {
+        // Decimal with `exp + 1` integer digits.
+        let int_len = (exp as usize) + 1;
+        let mut s = String::new();
+        for i in 0..int_len {
+            s.push(*digits.get(i).unwrap_or(&b'0') as char);
+        }
+        if digits.len() > int_len {
+            let frac = trim_digits(&digits[int_len..]);
+            if !(frac.len() == 1 && frac[0] == b'0') {
+                s.push('.');
+                s.extend(frac.iter().map(|&d| d as char));
+            }
+        }
+        s
+    } else {
+        // 0.000ddd form.
+        let mut s = String::from("0.");
+        for _ in 0..(-exp - 1) {
+            s.push('0');
+        }
+        let frac = trim_digits(&digits);
+        s.extend(frac.iter().map(|&d| d as char));
+        s
+    };
+    if neg {
+        format!("-{body}")
+    } else {
+        body
+    }
+}
+
+/// Trims trailing zeros, keeping at least one digit.
+fn trim_digits(digits: &[u8]) -> &[u8] {
+    let end = digits.iter().rposition(|&d| d != b'0').map_or(1, |i| i + 1);
+    &digits[..end.max(1)]
+}
+
+/// Formats a duration given in seconds for human eyes: 3 significant
+/// figures, tiered units (`ms` below one second, `s` below two minutes,
+/// then `min` and `h`). The single duration formatter for the workspace —
+/// reports must not print raw float seconds.
+#[must_use]
+pub fn fmt_duration_s(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        return format!("{seconds} s");
+    }
+    if seconds < 0.0 {
+        return format!("-{}", fmt_duration_s(-seconds));
+    }
+    if seconds == 0.0 {
+        "0 s".to_string()
+    } else if seconds < 1.0 {
+        format!("{} ms", fmt_sig(seconds * 1e3, 3))
+    } else if seconds < 120.0 {
+        format!("{} s", fmt_sig(seconds, 3))
+    } else if seconds < 7200.0 {
+        format!("{} min", fmt_sig(seconds / 60.0, 3))
+    } else {
+        format!("{} h", fmt_sig(seconds / 3600.0, 3))
+    }
+}
+
+/// Formats a byte count with decimal (SI) tiers and 3 significant
+/// figures: `999 B`, `1.5 kB`, `35.8 GB`.
+#[must_use]
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b < 1e3 {
+        format!("{bytes} B")
+    } else if b < 1e6 {
+        format!("{} kB", fmt_sig(b / 1e3, 3))
+    } else if b < 1e9 {
+        format!("{} MB", fmt_sig(b / 1e6, 3))
+    } else {
+        format!("{} GB", fmt_sig(b / 1e9, 3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sig_plain_decimals() {
+        assert_eq!(fmt_sig(2.0, 4), "2");
+        assert_eq!(fmt_sig(0.5, 4), "0.5");
+        assert_eq!(fmt_sig(1.5, 3), "1.5");
+        assert_eq!(fmt_sig(123.456, 4), "123.5");
+        assert_eq!(fmt_sig(-3.25, 4), "-3.25");
+        assert_eq!(fmt_sig(0.0001234, 4), "0.0001234");
+    }
+
+    #[test]
+    fn sig_scientific_tiers() {
+        assert_eq!(fmt_sig(123456.0, 4), "1.235e5");
+        assert_eq!(fmt_sig(1.23456e-5, 4), "1.235e-5");
+        assert_eq!(fmt_sig(-2e9, 4), "-2e9");
+        assert_eq!(fmt_sig(45_961_000.0, 4), "4.596e7");
+    }
+
+    #[test]
+    fn sig_rounding_can_change_the_exponent() {
+        assert_eq!(fmt_sig(9.9999, 3), "10");
+        assert_eq!(fmt_sig(0.99999, 3), "1");
+        assert_eq!(fmt_sig(99999.0, 3), "1e5");
+    }
+
+    #[test]
+    fn sig_edge_values() {
+        assert_eq!(fmt_sig(0.0, 4), "0");
+        assert_eq!(fmt_sig(f64::INFINITY, 4), "inf");
+        assert_eq!(fmt_sig(f64::NAN, 4), "NaN");
+        assert_eq!(fmt_sig(7.0, 1), "7");
+    }
+
+    #[test]
+    fn duration_tiers() {
+        assert_eq!(fmt_duration_s(0.0), "0 s");
+        assert_eq!(fmt_duration_s(0.000123), "0.123 ms");
+        assert_eq!(fmt_duration_s(0.0123), "12.3 ms");
+        assert_eq!(fmt_duration_s(0.9994), "999 ms");
+        assert_eq!(fmt_duration_s(1.0), "1 s");
+        assert_eq!(fmt_duration_s(30.0), "30 s");
+        assert_eq!(fmt_duration_s(90.0), "90 s");
+        assert_eq!(fmt_duration_s(150.0), "2.5 min");
+        assert_eq!(fmt_duration_s(7200.0), "2 h");
+        assert_eq!(fmt_duration_s(-0.5), "-500 ms");
+    }
+
+    #[test]
+    fn byte_tiers() {
+        assert_eq!(fmt_bytes(999), "999 B");
+        assert_eq!(fmt_bytes(1_500), "1.5 kB");
+        assert_eq!(fmt_bytes(45_961_000), "46 MB");
+        assert_eq!(fmt_bytes(35_800_000_000), "35.8 GB");
+    }
+}

@@ -1,0 +1,32 @@
+//! Framework-wide observability for the Juggler reproduction.
+//!
+//! Two concerns live here because every other crate needs both:
+//!
+//! 1. **A metrics registry** ([`Registry`]) — counters, gauges, and
+//!    log2 histograms behind the same zero-cost-when-off discipline as
+//!    `cluster_sim::trace`: a disabled registry hands out no-op handles
+//!    and call sites pay one branch, no allocation, no lock. Snapshots
+//!    export to Prometheus text format and JSON, with deterministic
+//!    (sorted, byte-stable) output so exports can be golden-tested.
+//! 2. **Formatting helpers** ([`fmt_sig`], [`fmt_duration_s`],
+//!    [`fmt_bytes`]) — the single source of truth for human-facing
+//!    numbers. Reports across `core`, `bench`, and the CLI route
+//!    durations and sizes through these so units and precision stay
+//!    consistent (3 significant figures, `ms`/`s` tiers).
+//!
+//! The registry deliberately distinguishes *stable* metrics (pure
+//! functions of the work performed — cache hits, NNLS iterations) from
+//! *timing* metrics (host wall-clock). Only stable metrics appear in
+//! the default export, which is what makes `juggler metrics` output
+//! byte-identical across worker-thread counts and machines.
+
+#![warn(missing_docs)]
+
+mod format;
+mod registry;
+
+pub use format::{fmt_bytes, fmt_duration_s, fmt_sig};
+pub use registry::{
+    global, Counter, Gauge, Histogram, Metric, MetricClass, MetricKind, MetricValue, Registry,
+    Snapshot, HIST_BUCKETS,
+};

@@ -1,0 +1,751 @@
+//! The metrics registry: named counters, gauges and log2 histograms with
+//! atomic recording, plus deterministic Prometheus/JSON exporters.
+//!
+//! Zero-cost-when-off contract (mirrors `cluster_sim::trace`): a disabled
+//! registry hands out *no-op* handles — recording through one is a single
+//! `Option` branch, no allocation, no lock, no atomic. Enabling the
+//! registry only affects handles created afterwards, which is why call
+//! sites check [`Registry::enabled`] before fetching handles.
+//!
+//! Thread safety: handles are `Clone + Send + Sync`; recording uses
+//! relaxed atomics (sums are order-independent), registration takes a
+//! short mutex. Concurrent increments are exact — no sampling, no lost
+//! updates.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+/// Number of log2 buckets in a registry histogram; bucket `i` counts
+/// values in `[2^i, 2^(i+1))` (bucket 0 additionally holds zero), which
+/// covers the full `u64` range.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Whether a metric is a pure function of the work performed
+/// (`Deterministic`) or derived from host wall-clock time (`Timing`).
+///
+/// Deterministic metrics are byte-stable across machines and worker-thread
+/// counts for a fixed workload; timing metrics are not. The default export
+/// ([`Registry::snapshot`] with `include_timings = false`) contains only
+/// deterministic metrics, so `juggler metrics` output can be golden-tested
+/// and compared across thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Pure function of the work performed; byte-stable across runs.
+    Deterministic,
+    /// Host wall-clock derived; varies run to run.
+    Timing,
+}
+
+impl MetricClass {
+    /// Lowercase label used in exports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricClass::Deterministic => "deterministic",
+            MetricClass::Timing => "timing",
+        }
+    }
+}
+
+/// The kind of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing `u64`.
+    Counter,
+    /// Last-write-wins `f64`.
+    Gauge,
+    /// log2-bucketed `u64` distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lowercase label used in exports (matches Prometheus `# TYPE`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CounterCell {
+    value: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct GaugeCell {
+    /// `f64` bit pattern; `0` encodes `+0.0`.
+    bits: AtomicU64,
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            value.ilog2() as usize
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Handle to a registered counter. No-op (and free) when obtained from a
+/// disabled registry. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<CounterCell>>);
+
+impl Counter {
+    /// A handle that records nothing.
+    #[must_use]
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.value.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to a registered gauge (last-write-wins `f64`). No-op when
+/// obtained from a disabled registry.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<GaugeCell>>);
+
+impl Gauge {
+    /// A handle that records nothing.
+    #[must_use]
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for a no-op handle).
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |cell| {
+            f64::from_bits(cell.bits.load(Ordering::Relaxed))
+        })
+    }
+}
+
+/// Handle to a registered log2 histogram. No-op when obtained from a
+/// disabled registry.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    /// A handle that records nothing.
+    #[must_use]
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.record(value);
+        }
+    }
+
+    /// Number of recorded observations (0 for a no-op handle).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.count.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+enum Cell {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Cell {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Cell::Counter(_) => MetricKind::Counter,
+            Cell::Gauge(_) => MetricKind::Gauge,
+            Cell::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+
+    fn reset(&self) {
+        match self {
+            Cell::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            Cell::Gauge(g) => g.bits.store(0, Ordering::Relaxed),
+            Cell::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    help: String,
+    class: MetricClass,
+    cell: Cell,
+}
+
+/// A thread-safe metrics registry.
+///
+/// Most code records into the process-wide [`global`] registry, which is
+/// **disabled by default**; `juggler metrics`, `juggler doctor`, tests and
+/// benches enable it explicitly. Local instances are handy for tests that
+/// must not observe each other's metrics.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    metrics: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// A registry with the given initial enabled state.
+    #[must_use]
+    pub fn new(enabled: bool) -> Self {
+        Registry {
+            enabled: AtomicBool::new(enabled),
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether handles obtained *now* will record.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the registry. Only affects handles obtained
+    /// after the call; live handles keep their recording state.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Zeroes every registered metric (registrations and help text are
+    /// kept). Live handles keep working against the zeroed cells.
+    pub fn reset(&self) {
+        let metrics = self.metrics.lock();
+        for entry in metrics.values() {
+            entry.cell.reset();
+        }
+    }
+
+    /// Registers (or looks up) a deterministic counter. Returns a no-op
+    /// handle when the registry is disabled, or when `name` is already
+    /// registered as a different kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        match self.cell(name, help, MetricClass::Deterministic, MetricKind::Counter) {
+            Some(Cell::Counter(c)) => Counter(Some(c)),
+            _ => Counter::noop(),
+        }
+    }
+
+    /// Registers (or looks up) a gauge of the given class. Returns a
+    /// no-op handle when the registry is disabled, or when `name` is
+    /// already registered as a different kind.
+    pub fn gauge(&self, name: &str, help: &str, class: MetricClass) -> Gauge {
+        match self.cell(name, help, class, MetricKind::Gauge) {
+            Some(Cell::Gauge(g)) => Gauge(Some(g)),
+            _ => Gauge::noop(),
+        }
+    }
+
+    /// Registers (or looks up) a deterministic log2 histogram. Returns a
+    /// no-op handle when the registry is disabled, or when `name` is
+    /// already registered as a different kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        match self.cell(
+            name,
+            help,
+            MetricClass::Deterministic,
+            MetricKind::Histogram,
+        ) {
+            Some(Cell::Histogram(h)) => Histogram(Some(h)),
+            _ => Histogram::noop(),
+        }
+    }
+
+    fn cell(&self, name: &str, help: &str, class: MetricClass, kind: MetricKind) -> Option<Cell> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut metrics = self.metrics.lock();
+        let entry = metrics.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            class,
+            cell: match kind {
+                MetricKind::Counter => Cell::Counter(Arc::new(CounterCell::default())),
+                MetricKind::Gauge => Cell::Gauge(Arc::new(GaugeCell::default())),
+                MetricKind::Histogram => Cell::Histogram(Arc::new(HistogramCell::new())),
+            },
+        });
+        if entry.cell.kind() != kind {
+            debug_assert!(false, "metric {name} re-registered as a different kind");
+            return None;
+        }
+        Some(match &entry.cell {
+            Cell::Counter(c) => Cell::Counter(Arc::clone(c)),
+            Cell::Gauge(g) => Cell::Gauge(Arc::clone(g)),
+            Cell::Histogram(h) => Cell::Histogram(Arc::clone(h)),
+        })
+    }
+
+    /// Takes a point-in-time snapshot, sorted by metric name. With
+    /// `include_timings = false` (the byte-stable default export),
+    /// [`MetricClass::Timing`] metrics are omitted.
+    #[must_use]
+    pub fn snapshot(&self, include_timings: bool) -> Snapshot {
+        let metrics = self.metrics.lock();
+        let mut out = Vec::with_capacity(metrics.len());
+        for (name, entry) in metrics.iter() {
+            if entry.class == MetricClass::Timing && !include_timings {
+                continue;
+            }
+            let value = match &entry.cell {
+                Cell::Counter(c) => MetricValue::Counter(c.value.load(Ordering::Relaxed)),
+                Cell::Gauge(g) => {
+                    MetricValue::Gauge(f64::from_bits(g.bits.load(Ordering::Relaxed)))
+                }
+                Cell::Histogram(h) => {
+                    let buckets: Vec<u64> = h
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect();
+                    let trim = buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+                    MetricValue::Histogram {
+                        buckets: buckets[..trim].to_vec(),
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        max: h.max.load(Ordering::Relaxed),
+                    }
+                }
+            };
+            out.push(Metric {
+                name: name.clone(),
+                help: entry.help.clone(),
+                class: entry.class,
+                value,
+            });
+        }
+        Snapshot { metrics: out }
+    }
+}
+
+/// The process-wide registry, disabled by default. `juggler doctor`,
+/// `juggler metrics`, tests and benches enable it explicitly via
+/// [`Registry::set_enabled`].
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(|| Registry::new(false))
+}
+
+/// One metric in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Registered name (e.g. `sim_cache_hits_total`).
+    pub name: String,
+    /// Help text supplied at registration.
+    pub help: String,
+    /// Deterministic vs timing classification.
+    pub class: MetricClass,
+    /// The recorded value.
+    pub value: MetricValue,
+}
+
+/// The value of one metric in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state; `buckets` is trimmed after the highest non-zero
+    /// bucket (bucket `i` counts values in `[2^i, 2^(i+1))`).
+    Histogram {
+        /// Per-bucket counts, trimmed.
+        buckets: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values (wrapping on overflow).
+        sum: u64,
+        /// Largest observed value.
+        max: u64,
+    },
+}
+
+/// A point-in-time, name-sorted view of a [`Registry`]. Both exporters
+/// produce byte-identical output for equal snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Metrics sorted by name.
+    pub metrics: Vec<Metric>,
+}
+
+impl Snapshot {
+    /// Looks up a metric by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Convenience: the value of a counter metric, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)?.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Histograms emit cumulative `_bucket{le="..."}` series with power-
+    /// of-two upper bounds, then `_sum` and `_count`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(self.metrics.len() * 128);
+        for m in &self.metrics {
+            let _ = writeln!(out, "# HELP {} {}", m.name, escape_prom_help(&m.help));
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {} counter", m.name);
+                    let _ = writeln!(out, "{} {v}", m.name);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", m.name);
+                    let _ = writeln!(out, "{} {}", m.name, fmt_prom_float(*v));
+                }
+                MetricValue::Histogram {
+                    buckets,
+                    count,
+                    sum,
+                    ..
+                } => {
+                    let _ = writeln!(out, "# TYPE {} histogram", m.name);
+                    let mut cumulative = 0u64;
+                    for (i, b) in buckets.iter().enumerate() {
+                        cumulative += b;
+                        // Bucket i covers [2^i, 2^(i+1)); the upper bound is
+                        // an exact integer (u128 so 2^64 cannot overflow).
+                        let le = 1u128 << (i + 1);
+                        let _ = writeln!(out, "{}_bucket{{le=\"{le}\"}} {cumulative}", m.name);
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {count}", m.name);
+                    let _ = writeln!(out, "{}_sum {sum}", m.name);
+                    let _ = writeln!(out, "{}_count {count}", m.name);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as JSON: `{"metrics": [...]}` with one object
+    /// per metric. Non-finite gauge values render as `null`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.metrics.len() * 128 + 16);
+        out.push_str("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let kind = match &m.value {
+                MetricValue::Counter(_) => MetricKind::Counter,
+                MetricValue::Gauge(_) => MetricKind::Gauge,
+                MetricValue::Histogram { .. } => MetricKind::Histogram,
+            };
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"class\":\"{}\",\"help\":\"{}\"",
+                escape_json(&m.name),
+                kind.label(),
+                m.class.label(),
+                escape_json(&m.help)
+            );
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, ",\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    if v.is_finite() {
+                        let _ = write!(out, ",\"value\":{v}");
+                    } else {
+                        out.push_str(",\"value\":null");
+                    }
+                }
+                MetricValue::Histogram {
+                    buckets,
+                    count,
+                    sum,
+                    max,
+                } => {
+                    let _ = write!(out, ",\"count\":{count},\"sum\":{sum},\"max\":{max}");
+                    out.push_str(",\"buckets\":[");
+                    for (j, b) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{b}");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Prometheus sample values are floats; counter and histogram series here
+/// are integers already, so this only formats gauges.
+fn fmt_prom_float(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_prom_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if c.is_control() => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_hands_out_noops() {
+        let reg = Registry::new(false);
+        let c = reg.counter("x_total", "a counter");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        assert!(reg.snapshot(true).metrics.is_empty(), "nothing registered");
+    }
+
+    #[test]
+    fn counters_accumulate_and_share_cells() {
+        let reg = Registry::new(true);
+        let a = reg.counter("x_total", "a counter");
+        let b = reg.counter("x_total", "a counter");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.snapshot(false).counter("x_total"), Some(4));
+    }
+
+    #[test]
+    fn kind_conflict_yields_noop() {
+        let reg = Registry::new(true);
+        let _c = reg.counter("x", "first registration wins");
+        // Release builds return a no-op handle; debug builds assert, so
+        // only exercise the conflict path when debug_assertions are off.
+        if !cfg!(debug_assertions) {
+            let g = reg.gauge("x", "conflicting kind", MetricClass::Deterministic);
+            g.set(1.0);
+            assert_eq!(g.get(), 0.0);
+        }
+    }
+
+    #[test]
+    fn gauge_stores_f64() {
+        let reg = Registry::new(true);
+        let g = reg.gauge("ratio", "a gauge", MetricClass::Deterministic);
+        g.set(0.375);
+        assert_eq!(g.get(), 0.375);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2_and_trims() {
+        let reg = Registry::new(true);
+        let h = reg.histogram("dur_us", "a histogram");
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(1024); // bucket 10
+        let snap = reg.snapshot(false);
+        match &snap.get("dur_us").expect("present").value {
+            MetricValue::Histogram {
+                buckets,
+                count,
+                sum,
+                max,
+            } => {
+                assert_eq!(buckets.len(), 11, "trimmed after highest non-zero");
+                assert_eq!(buckets[0], 2);
+                assert_eq!(buckets[1], 1);
+                assert_eq!(buckets[10], 1);
+                assert_eq!(*count, 4);
+                assert_eq!(*sum, 1027);
+                assert_eq!(*max, 1024);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registrations() {
+        let reg = Registry::new(true);
+        let c = reg.counter("x_total", "a counter");
+        c.add(5);
+        reg.reset();
+        assert_eq!(c.get(), 0, "live handle sees the zeroed cell");
+        assert_eq!(reg.snapshot(false).counter("x_total"), Some(0));
+        c.inc();
+        assert_eq!(reg.snapshot(false).counter("x_total"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_sorts_and_filters_timings() {
+        let reg = Registry::new(true);
+        reg.gauge("z_seconds", "wall clock", MetricClass::Timing)
+            .set(1.25);
+        reg.counter("a_total", "a counter").inc();
+        let stable = reg.snapshot(false);
+        assert_eq!(stable.metrics.len(), 1);
+        assert_eq!(stable.metrics[0].name, "a_total");
+        let full = reg.snapshot(true);
+        let names: Vec<&str> = full.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["a_total", "z_seconds"], "name-sorted");
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let reg = Registry::new(true);
+        reg.counter("hits_total", "cache hits").add(7);
+        reg.gauge("err_ratio", "relative error", MetricClass::Deterministic)
+            .set(0.5);
+        let h = reg.histogram("dur_us", "durations");
+        h.record(1);
+        h.record(3);
+        let prom = reg.snapshot(false).to_prometheus();
+        assert!(prom.contains("# HELP hits_total cache hits\n"), "{prom}");
+        assert!(prom.contains("# TYPE hits_total counter\nhits_total 7\n"));
+        assert!(prom.contains("# TYPE err_ratio gauge\nerr_ratio 0.5\n"));
+        assert!(prom.contains("dur_us_bucket{le=\"2\"} 1\n"));
+        assert!(prom.contains("dur_us_bucket{le=\"4\"} 2\n"), "cumulative");
+        assert!(prom.contains("dur_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(prom.contains("dur_us_sum 4\n"));
+        assert!(prom.contains("dur_us_count 2\n"));
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let reg = Registry::new(true);
+        reg.counter("hits_total", "cache \"hits\"").add(7);
+        reg.gauge("bad", "non-finite", MetricClass::Deterministic)
+            .set(f64::NAN);
+        let json = reg.snapshot(false).to_json();
+        assert!(json.starts_with("{\"metrics\":["), "{json}");
+        assert!(json.contains("\"name\":\"hits_total\""));
+        assert!(json.contains("\"help\":\"cache \\\"hits\\\"\""), "{json}");
+        assert!(json.contains("\"value\":7"));
+        assert!(json.contains("\"value\":null"), "NaN gauge → null");
+    }
+
+    #[test]
+    fn equal_snapshots_export_identically() {
+        let build = || {
+            let reg = Registry::new(true);
+            reg.counter("a_total", "a").add(2);
+            reg.histogram("h_us", "h").record(9);
+            reg.snapshot(false)
+        };
+        let (s1, s2) = (build(), build());
+        assert_eq!(s1.to_prometheus(), s2.to_prometheus());
+        assert_eq!(s1.to_json(), s2.to_json());
+    }
+
+    #[test]
+    fn global_registry_starts_disabled() {
+        // Other tests in this binary do not touch the global registry, so
+        // this observation is race-free.
+        assert!(!global().enabled());
+        let c = global().counter("unused_total", "never records");
+        c.inc();
+        assert_eq!(c.get(), 0);
+    }
+}

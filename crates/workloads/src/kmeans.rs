@@ -64,9 +64,29 @@ impl Workload for KMeans {
         let agg = ComputeCost::new(0.004, 0.0, 1.0e-9);
 
         let mut b = AppBuilder::new("kmeans");
-        let d0 = b.source("input", SourceFormat::DistributedFs, p.examples, p.input_bytes(), parts);
-        let d1 = b.narrow("points", NarrowKind::Map, &[d0], p.examples, bytes(8.0 * ef), parse);
-        let seed = b.narrow("initCenters", NarrowKind::Sample, &[d1], u64::from(self.clusters), bytes(8.0 * f * k), tiny);
+        let d0 = b.source(
+            "input",
+            SourceFormat::DistributedFs,
+            p.examples,
+            p.input_bytes(),
+            parts,
+        );
+        let d1 = b.narrow(
+            "points",
+            NarrowKind::Map,
+            &[d0],
+            p.examples,
+            bytes(8.0 * ef),
+            parse,
+        );
+        let seed = b.narrow(
+            "initCenters",
+            NarrowKind::Sample,
+            &[d1],
+            u64::from(self.clusters),
+            bytes(8.0 * f * k),
+            tiny,
+        );
         b.job("takeSample", seed);
 
         for i in 0..iters {
@@ -87,7 +107,14 @@ impl Workload for KMeans {
                 self.clusters.max(1),
                 agg,
             );
-            let moved = b.narrow(format!("movement[{i}]"), NarrowKind::Map, &[centers], 1, 8, tiny);
+            let moved = b.narrow(
+                format!("movement[{i}]"),
+                NarrowKind::Map,
+                &[centers],
+                1,
+                8,
+                tiny,
+            );
             b.job("collect", moved);
         }
         let cost_view = b.narrow("wssse", NarrowKind::Map, &[d1], 1, 8, tiny);
@@ -125,10 +152,14 @@ mod tests {
             let mut sim = w.sim_params();
             sim.noise = NoiseParams::NONE;
             sim.cluster_jitter_s = 0.0;
-            Engine::new(&app, ClusterConfig::new(2, MachineSpec::private_cluster()), sim)
-                .run(&app.default_schedule().clone(), RunOptions::default())
-                .unwrap()
-                .total_time_s
+            Engine::new(
+                &app,
+                ClusterConfig::new(2, MachineSpec::private_cluster()),
+                sim,
+            )
+            .run(&app.default_schedule().clone(), RunOptions::default())
+            .unwrap()
+            .total_time_s
         };
         let t5 = run(5);
         let t40 = run(40);

@@ -85,10 +85,7 @@ pub trait Workload: Send + Sync {
         let p = self.paper_params();
         let e = p.examples as f64;
         let f = p.features as f64;
-        (
-            vec![e / 5.0, e / 2.0, e],
-            vec![f / 5.0, f / 2.0, f],
-        )
+        (vec![e / 5.0, e / 2.0, e], vec![f / 5.0, f / 2.0, f])
     }
 }
 

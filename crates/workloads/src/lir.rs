@@ -64,12 +64,39 @@ impl Workload for LinearRegression {
         let agg = ComputeCost::new(0.004, 0.0, 1.0e-9);
 
         let mut b = AppBuilder::new("lir");
-        let d0 = b.source("input", SourceFormat::DistributedFs, p.examples, p.input_bytes(), parts);
+        let d0 = b.source(
+            "input",
+            SourceFormat::DistributedFs,
+            p.examples,
+            p.input_bytes(),
+            parts,
+        );
         // D1: the parsed input — 35.9 GB vs the 35.8 GB text at Table 1's
         // parameters, mirroring the paper's "caching the input dataset".
-        let d1 = b.narrow("parsed", NarrowKind::Map, &[d0], p.examples, bytes(7.47 * ef), parse);
-        let d2 = b.narrow("evalProjection", NarrowKind::Map, &[d1], p.examples, bytes(4.6 * ef), project);
-        let d3 = b.narrow("evalSplit", NarrowKind::Map, &[d2], p.examples, bytes(4.4 * ef), split);
+        let d1 = b.narrow(
+            "parsed",
+            NarrowKind::Map,
+            &[d0],
+            p.examples,
+            bytes(7.47 * ef),
+            parse,
+        );
+        let d2 = b.narrow(
+            "evalProjection",
+            NarrowKind::Map,
+            &[d1],
+            p.examples,
+            bytes(4.6 * ef),
+            project,
+        );
+        let d3 = b.narrow(
+            "evalSplit",
+            NarrowKind::Map,
+            &[d2],
+            p.examples,
+            bytes(4.4 * ef),
+            split,
+        );
         let v0 = b.narrow("numExamples", NarrowKind::Map, &[d1], 1, 8, tiny); // 4
 
         b.job("count", v0);
@@ -80,14 +107,71 @@ impl Workload for LinearRegression {
 
         // Iterations read the (by default uncached!) parsed input directly.
         for i in 0..iters {
-            let dot = b.narrow(format!("dot[{i}]"), NarrowKind::Map, &[d1], p.examples, bytes(16.0 * e), dot_scan);
-            let resid = b.narrow(format!("residuals[{i}]"), NarrowKind::Map, &[dot], p.examples, bytes(8.0 * e), tiny);
-            let sq = b.narrow(format!("squares[{i}]"), NarrowKind::Map, &[resid], p.examples, bytes(8.0 * e), tiny);
-            let gp = b.narrow(format!("gradParts[{i}]"), NarrowKind::Map, &[sq], p.examples, bytes(8.0 * e), tiny);
-            let grad = b.wide_with_partitions(format!("gradient[{i}]"), WideKind::TreeAggregate, &[gp], 1, bytes(8.0 * f), 1, agg);
-            let step = b.narrow(format!("step[{i}]"), NarrowKind::Map, &[grad], 1, bytes(8.0 * f), tiny);
-            let reg = b.narrow(format!("regularized[{i}]"), NarrowKind::Map, &[step], 1, bytes(8.0 * f), tiny);
-            let w = b.narrow(format!("weights[{i}]"), NarrowKind::Map, &[reg], 1, bytes(8.0 * f), tiny);
+            let dot = b.narrow(
+                format!("dot[{i}]"),
+                NarrowKind::Map,
+                &[d1],
+                p.examples,
+                bytes(16.0 * e),
+                dot_scan,
+            );
+            let resid = b.narrow(
+                format!("residuals[{i}]"),
+                NarrowKind::Map,
+                &[dot],
+                p.examples,
+                bytes(8.0 * e),
+                tiny,
+            );
+            let sq = b.narrow(
+                format!("squares[{i}]"),
+                NarrowKind::Map,
+                &[resid],
+                p.examples,
+                bytes(8.0 * e),
+                tiny,
+            );
+            let gp = b.narrow(
+                format!("gradParts[{i}]"),
+                NarrowKind::Map,
+                &[sq],
+                p.examples,
+                bytes(8.0 * e),
+                tiny,
+            );
+            let grad = b.wide_with_partitions(
+                format!("gradient[{i}]"),
+                WideKind::TreeAggregate,
+                &[gp],
+                1,
+                bytes(8.0 * f),
+                1,
+                agg,
+            );
+            let step = b.narrow(
+                format!("step[{i}]"),
+                NarrowKind::Map,
+                &[grad],
+                1,
+                bytes(8.0 * f),
+                tiny,
+            );
+            let reg = b.narrow(
+                format!("regularized[{i}]"),
+                NarrowKind::Map,
+                &[step],
+                1,
+                bytes(8.0 * f),
+                tiny,
+            );
+            let w = b.narrow(
+                format!("weights[{i}]"),
+                NarrowKind::Map,
+                &[reg],
+                1,
+                bytes(8.0 * f),
+                tiny,
+            );
             let conv = b.narrow(format!("converged[{i}]"), NarrowKind::Map, &[w], 1, 8, tiny);
             b.job("treeAggregate", conv);
         }
@@ -104,13 +188,33 @@ impl Workload for LinearRegression {
         // recompute chains are a 1 kB read, so they never become hotspots.
         let meta_cost = ComputeCost::new(0.000_05, 0.0, 1.0e-11);
         for block in 0..2 {
-            let src = b.source(format!("meta{block}"), SourceFormat::DistributedFs, 32, 1024, 1);
+            let src = b.source(
+                format!("meta{block}"),
+                SourceFormat::DistributedFs,
+                32,
+                1024,
+                1,
+            );
             let mut prev = src;
             for k in 0..5 {
-                prev = b.narrow(format!("meta{block}.step{k}"), NarrowKind::Map, &[prev], 32, 1024, meta_cost);
+                prev = b.narrow(
+                    format!("meta{block}.step{k}"),
+                    NarrowKind::Map,
+                    &[prev],
+                    32,
+                    1024,
+                    meta_cost,
+                );
             }
             b.job("collect", prev);
-            let view = b.narrow(format!("meta{block}.report"), NarrowKind::Map, &[prev], 1, 8, tiny);
+            let view = b.narrow(
+                format!("meta{block}.report"),
+                NarrowKind::Map,
+                &[prev],
+                1,
+                8,
+                tiny,
+            );
             b.job("collect", view);
         }
 
@@ -143,7 +247,10 @@ mod tests {
     #[test]
     fn default_schedule_is_empty() {
         let app = LinearRegression.build(&LinearRegression.paper_params());
-        assert!(app.default_schedule().is_empty(), "HiBench LIR caches nothing");
+        assert!(
+            app.default_schedule().is_empty(),
+            "HiBench LIR caches nothing"
+        );
     }
 
     #[test]
@@ -159,7 +266,11 @@ mod tests {
         let app = LinearRegression.build(&p);
         let la = LineageAnalysis::new(&app);
         let n = la.computation_counts();
-        assert_eq!(n[1] as u32, 2 + 4 + 2, "n(D1) = count + split + iters + evals");
+        assert_eq!(
+            n[1] as u32,
+            2 + 4 + 2,
+            "n(D1) = count + split + iters + evals"
+        );
         assert_eq!(n[3] as u32, 3, "n(D3) = split-check + 2 eval jobs");
     }
 

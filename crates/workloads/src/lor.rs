@@ -70,21 +70,93 @@ impl Workload for LogisticRegression {
         let agg = ComputeCost::new(0.004, 0.0, 1.0e-9);
 
         let mut b = AppBuilder::new("lor");
-        let d0 = b.source("input", SourceFormat::DistributedFs, p.examples, p.input_bytes(), parts);
-        let d1 = b.narrow("parsed", NarrowKind::Map, &[d0], p.examples, bytes(7.4485 * ef), parse);
-        let d2 = b.narrow("points", NarrowKind::Map, &[d1], p.examples, bytes(4.4915 * ef), to_points);
+        let d0 = b.source(
+            "input",
+            SourceFormat::DistributedFs,
+            p.examples,
+            p.input_bytes(),
+            parts,
+        );
+        let d1 = b.narrow(
+            "parsed",
+            NarrowKind::Map,
+            &[d0],
+            p.examples,
+            bytes(7.4485 * ef),
+            parse,
+        );
+        let d2 = b.narrow(
+            "points",
+            NarrowKind::Map,
+            &[d1],
+            p.examples,
+            bytes(4.4915 * ef),
+            to_points,
+        );
 
         // ids 3..=10: pre-training and final-summary chains (each used once).
         let v1 = b.narrow("numExamples", NarrowKind::Map, &[d1], 1, 8, tiny); // 3
         let v2 = b.narrow("numFeatures", NarrowKind::Map, &[d2], 1, 8, tiny); // 4
-        let s1 = b.narrow("colStats", NarrowKind::Map, &[d2], p.examples, bytes(16.0 * f), tiny); // 5
-        let s2 = b.wide_with_partitions("colStatsAgg", WideKind::TreeAggregate, &[s1], 1, bytes(16.0 * f), 1, agg); // 6
-        let w1 = b.narrow("weightSeed", NarrowKind::Map, &[d2], p.examples, bytes(8.0 * f), tiny); // 7
-        let w2 = b.wide_with_partitions("weightInit", WideKind::TreeAggregate, &[w1], 1, bytes(8.0 * f), 1, agg); // 8
-        let f1 = b.narrow("summary", NarrowKind::Map, &[d1], p.examples, bytes(8.0 * e), tiny); // 9
-        let f2 = b.wide_with_partitions("summaryAgg", WideKind::TreeAggregate, &[f1], 1, 1024, 1, agg); // 10
+        let s1 = b.narrow(
+            "colStats",
+            NarrowKind::Map,
+            &[d2],
+            p.examples,
+            bytes(16.0 * f),
+            tiny,
+        ); // 5
+        let s2 = b.wide_with_partitions(
+            "colStatsAgg",
+            WideKind::TreeAggregate,
+            &[s1],
+            1,
+            bytes(16.0 * f),
+            1,
+            agg,
+        ); // 6
+        let w1 = b.narrow(
+            "weightSeed",
+            NarrowKind::Map,
+            &[d2],
+            p.examples,
+            bytes(8.0 * f),
+            tiny,
+        ); // 7
+        let w2 = b.wide_with_partitions(
+            "weightInit",
+            WideKind::TreeAggregate,
+            &[w1],
+            1,
+            bytes(8.0 * f),
+            1,
+            agg,
+        ); // 8
+        let f1 = b.narrow(
+            "summary",
+            NarrowKind::Map,
+            &[d1],
+            p.examples,
+            bytes(8.0 * e),
+            tiny,
+        ); // 9
+        let f2 = b.wide_with_partitions(
+            "summaryAgg",
+            WideKind::TreeAggregate,
+            &[f1],
+            1,
+            1024,
+            1,
+            agg,
+        ); // 10
 
-        let d11 = b.narrow("features", NarrowKind::Map, &[d2], p.examples, bytes(4.4929 * ef), to_features); // 11
+        let d11 = b.narrow(
+            "features",
+            NarrowKind::Map,
+            &[d2],
+            p.examples,
+            bytes(4.4929 * ef),
+            to_features,
+        ); // 11
 
         // Pre-training jobs, in execution order.
         b.job("count", v1);
@@ -95,14 +167,58 @@ impl Workload for LogisticRegression {
         // Iterations: full 4-dataset chains except the last (2 datasets),
         // which collects the model — 4·(iters−1) + 2 datasets.
         for i in 0..iters.saturating_sub(1) {
-            let margin = b.narrow(format!("margins[{i}]"), NarrowKind::Map, &[d11], p.examples, bytes(16.0 * e), margin_scan);
-            let loss = b.narrow(format!("loss[{i}]"), NarrowKind::Map, &[margin], p.examples, bytes(8.0 * e), tiny);
-            let grad = b.wide_with_partitions(format!("gradient[{i}]"), WideKind::TreeAggregate, &[loss], 1, bytes(8.0 * f), 1, agg);
-            let conv = b.narrow(format!("converged[{i}]"), NarrowKind::Map, &[grad], 1, 8, tiny);
+            let margin = b.narrow(
+                format!("margins[{i}]"),
+                NarrowKind::Map,
+                &[d11],
+                p.examples,
+                bytes(16.0 * e),
+                margin_scan,
+            );
+            let loss = b.narrow(
+                format!("loss[{i}]"),
+                NarrowKind::Map,
+                &[margin],
+                p.examples,
+                bytes(8.0 * e),
+                tiny,
+            );
+            let grad = b.wide_with_partitions(
+                format!("gradient[{i}]"),
+                WideKind::TreeAggregate,
+                &[loss],
+                1,
+                bytes(8.0 * f),
+                1,
+                agg,
+            );
+            let conv = b.narrow(
+                format!("converged[{i}]"),
+                NarrowKind::Map,
+                &[grad],
+                1,
+                8,
+                tiny,
+            );
             b.job("treeAggregate", conv);
         }
-        let margin = b.narrow("margins[last]", NarrowKind::Map, &[d11], p.examples, bytes(16.0 * e), margin_scan);
-        let model = b.wide_with_partitions("model", WideKind::TreeAggregate, &[margin], 1, bytes(8.0 * f), 1, agg);
+        let margin = b.narrow(
+            "margins[last]",
+            NarrowKind::Map,
+            &[d11],
+            p.examples,
+            bytes(16.0 * e),
+            margin_scan,
+        );
+        let model = b.wide_with_partitions(
+            "model",
+            WideKind::TreeAggregate,
+            &[margin],
+            1,
+            bytes(8.0 * f),
+            1,
+            agg,
+        );
         b.job("collect", model);
 
         // Final summary job (runs last, keeps D1 alive beyond D11's uses —

@@ -77,24 +77,124 @@ impl Workload for Pca {
         let agg = ComputeCost::new(0.004, 0.0, 1.0e-9);
 
         let mut b = AppBuilder::new("pca");
-        let d0 = b.source("input", SourceFormat::DistributedFs, p.examples, p.input_bytes(), parts);
-        let d1 = b.narrow("parsed", NarrowKind::Map, &[d0], p.examples, bytes(8.2 * ef), parse);
-        let d2 = b.narrow("vectors", NarrowKind::Map, &[d1], p.examples, bytes(8.2 * ef), to_dense);
+        let d0 = b.source(
+            "input",
+            SourceFormat::DistributedFs,
+            p.examples,
+            p.input_bytes(),
+            parts,
+        );
+        let d1 = b.narrow(
+            "parsed",
+            NarrowKind::Map,
+            &[d0],
+            p.examples,
+            bytes(8.2 * ef),
+            parse,
+        );
+        let d2 = b.narrow(
+            "vectors",
+            NarrowKind::Map,
+            &[d1],
+            p.examples,
+            bytes(8.2 * ef),
+            to_dense,
+        );
         let v0 = b.narrow("numRows", NarrowKind::Map, &[d1], 1, 8, tiny); // 3
 
         // ids 4..=12: three pre-processing chains over D2 (used once each).
-        let m1 = b.narrow("colMeans", NarrowKind::Map, &[d2], p.examples, bytes(8.0 * f), tiny); // 4
-        let m2 = b.wide_with_partitions("colMeansAgg", WideKind::TreeAggregate, &[m1], 1, bytes(8.0 * f), 1, agg); // 5
-        let n1 = b.narrow("colNorms", NarrowKind::Map, &[d2], p.examples, bytes(8.0 * f), tiny); // 6
-        let n2 = b.narrow("colNormsSq", NarrowKind::Map, &[n1], p.examples, bytes(8.0 * f), tiny); // 7
-        let n3 = b.wide_with_partitions("colNormsAgg", WideKind::TreeAggregate, &[n2], 1, bytes(8.0 * f), 1, agg); // 8
-        let s1 = b.narrow("scaleSeed", NarrowKind::Map, &[d2], p.examples, bytes(8.0 * f), tiny); // 9
-        let s2 = b.narrow("scaleSq", NarrowKind::Map, &[s1], p.examples, bytes(8.0 * f), tiny); // 10
-        let s3 = b.narrow("scaleNorm", NarrowKind::Map, &[s2], p.examples, bytes(8.0 * f), tiny); // 11
-        let s4 = b.wide_with_partitions("scaleAgg", WideKind::TreeAggregate, &[s3], 1, bytes(8.0 * f), 1, agg); // 12
+        let m1 = b.narrow(
+            "colMeans",
+            NarrowKind::Map,
+            &[d2],
+            p.examples,
+            bytes(8.0 * f),
+            tiny,
+        ); // 4
+        let m2 = b.wide_with_partitions(
+            "colMeansAgg",
+            WideKind::TreeAggregate,
+            &[m1],
+            1,
+            bytes(8.0 * f),
+            1,
+            agg,
+        ); // 5
+        let n1 = b.narrow(
+            "colNorms",
+            NarrowKind::Map,
+            &[d2],
+            p.examples,
+            bytes(8.0 * f),
+            tiny,
+        ); // 6
+        let n2 = b.narrow(
+            "colNormsSq",
+            NarrowKind::Map,
+            &[n1],
+            p.examples,
+            bytes(8.0 * f),
+            tiny,
+        ); // 7
+        let n3 = b.wide_with_partitions(
+            "colNormsAgg",
+            WideKind::TreeAggregate,
+            &[n2],
+            1,
+            bytes(8.0 * f),
+            1,
+            agg,
+        ); // 8
+        let s1 = b.narrow(
+            "scaleSeed",
+            NarrowKind::Map,
+            &[d2],
+            p.examples,
+            bytes(8.0 * f),
+            tiny,
+        ); // 9
+        let s2 = b.narrow(
+            "scaleSq",
+            NarrowKind::Map,
+            &[s1],
+            p.examples,
+            bytes(8.0 * f),
+            tiny,
+        ); // 10
+        let s3 = b.narrow(
+            "scaleNorm",
+            NarrowKind::Map,
+            &[s2],
+            p.examples,
+            bytes(8.0 * f),
+            tiny,
+        ); // 11
+        let s4 = b.wide_with_partitions(
+            "scaleAgg",
+            WideKind::TreeAggregate,
+            &[s3],
+            1,
+            bytes(8.0 * f),
+            1,
+            agg,
+        ); // 12
 
-        let d13 = b.narrow("rowMatrix", NarrowKind::Map, &[d2], p.examples, bytes(8.2 * ef), normalize); // 13
-        let d14 = b.narrow("gramStage", NarrowKind::Map, &[d13], p.examples, bytes(8.5 * ef), staging); // 14
+        let d13 = b.narrow(
+            "rowMatrix",
+            NarrowKind::Map,
+            &[d2],
+            p.examples,
+            bytes(8.2 * ef),
+            normalize,
+        ); // 13
+        let d14 = b.narrow(
+            "gramStage",
+            NarrowKind::Map,
+            &[d13],
+            p.examples,
+            bytes(8.5 * ef),
+            staging,
+        ); // 14
 
         b.job("count", v0);
         b.job("treeAggregate", m2);
@@ -103,7 +203,14 @@ impl Workload for Pca {
 
         // 100 power iterations × 18 datasets each (one job per iteration).
         for i in 0..iters {
-            let mut prev = b.narrow(format!("gram[{i}].mul0"), NarrowKind::Map, &[d14], p.examples, bytes(8.0 * f), gram_scan);
+            let mut prev = b.narrow(
+                format!("gram[{i}].mul0"),
+                NarrowKind::Map,
+                &[d14],
+                p.examples,
+                bytes(8.0 * f),
+                gram_scan,
+            );
             for k in 1..16 {
                 prev = b.narrow(
                     format!("gram[{i}].mul{k}"),
@@ -114,14 +221,36 @@ impl Workload for Pca {
                     tiny,
                 );
             }
-            let reduced = b.wide_with_partitions(format!("gram[{i}].agg"), WideKind::TreeAggregate, &[prev], 1, bytes(8.0 * f), 1, agg);
-            let conv = b.narrow(format!("gram[{i}].converged"), NarrowKind::Map, &[reduced], 1, 8, tiny);
+            let reduced = b.wide_with_partitions(
+                format!("gram[{i}].agg"),
+                WideKind::TreeAggregate,
+                &[prev],
+                1,
+                bytes(8.0 * f),
+                1,
+                agg,
+            );
+            let conv = b.narrow(
+                format!("gram[{i}].converged"),
+                NarrowKind::Map,
+                &[reduced],
+                1,
+                8,
+                tiny,
+            );
             b.job("treeAggregate", conv);
         }
 
         // Eigenvector extraction: two jobs over 18 fresh datasets.
         for block in 0..2 {
-            let mut prev = b.narrow(format!("eigen{block}.project"), NarrowKind::Map, &[d14], p.examples, bytes(8.0 * f), gram_scan);
+            let mut prev = b.narrow(
+                format!("eigen{block}.project"),
+                NarrowKind::Map,
+                &[d14],
+                p.examples,
+                bytes(8.0 * f),
+                gram_scan,
+            );
             for k in 1..8 {
                 prev = b.narrow(
                     format!("eigen{block}.step{k}"),
@@ -132,7 +261,15 @@ impl Workload for Pca {
                     tiny,
                 );
             }
-            let out = b.wide_with_partitions(format!("eigen{block}.agg"), WideKind::TreeAggregate, &[prev], 1, bytes(8.0 * f), 1, agg);
+            let out = b.wide_with_partitions(
+                format!("eigen{block}.agg"),
+                WideKind::TreeAggregate,
+                &[prev],
+                1,
+                bytes(8.0 * f),
+                1,
+                agg,
+            );
             b.job("collect", out);
         }
 
@@ -154,7 +291,13 @@ mod tests {
         let inter = la.intermediates();
         assert_eq!(
             inter,
-            vec![DatasetId(0), DatasetId(1), DatasetId(2), DatasetId(13), DatasetId(14)],
+            vec![
+                DatasetId(0),
+                DatasetId(1),
+                DatasetId(2),
+                DatasetId(13),
+                DatasetId(14)
+            ],
             "Table 1: 5 intermediates"
         );
     }

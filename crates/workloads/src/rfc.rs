@@ -66,43 +66,165 @@ impl Workload for RandomForest {
         let agg = ComputeCost::new(0.004, 0.0, 1.0e-9);
 
         let mut b = AppBuilder::new("rfc");
-        let d0 = b.source("input", SourceFormat::DistributedFs, p.examples, p.input_bytes(), parts);
-        let d1 = b.narrow("parsed", NarrowKind::Map, &[d0], p.examples, bytes(7.30 * ef), parse);
-        let d2 = b.narrow("testSplit", NarrowKind::Map, &[d1], p.examples / 3, bytes(2.60 * ef), test_split);
-        let d3 = b.narrow("trainRaw", NarrowKind::Map, &[d1], p.examples, bytes(5.96 * ef), train_raw);
-        let d4 = b.narrow("trainMeta", NarrowKind::Map, &[d3], p.examples, bytes(5.90 * ef), train_meta);
-        let d5 = b.narrow("treePoints", NarrowKind::Map, &[d4], p.examples, bytes(5.90 * ef), tree_points);
+        let d0 = b.source(
+            "input",
+            SourceFormat::DistributedFs,
+            p.examples,
+            p.input_bytes(),
+            parts,
+        );
+        let d1 = b.narrow(
+            "parsed",
+            NarrowKind::Map,
+            &[d0],
+            p.examples,
+            bytes(7.30 * ef),
+            parse,
+        );
+        let d2 = b.narrow(
+            "testSplit",
+            NarrowKind::Map,
+            &[d1],
+            p.examples / 3,
+            bytes(2.60 * ef),
+            test_split,
+        );
+        let d3 = b.narrow(
+            "trainRaw",
+            NarrowKind::Map,
+            &[d1],
+            p.examples,
+            bytes(5.96 * ef),
+            train_raw,
+        );
+        let d4 = b.narrow(
+            "trainMeta",
+            NarrowKind::Map,
+            &[d3],
+            p.examples,
+            bytes(5.90 * ef),
+            train_meta,
+        );
+        let d5 = b.narrow(
+            "treePoints",
+            NarrowKind::Map,
+            &[d4],
+            p.examples,
+            bytes(5.90 * ef),
+            tree_points,
+        );
 
         // ids 6..=10: the five-step treePoints statistics chain (one job).
-        let mut stat = b.narrow("tpStats0", NarrowKind::Map, &[d5], p.examples, bytes(8.0 * f), tiny); // 6
+        let mut stat = b.narrow(
+            "tpStats0",
+            NarrowKind::Map,
+            &[d5],
+            p.examples,
+            bytes(8.0 * f),
+            tiny,
+        ); // 6
         for k in 1..4 {
-            stat = b.narrow(format!("tpStats{k}"), NarrowKind::Map, &[stat], p.examples, bytes(8.0 * f), tiny); // 7..9
+            stat = b.narrow(
+                format!("tpStats{k}"),
+                NarrowKind::Map,
+                &[stat],
+                p.examples,
+                bytes(8.0 * f),
+                tiny,
+            ); // 7..9
         }
-        let stat_agg = b.wide_with_partitions("tpStatsAgg", WideKind::TreeAggregate, &[stat], 1, bytes(8.0 * f), 1, agg); // 10
+        let stat_agg = b.wide_with_partitions(
+            "tpStatsAgg",
+            WideKind::TreeAggregate,
+            &[stat],
+            1,
+            bytes(8.0 * f),
+            1,
+            agg,
+        ); // 10
 
-        let d11 = b.narrow("baggedPrep", NarrowKind::Map, &[d5], p.examples, bytes(4.30 * ef), bag_prep); // 11
-        let d12 = b.narrow("baggedInput", NarrowKind::Map, &[d11], p.examples, bytes(5.50 * ef), bagging); // 12
+        let d11 = b.narrow(
+            "baggedPrep",
+            NarrowKind::Map,
+            &[d5],
+            p.examples,
+            bytes(4.30 * ef),
+            bag_prep,
+        ); // 11
+        let d12 = b.narrow(
+            "baggedInput",
+            NarrowKind::Map,
+            &[d11],
+            p.examples,
+            bytes(5.50 * ef),
+            bagging,
+        ); // 12
 
         b.job("treeAggregate", stat_agg);
         b.job("count", d12); // direct action on the bagged input
 
         // Trees: the first runs a 4-dataset pipeline, the rest 3 each.
         for t in 0..trees {
-            let stats = b.narrow(format!("tree{t}.nodeStats"), NarrowKind::Map, &[d12], p.examples, bytes(8.0 * f), node_scan);
-            let splits = b.wide_with_partitions(format!("tree{t}.bestSplits"), WideKind::TreeAggregate, &[stats], 1, bytes(8.0 * f), 1, agg);
+            let stats = b.narrow(
+                format!("tree{t}.nodeStats"),
+                NarrowKind::Map,
+                &[d12],
+                p.examples,
+                bytes(8.0 * f),
+                node_scan,
+            );
+            let splits = b.wide_with_partitions(
+                format!("tree{t}.bestSplits"),
+                WideKind::TreeAggregate,
+                &[stats],
+                1,
+                bytes(8.0 * f),
+                1,
+                agg,
+            );
             b.job("treeAggregate", splits);
             if t == 0 {
-                let upd = b.narrow(format!("tree{t}.update"), NarrowKind::Map, &[d12], p.examples, bytes(8.0 * e), node_scan);
-                let model = b.wide_with_partitions(format!("tree{t}.model"), WideKind::TreeAggregate, &[upd], 1, bytes(8.0 * f), 1, agg);
+                let upd = b.narrow(
+                    format!("tree{t}.update"),
+                    NarrowKind::Map,
+                    &[d12],
+                    p.examples,
+                    bytes(8.0 * e),
+                    node_scan,
+                );
+                let model = b.wide_with_partitions(
+                    format!("tree{t}.model"),
+                    WideKind::TreeAggregate,
+                    &[upd],
+                    1,
+                    bytes(8.0 * f),
+                    1,
+                    agg,
+                );
                 b.job("treeAggregate", model);
             } else {
-                let model = b.wide_with_partitions(format!("tree{t}.model"), WideKind::TreeAggregate, &[d12], 1, bytes(8.0 * f), 1, agg);
+                let model = b.wide_with_partitions(
+                    format!("tree{t}.model"),
+                    WideKind::TreeAggregate,
+                    &[d12],
+                    1,
+                    bytes(8.0 * f),
+                    1,
+                    agg,
+                );
                 b.job("treeAggregate", model);
             }
         }
 
         // Evaluation over the test split: two jobs, so D2 is intermediate.
-        let preds = b.narrow("predictions", NarrowKind::Map, &[d2], p.examples / 3, bytes(8.0 * e), tiny);
+        let preds = b.narrow(
+            "predictions",
+            NarrowKind::Map,
+            &[d2],
+            p.examples / 3,
+            bytes(8.0 * e),
+            tiny,
+        );
         let pred_view = b.narrow("predReport", NarrowKind::Map, &[preds], 1, 8, tiny);
         b.job("collect", pred_view);
         let accuracy = b.narrow("accuracy", NarrowKind::Map, &[d2], 1, 8, tiny);

@@ -67,13 +67,61 @@ impl Workload for SupportVectorMachine {
         let agg = ComputeCost::new(0.004, 0.0, 1.0e-9);
 
         let mut b = AppBuilder::new("svm");
-        let d0 = b.source("input", SourceFormat::DistributedFs, p.examples, p.input_bytes(), parts);
-        let d1 = b.narrow("parsed", NarrowKind::Map, &[d0], p.examples, bytes(7.4485 * ef), parse);
-        let d2 = b.narrow("points", NarrowKind::Map, &[d1], p.examples, bytes(4.462 * ef), to_points);
-        let d3 = b.narrow("validated", NarrowKind::Map, &[d2], p.examples, bytes(4.465 * ef), mid_chain);
-        let d4 = b.narrow("normalized", NarrowKind::Map, &[d3], p.examples, bytes(4.468 * ef), mid_chain);
-        let d5 = b.narrow("shifted", NarrowKind::Map, &[d4], p.examples, bytes(4.471 * ef), mid_chain);
-        let d6 = b.narrow("training", NarrowKind::Map, &[d5], p.examples, bytes(4.476 * ef), mid_chain);
+        let d0 = b.source(
+            "input",
+            SourceFormat::DistributedFs,
+            p.examples,
+            p.input_bytes(),
+            parts,
+        );
+        let d1 = b.narrow(
+            "parsed",
+            NarrowKind::Map,
+            &[d0],
+            p.examples,
+            bytes(7.4485 * ef),
+            parse,
+        );
+        let d2 = b.narrow(
+            "points",
+            NarrowKind::Map,
+            &[d1],
+            p.examples,
+            bytes(4.462 * ef),
+            to_points,
+        );
+        let d3 = b.narrow(
+            "validated",
+            NarrowKind::Map,
+            &[d2],
+            p.examples,
+            bytes(4.465 * ef),
+            mid_chain,
+        );
+        let d4 = b.narrow(
+            "normalized",
+            NarrowKind::Map,
+            &[d3],
+            p.examples,
+            bytes(4.468 * ef),
+            mid_chain,
+        );
+        let d5 = b.narrow(
+            "shifted",
+            NarrowKind::Map,
+            &[d4],
+            p.examples,
+            bytes(4.471 * ef),
+            mid_chain,
+        );
+        let d6 = b.narrow(
+            "training",
+            NarrowKind::Map,
+            &[d5],
+            p.examples,
+            bytes(4.476 * ef),
+            mid_chain,
+        );
         // A tiny metadata side input whose parsed form two configuration
         // jobs reuse — the remaining two intermediates of Table 1's nine.
         // Their recompute chains are a 1 kB read, so they never become
@@ -92,34 +140,122 @@ impl Workload for SupportVectorMachine {
 
         // 100 iterations × 5 datasets.
         for i in 0..iters {
-            let margin = b.narrow(format!("margins[{i}]"), NarrowKind::Map, &[d6], p.examples, bytes(16.0 * e), margin_scan);
-            let hinge = b.narrow(format!("hinge[{i}]"), NarrowKind::Map, &[margin], p.examples, bytes(8.0 * e), tiny);
-            let grad = b.wide_with_partitions(format!("gradient[{i}]"), WideKind::TreeAggregate, &[hinge], 1, bytes(8.0 * f), 1, agg);
-            let step = b.narrow(format!("step[{i}]"), NarrowKind::Map, &[grad], 1, bytes(8.0 * f), tiny);
-            let conv = b.narrow(format!("converged[{i}]"), NarrowKind::Map, &[step], 1, 8, tiny);
+            let margin = b.narrow(
+                format!("margins[{i}]"),
+                NarrowKind::Map,
+                &[d6],
+                p.examples,
+                bytes(16.0 * e),
+                margin_scan,
+            );
+            let hinge = b.narrow(
+                format!("hinge[{i}]"),
+                NarrowKind::Map,
+                &[margin],
+                p.examples,
+                bytes(8.0 * e),
+                tiny,
+            );
+            let grad = b.wide_with_partitions(
+                format!("gradient[{i}]"),
+                WideKind::TreeAggregate,
+                &[hinge],
+                1,
+                bytes(8.0 * f),
+                1,
+                agg,
+            );
+            let step = b.narrow(
+                format!("step[{i}]"),
+                NarrowKind::Map,
+                &[grad],
+                1,
+                bytes(8.0 * f),
+                tiny,
+            );
+            let conv = b.narrow(
+                format!("converged[{i}]"),
+                NarrowKind::Map,
+                &[step],
+                1,
+                8,
+                tiny,
+            );
             b.job("treeAggregate", conv);
         }
 
         // Post-training job A: AUC pipeline straight off the training set
         // (5 datasets, used once).
-        let scores = b.narrow("scoreAndLabels", NarrowKind::Map, &[d6], p.examples, bytes(16.0 * e), tiny);
-        let sorted = b.wide("scoresSorted", WideKind::SortByKey, &[scores], p.examples, bytes(16.0 * e), tiny);
-        let pos = b.narrow("positives", NarrowKind::Filter, &[sorted], p.examples / 2, bytes(8.0 * e), tiny);
-        let sums = b.wide_with_partitions("rankSums", WideKind::TreeAggregate, &[pos], 1, 1024, 1, agg);
+        let scores = b.narrow(
+            "scoreAndLabels",
+            NarrowKind::Map,
+            &[d6],
+            p.examples,
+            bytes(16.0 * e),
+            tiny,
+        );
+        let sorted = b.wide(
+            "scoresSorted",
+            WideKind::SortByKey,
+            &[scores],
+            p.examples,
+            bytes(16.0 * e),
+            tiny,
+        );
+        let pos = b.narrow(
+            "positives",
+            NarrowKind::Filter,
+            &[sorted],
+            p.examples / 2,
+            bytes(8.0 * e),
+            tiny,
+        );
+        let sums =
+            b.wide_with_partitions("rankSums", WideKind::TreeAggregate, &[pos], 1, 1024, 1, agg);
         let auc_view = b.narrow("aucReport", NarrowKind::Map, &[sums], 1, 8, tiny);
         b.job("collect", auc_view);
 
         // Post-training job B: confusion/metrics pipeline (4 datasets, own
         // lineage — nothing shared with job A).
-        let pairs = b.narrow("outcomePairs", NarrowKind::Map, &[d6], p.examples, bytes(8.0 * e), tiny);
-        let counts = b.wide_with_partitions("outcomeCounts", WideKind::ReduceByKey, &[pairs], 4, 64, 1, agg);
+        let pairs = b.narrow(
+            "outcomePairs",
+            NarrowKind::Map,
+            &[d6],
+            p.examples,
+            bytes(8.0 * e),
+            tiny,
+        );
+        let counts = b.wide_with_partitions(
+            "outcomeCounts",
+            WideKind::ReduceByKey,
+            &[pairs],
+            4,
+            64,
+            1,
+            agg,
+        );
         let metrics = b.narrow("metrics", NarrowKind::Map, &[counts], 4, 64, tiny);
         let metrics_view = b.narrow("metricsReport", NarrowKind::Map, &[metrics], 1, 8, tiny);
         b.job("collect", metrics_view);
 
         // Post-training job C: training-data summary straight off D1.
-        let sum1 = b.narrow("dataSummary", NarrowKind::Map, &[d1], p.examples, bytes(8.0 * e), tiny);
-        let sum2 = b.wide_with_partitions("dataSummaryAgg", WideKind::TreeAggregate, &[sum1], 1, 1024, 1, agg);
+        let sum1 = b.narrow(
+            "dataSummary",
+            NarrowKind::Map,
+            &[d1],
+            p.examples,
+            bytes(8.0 * e),
+            tiny,
+        );
+        let sum2 = b.wide_with_partitions(
+            "dataSummaryAgg",
+            WideKind::TreeAggregate,
+            &[sum1],
+            1,
+            1024,
+            1,
+            agg,
+        );
         b.job("collect", sum2);
 
         b.default_schedule(Schedule::persist_all([d2]));
@@ -175,7 +311,11 @@ mod tests {
         let n = la.computation_counts();
         assert_eq!(n[7], 2, "metadata side input read by both config jobs");
         assert_eq!(n[8], 2);
-        assert_eq!(n[1] as u32, 3 + 5, "n(D1) = iters + count + eval×2 + summary");
+        assert_eq!(
+            n[1] as u32,
+            3 + 5,
+            "n(D1) = iters + count + eval×2 + summary"
+        );
         assert_eq!(n[6] as u32, 3 + 2, "n(D6) = iters + eval×2");
     }
 }

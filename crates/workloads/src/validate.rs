@@ -40,9 +40,14 @@ impl std::fmt::Display for WorkloadIssue {
                 write!(f, "dataset `{dataset}` has a non-monotone size law")
             }
             WorkloadIssue::NoIntermediates => write!(f, "no intermediate datasets to cache"),
-            WorkloadIssue::SampleNotSmall => write!(f, "sample parameters are not smaller than paper parameters"),
+            WorkloadIssue::SampleNotSmall => {
+                write!(f, "sample parameters are not smaller than paper parameters")
+            }
             WorkloadIssue::UnstableIntermediates => {
-                write!(f, "intermediate-dataset set differs between sample and paper scale")
+                write!(
+                    f,
+                    "intermediate-dataset set differs between sample and paper scale"
+                )
             }
         }
     }
@@ -61,20 +66,24 @@ pub fn validate_workload(w: &dyn Workload) -> Vec<WorkloadIssue> {
     }
 
     // Build at several scales; collect intermediate id-sets and sizes.
-    let scales = [sample, WorkloadParams::auto(paper.examples / 2, paper.features / 2, sample.iterations), paper];
+    let scales = [
+        sample,
+        WorkloadParams::auto(paper.examples / 2, paper.features / 2, sample.iterations),
+        paper,
+    ];
     let mut intermediate_names: Vec<Vec<String>> = Vec::new();
     let mut sizes: Vec<Vec<(String, u64)>> = Vec::new();
     for p in &scales {
         let app = w.build(p);
         if let Err(e) = app.validate() {
-            issues.push(WorkloadIssue::InvalidPlan { detail: e.to_string() });
+            issues.push(WorkloadIssue::InvalidPlan {
+                detail: e.to_string(),
+            });
             return issues;
         }
         let la = LineageAnalysis::new(&app);
         let inter = la.intermediates();
-        intermediate_names.push(
-            inter.iter().map(|&d| app.dataset(d).name.clone()).collect(),
-        );
+        intermediate_names.push(inter.iter().map(|&d| app.dataset(d).name.clone()).collect());
         sizes.push(
             inter
                 .iter()
@@ -140,14 +149,33 @@ mod tests {
             }
             fn build(&self, p: &WorkloadParams) -> Application {
                 let mut b = AppBuilder::new("oneshot");
-                let s = b.source("in", SourceFormat::DistributedFs, p.examples, p.input_bytes(), p.partitions);
-                let m = b.narrow("m", NarrowKind::Map, &[s], p.examples, p.input_bytes(), ComputeCost::FREE);
+                let s = b.source(
+                    "in",
+                    SourceFormat::DistributedFs,
+                    p.examples,
+                    p.input_bytes(),
+                    p.partitions,
+                );
+                let m = b.narrow(
+                    "m",
+                    NarrowKind::Map,
+                    &[s],
+                    p.examples,
+                    p.input_bytes(),
+                    ComputeCost::FREE,
+                );
                 b.job("count", m);
                 b.build().unwrap()
             }
         }
         let issues = validate_workload(&OneShot);
-        assert!(issues.contains(&WorkloadIssue::SampleNotSmall), "{issues:?}");
-        assert!(issues.contains(&WorkloadIssue::NoIntermediates), "{issues:?}");
+        assert!(
+            issues.contains(&WorkloadIssue::SampleNotSmall),
+            "{issues:?}"
+        );
+        assert!(
+            issues.contains(&WorkloadIssue::NoIntermediates),
+            "{issues:?}"
+        );
     }
 }

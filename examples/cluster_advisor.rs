@@ -32,7 +32,10 @@ fn main() {
             rs.schedule.notation(),
             recommended
         );
-        println!("{:>9}  {:>10}  {:>12}  {:>8}", "machines", "time", "cost (m-min)", "");
+        println!(
+            "{:>9}  {:>10}  {:>12}  {:>8}",
+            "machines", "time", "cost (m-min)", ""
+        );
         let mut best = (0u32, f64::INFINITY);
         let mut lines = Vec::new();
         for machines in 1..=trained.max_machines {
@@ -40,7 +43,14 @@ fn main() {
             sim.seed = 0xADB1 ^ u64::from(machines);
             let engine = Engine::new(&app, ClusterConfig::new(machines, trained.target_spec), sim);
             let report = engine
-                .run(&rs.schedule, RunOptions { collect_traces: false, partition_skew: 0.15, ..RunOptions::default() })
+                .run(
+                    &rs.schedule,
+                    RunOptions {
+                        collect_traces: false,
+                        partition_skew: 0.15,
+                        ..RunOptions::default()
+                    },
+                )
                 .expect("run succeeds");
             let cost = report.cost_machine_minutes();
             if cost < best.1 {

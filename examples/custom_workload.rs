@@ -49,15 +49,57 @@ impl Workload for ClickstreamScoring {
         let agg = ComputeCost::new(0.004, 0.0, 1.0e-9);
 
         let mut b = AppBuilder::new("clickstream");
-        let logs = b.source("clickLogs", SourceFormat::DistributedFs, p.examples, p.input_bytes(), parts);
-        let events = b.narrow("events", NarrowKind::Map, &[logs], p.examples, (6.8 * ef) as u64, parse);
-        let sessions = b.wide("sessions", WideKind::GroupByKey, &[events], p.examples / 4, (5.2 * ef) as u64, agg);
-        let matrix = b.narrow("featureMatrix", NarrowKind::Map, &[sessions], p.examples / 4, (4.1 * ef) as u64, light);
+        let logs = b.source(
+            "clickLogs",
+            SourceFormat::DistributedFs,
+            p.examples,
+            p.input_bytes(),
+            parts,
+        );
+        let events = b.narrow(
+            "events",
+            NarrowKind::Map,
+            &[logs],
+            p.examples,
+            (6.8 * ef) as u64,
+            parse,
+        );
+        let sessions = b.wide(
+            "sessions",
+            WideKind::GroupByKey,
+            &[events],
+            p.examples / 4,
+            (5.2 * ef) as u64,
+            agg,
+        );
+        let matrix = b.narrow(
+            "featureMatrix",
+            NarrowKind::Map,
+            &[sessions],
+            p.examples / 4,
+            (4.1 * ef) as u64,
+            light,
+        );
 
         // Iterative scoring over the feature matrix.
         for i in 0..p.iterations {
-            let scores = b.narrow(format!("scores[{i}]"), NarrowKind::Map, &[matrix], p.examples / 4, 16 * p.examples, scan);
-            let model = b.wide_with_partitions(format!("model[{i}]"), WideKind::TreeAggregate, &[scores], 1, 8 * p.features, 1, agg);
+            let scores = b.narrow(
+                format!("scores[{i}]"),
+                NarrowKind::Map,
+                &[matrix],
+                p.examples / 4,
+                16 * p.examples,
+                scan,
+            );
+            let model = b.wide_with_partitions(
+                format!("model[{i}]"),
+                WideKind::TreeAggregate,
+                &[scores],
+                1,
+                8 * p.features,
+                1,
+                agg,
+            );
             b.job("treeAggregate", model);
         }
 
@@ -96,7 +138,10 @@ fn main() {
 
     let p = w.paper_params();
     let menu = trained.recommend(p.e(), p.f());
-    println!("\nRecommendations at {} events x {} attributes:", p.examples, p.features);
+    println!(
+        "\nRecommendations at {} events x {} attributes:",
+        p.examples, p.features
+    );
     for o in &menu.options {
         println!(
             "  {:<18} -> {:>2} machines, {:>8.1}s predicted, {:>6.1} machine-min",

@@ -24,7 +24,14 @@ fn main() {
         sim.seed = 0xD01;
         sim.failure = failure;
         Engine::new(&app, cluster, sim)
-            .run(&schedule, RunOptions { collect_traces: true, partition_skew: 0.15, ..RunOptions::default() })
+            .run(
+                &schedule,
+                RunOptions {
+                    collect_traces: true,
+                    partition_skew: 0.15,
+                    ..RunOptions::default()
+                },
+            )
             .expect("run succeeds")
     };
 
@@ -48,7 +55,10 @@ fn main() {
     let d = DatasetId(2);
     let h = &healthy.cache.per_dataset[&d];
     let f = &failed.cache.per_dataset[&d];
-    println!("\ncached dataset D2 ({} partitions):", app.dataset(d).partitions);
+    println!(
+        "\ncached dataset D2 ({} partitions):",
+        app.dataset(d).partitions
+    );
     println!(
         "  healthy: {} hits, {} misses, {} evictions",
         h.hits, h.misses, h.evictions

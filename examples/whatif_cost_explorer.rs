@@ -15,8 +15,7 @@ use juggler_suite::workloads::{SupportVectorMachine, Workload};
 fn main() {
     let w = SupportVectorMachine;
     println!("Training Juggler for {} ...", w.name());
-    let trained =
-        OfflineTraining::run(&w, &TrainingConfig::default()).expect("training succeeds");
+    let trained = OfflineTraining::run(&w, &TrainingConfig::default()).expect("training succeeds");
 
     let cloud = TieredHourly {
         per_machine_hour: 0.34, // an m5.xlarge-style rate
@@ -32,8 +31,7 @@ fn main() {
     for examples in [10_000u64, 20_000, 40_000, 80_000] {
         for features in [20_000u64, 80_000] {
             let menu_min = trained.recommend(examples as f64, features as f64);
-            let menu_usd =
-                trained.recommend_with(examples as f64, features as f64, &cloud);
+            let menu_usd = trained.recommend_with(examples as f64, features as f64, &cloud);
             let a = menu_min.cheapest().expect("non-empty menu");
             let b = menu_usd.cheapest().expect("non-empty menu");
             println!(

@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format (rustfmt drift) =="
+cargo fmt --check
+
 echo "== build (release) =="
 cargo build --release --offline
 
@@ -17,7 +20,16 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== trace golden (Chrome trace_event export is byte-stable) =="
 cargo test -q --offline --test trace_golden
 
+echo "== metrics registry (concurrent exactness; thread-count-stable exports) =="
+cargo test -q --offline --test metrics_registry
+
+echo "== doctor golden (diagnostics report is byte-stable) =="
+cargo test -q --offline --test doctor_golden
+
 echo "== trace overhead (<5% budget; records results/BENCH_trace_overhead.json) =="
 cargo bench --offline -p bench --bench trace_overhead
+
+echo "== metrics overhead (<5% budget; records results/BENCH_metrics_overhead.json) =="
+cargo bench --offline -p bench --bench metrics_overhead
 
 echo "all checks passed"

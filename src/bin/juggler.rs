@@ -8,6 +8,8 @@
 //! juggler sweep SVM --schedule 1             # cost on 1..12 machines
 //! juggler dot LOR > lor.dot                  # Graphviz DAG export
 //! juggler trace SVM --machines 4             # Gantt + Chrome trace JSON + stage timings
+//! juggler doctor KMEANS                      # model-quality & decision diagnostics
+//! juggler metrics LOR --format prom          # framework metrics export
 //! ```
 
 use std::process::ExitCode;
@@ -15,7 +17,8 @@ use std::process::ExitCode;
 use juggler_suite::cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions, TraceConfig};
 use juggler_suite::dagflow::to_dot;
 use juggler_suite::juggler::pipeline::{OfflineTraining, TrainedJuggler, TrainingConfig};
-use juggler_suite::workloads::{all_workloads, Workload};
+use juggler_suite::obs;
+use juggler_suite::workloads::{all_workloads, KMeans, Workload};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +36,8 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(rest),
         "dot" => cmd_dot(rest),
         "trace" => cmd_trace(rest),
+        "doctor" => cmd_doctor(rest),
+        "metrics" => cmd_metrics(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -61,8 +66,17 @@ USAGE:
   juggler dot <WORKLOAD> [--schedule N]
   juggler trace <WORKLOAD> [--machines N] [--width N] [--out FILE]
                  [--jsonl FILE] [--no-pipeline] [--threads N]
+  juggler doctor <WORKLOAD> [--threads N] [--timings]
+  juggler metrics <WORKLOAD> [--format prom|json] [--timings] [--threads N]
 
-WORKLOAD: LIR | LOR | PCA | RFC | SVM
+WORKLOAD: KMEANS | LIR | LOR | PCA | RFC | SVM
+
+`doctor` trains the workload with the metrics registry enabled, validates
+every Pareto option's predicted time/size against a simulated run, and
+prints model-quality (per-model LOO-CV winner and error) and decision
+(hotspot accept/reject reasons) diagnostics. `metrics` runs the same flow
+and exports the registry (Prometheus text by default); --timings includes
+host wall-clock gauges, which makes the output non-deterministic.
 
 --threads 0 (the default) auto-sizes the experiment worker pool from the
 JUGGLER_THREADS environment variable or the machine's parallelism;
@@ -70,8 +84,9 @@ JUGGLER_THREADS environment variable or the machine's parallelism;
 way.";
 
 fn find_workload(name: &str) -> Result<Box<dyn Workload>, String> {
-    all_workloads()
-        .into_iter()
+    let mut pool = all_workloads();
+    pool.push(Box::new(KMeans::default()));
+    pool.into_iter()
         .find(|w| w.name().eq_ignore_ascii_case(name))
         .ok_or_else(|| format!("unknown workload `{name}` (try `juggler list`)"))
 }
@@ -89,8 +104,13 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("{:<6} {:>9} {:>9} {:>6} {:>10}", "name", "examples", "features", "iters", "input");
-    for w in all_workloads() {
+    println!(
+        "{:<6} {:>9} {:>9} {:>6} {:>10}",
+        "name", "examples", "features", "iters", "input"
+    );
+    let mut pool = all_workloads();
+    pool.push(Box::new(KMeans::default()));
+    for w in pool {
         let p = w.paper_params();
         println!(
             "{:<6} {:>9} {:>9} {:>6} {:>9.1}G",
@@ -151,13 +171,15 @@ fn cmd_train_all(args: &[String]) -> Result<(), String> {
     );
     // Whole workloads fan across the pool; each training then runs its
     // own stages sequentially so the pool is not oversubscribed.
-    let results = juggler_suite::juggler::try_run_indexed::<_, String, _>(ws.len(), threads, |i| {
-        let config = TrainingConfig {
-            threads: 1,
-            ..TrainingConfig::default()
-        };
-        OfflineTraining::run(ws[i].as_ref(), &config).map_err(|e| format!("{}: {e}", ws[i].name()))
-    })?;
+    let results =
+        juggler_suite::juggler::try_run_indexed::<_, String, _>(ws.len(), threads, |i| {
+            let config = TrainingConfig {
+                threads: 1,
+                ..TrainingConfig::default()
+            };
+            OfflineTraining::run(ws[i].as_ref(), &config)
+                .map_err(|e| format!("{}: {e}", ws[i].name()))
+        })?;
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
     }
@@ -170,7 +192,8 @@ fn cmd_train_all(args: &[String]) -> Result<(), String> {
             trained.costs.total_machine_minutes()
         );
         if let Some(dir) = &out_dir {
-            let path = std::path::Path::new(dir).join(format!("{}.json", trained.workload.to_lowercase()));
+            let path =
+                std::path::Path::new(dir).join(format!("{}.json", trained.workload.to_lowercase()));
             let json = serde_json::to_string_pretty(trained).map_err(|e| e.to_string())?;
             std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
         }
@@ -182,8 +205,14 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("recommend needs an artifact path")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let trained: TrainedJuggler = serde_json::from_str(&json).map_err(|e| e.to_string())?;
-    let e: f64 = parse_num(&flag(args, "-e").ok_or("missing -e <examples>")?, "examples")?;
-    let f: f64 = parse_num(&flag(args, "-f").ok_or("missing -f <features>")?, "features")?;
+    let e: f64 = parse_num(
+        &flag(args, "-e").ok_or("missing -e <examples>")?,
+        "examples",
+    )?;
+    let f: f64 = parse_num(
+        &flag(args, "-f").ok_or("missing -f <features>")?,
+        "features",
+    )?;
 
     let menu = match flag(args, "--ram-gb") {
         Some(gb) => {
@@ -197,22 +226,22 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
         }
         None => trained.recommend(e, f),
     };
-    println!(
-        "{} at examples={e}, features={f}:",
-        trained.workload
-    );
+    println!("{} at examples={e}, features={f}:", trained.workload);
     for o in &menu.options {
         println!(
-            "  {:<26} {:>2} machines  {:>9.1}s  {:>8.1} machine-min  (cache {:.2} GB)",
+            "  {:<26} {:>2} machines  {:>9}  {:>8.1} machine-min  (cache {})",
             o.schedule.notation(),
             o.machines,
-            o.predicted_time_s,
+            obs::fmt_duration_s(o.predicted_time_s),
             o.predicted_cost_machine_min,
-            o.predicted_size_bytes as f64 / 1e9
+            obs::fmt_bytes(o.predicted_size_bytes)
         );
     }
     for d in &menu.dominated {
-        println!("  {:<26} dominated (another option is faster and cheaper)", d.schedule.notation());
+        println!(
+            "  {:<26} dominated (another option is faster and cheaper)",
+            d.schedule.notation()
+        );
     }
     for bad in &menu.invalid {
         println!(
@@ -228,8 +257,8 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
 fn cmd_schedules(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("schedules needs a workload name")?;
     let w = find_workload(name)?;
-    let trained = OfflineTraining::run(w.as_ref(), &TrainingConfig::default())
-        .map_err(|e| e.to_string())?;
+    let trained =
+        OfflineTraining::run(w.as_ref(), &TrainingConfig::default()).map_err(|e| e.to_string())?;
     println!(
         "HiBench default: {}\n",
         w.build(&w.paper_params()).default_schedule()
@@ -248,25 +277,40 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if let Some(ops) = flag(args, "--ops") {
         let schedule = juggler_suite::dagflow::Schedule::parse(&ops).map_err(|e| e.to_string())?;
         app.check_schedule(&schedule).map_err(|e| e.to_string())?;
-        println!("{} with explicit schedule {}", w.name(), schedule.notation());
+        println!(
+            "{} with explicit schedule {}",
+            w.name(),
+            schedule.notation()
+        );
         println!("{:>9} {:>10} {:>14}", "machines", "time", "cost (m-min)");
         for machines in 1..=12u32 {
             let mut sim = w.sim_params();
             sim.seed = 0xC11 ^ u64::from(machines);
-            let report = Engine::new(&app, ClusterConfig::new(machines, MachineSpec::private_cluster()), sim)
-                .run(&schedule, RunOptions { collect_traces: false, partition_skew: 0.15, ..RunOptions::default() })
-                .map_err(|e| e.to_string())?;
+            let report = Engine::new(
+                &app,
+                ClusterConfig::new(machines, MachineSpec::private_cluster()),
+                sim,
+            )
+            .run(
+                &schedule,
+                RunOptions {
+                    collect_traces: false,
+                    partition_skew: 0.15,
+                    ..RunOptions::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
             println!(
-                "{machines:>9} {:>9.1}s {:>14.1}",
-                report.total_time_s,
+                "{machines:>9} {:>10} {:>14.1}",
+                obs::fmt_duration_s(report.total_time_s),
                 report.cost_machine_minutes()
             );
         }
         return Ok(());
     }
 
-    let trained = OfflineTraining::run(w.as_ref(), &TrainingConfig::default())
-        .map_err(|e| e.to_string())?;
+    let trained =
+        OfflineTraining::run(w.as_ref(), &TrainingConfig::default()).map_err(|e| e.to_string())?;
     let idx: usize = match flag(args, "--schedule") {
         Some(s) => parse_num::<usize>(&s, "--schedule")?.saturating_sub(1),
         None => 0,
@@ -288,12 +332,23 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         let mut sim = w.sim_params();
         sim.seed = 0xC11 ^ u64::from(machines);
         let report = Engine::new(&app, ClusterConfig::new(machines, trained.target_spec), sim)
-            .run(&rs.schedule, RunOptions { collect_traces: false, partition_skew: 0.15, ..RunOptions::default() })
+            .run(
+                &rs.schedule,
+                RunOptions {
+                    collect_traces: false,
+                    partition_skew: 0.15,
+                    ..RunOptions::default()
+                },
+            )
             .map_err(|e| e.to_string())?;
-        let marker = if machines == recommended { "  <- recommended" } else { "" };
+        let marker = if machines == recommended {
+            "  <- recommended"
+        } else {
+            ""
+        };
         println!(
-            "{machines:>9} {:>9.1}s {:>14.1}{marker}",
-            report.total_time_s,
+            "{machines:>9} {:>10} {:>14.1}{marker}",
+            obs::fmt_duration_s(report.total_time_s),
             report.cost_machine_minutes()
         );
     }
@@ -351,17 +406,22 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         },
     )
     .map_err(|e| e.to_string())?;
-    print!("{}", juggler_suite::cluster_sim::render_gantt(&report, width));
+    print!(
+        "{}",
+        juggler_suite::cluster_sim::render_gantt(&report, width)
+    );
     println!(
-        "total {:.1}s on {machines} machines, {} tasks, {} spilled",
-        report.total_time_s, report.total_tasks, report.spilled_tasks
+        "total {} on {machines} machines, {} tasks, {} spilled",
+        obs::fmt_duration_s(report.total_time_s),
+        report.total_tasks,
+        report.spilled_tasks
     );
     let trace = report.trace.as_ref().expect("trace was enabled");
     println!("{}", trace.summary());
 
     // Chrome trace_event export (chrome://tracing, Perfetto).
-    let out = flag(args, "--out")
-        .unwrap_or_else(|| format!("trace_{}.json", w.name().to_lowercase()));
+    let out =
+        flag(args, "--out").unwrap_or_else(|| format!("trace_{}.json", w.name().to_lowercase()));
     let run_name = format!("{} sample run ({machines} machines)", w.name());
     std::fs::write(&out, trace.to_chrome_json(&run_name))
         .map_err(|e| format!("writing {out}: {e}"))?;
@@ -388,13 +448,66 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         println!("pipeline stage timings:");
         print!("{}", timings.summary());
         println!(
-            "  stage {:<28} {:>9.3} s  ({} options, {} dominated, {} invalid)",
+            "  stage {:<28} {:>9}  ({} options, {} dominated, {} invalid)",
             "5: menu construction",
-            menu_s,
+            obs::fmt_duration_s(menu_s),
             menu.options.len(),
             menu.dominated.len(),
             menu.invalid.len()
         );
+    }
+    Ok(())
+}
+
+fn cmd_doctor(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("doctor needs a workload name")?;
+    let w = find_workload(name)?;
+    let config = TrainingConfig {
+        threads: threads_flag(args)?,
+        ..TrainingConfig::default()
+    };
+    eprintln!(
+        "doctor: training {} with the metrics registry enabled...",
+        w.name()
+    );
+    let report = juggler_suite::juggler::doctor(w.as_ref(), &config).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    // Host wall-clock timings are kept out of the deterministic report.
+    if args.iter().any(|a| a == "--timings") {
+        println!("\nhost stage timings (wall clock, non-deterministic)");
+        print!("{}", report.timings.summary());
+    }
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("metrics needs a workload name")?;
+    let w = find_workload(name)?;
+    let config = TrainingConfig {
+        threads: threads_flag(args)?,
+        ..TrainingConfig::default()
+    };
+    let format = flag(args, "--format").unwrap_or_else(|| "prom".to_owned());
+    if format != "prom" && format != "json" {
+        return Err(format!(
+            "unknown --format `{format}` (expected prom or json)"
+        ));
+    }
+    eprintln!(
+        "metrics: training {} with the metrics registry enabled...",
+        w.name()
+    );
+    let report = juggler_suite::juggler::doctor(w.as_ref(), &config).map_err(|e| e.to_string())?;
+    // --timings re-snapshots with the wall-clock gauges included; the
+    // default export contains deterministic metrics only.
+    let snapshot = if args.iter().any(|a| a == "--timings") {
+        obs::global().snapshot(true)
+    } else {
+        report.snapshot
+    };
+    match format.as_str() {
+        "prom" => print!("{}", snapshot.to_prometheus()),
+        _ => println!("{}", snapshot.to_json()),
     }
     Ok(())
 }

@@ -11,4 +11,5 @@ pub use dagflow;
 pub use instrument;
 pub use juggler;
 pub use modeling;
+pub use obs;
 pub use workloads;

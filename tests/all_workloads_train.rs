@@ -51,7 +51,12 @@ fn every_workload_trains_with_sane_artifacts() {
         let menu = trained.recommend(p.e(), p.f());
         assert!(!menu.options.is_empty(), "{}: empty menu", w.name());
         for o in menu.options.iter().chain(menu.dominated.iter()) {
-            assert!((1..=12).contains(&o.machines), "{}: {} machines", w.name(), o.machines);
+            assert!(
+                (1..=12).contains(&o.machines),
+                "{}: {} machines",
+                w.name(),
+                o.machines
+            );
             assert!(o.predicted_time_s.is_finite() && o.predicted_time_s > 0.0);
         }
 

@@ -1,0 +1,86 @@
+//! Shared fixtures for the observability integration tests: a tiny
+//! iterative workload that trains in well under a second even in debug
+//! builds, with enough dataset reuse for hotspot detection to find a
+//! schedule.
+
+use juggler_suite::cluster_sim::{NoiseParams, SimParams};
+use juggler_suite::dagflow::{
+    AppBuilder, Application, ComputeCost, NarrowKind, Schedule, SourceFormat, WideKind,
+};
+use juggler_suite::workloads::{Workload, WorkloadParams};
+
+/// A miniature "parse → shuffle → iterate" pipeline in the shape of the
+/// paper's ML workloads, scaled down for fast tests.
+pub struct TinyScoring;
+
+impl Workload for TinyScoring {
+    fn name(&self) -> &'static str {
+        "TINY"
+    }
+
+    fn paper_params(&self) -> WorkloadParams {
+        WorkloadParams::auto(4_000, 800, 4)
+    }
+
+    fn sim_params(&self) -> SimParams {
+        SimParams {
+            exec_mem_per_task_factor: 0.15,
+            noise: NoiseParams::default(),
+            ..SimParams::default()
+        }
+    }
+
+    fn build(&self, p: &WorkloadParams) -> Application {
+        let ef = p.ef();
+        let parse = ComputeCost::new(0.002, 0.0, 5.0e-9);
+        let scan = ComputeCost::new(0.004, 0.0, 2.0e-9);
+        let agg = ComputeCost::new(0.004, 0.0, 1.0e-9);
+
+        let mut b = AppBuilder::new("tiny");
+        let logs = b.source(
+            "events",
+            SourceFormat::DistributedFs,
+            p.examples,
+            p.input_bytes(),
+            p.partitions,
+        );
+        let parsed = b.narrow(
+            "parsed",
+            NarrowKind::Map,
+            &[logs],
+            p.examples,
+            (6.0 * ef) as u64,
+            parse,
+        );
+        let matrix = b.wide(
+            "matrix",
+            WideKind::GroupByKey,
+            &[parsed],
+            p.examples / 2,
+            (4.0 * ef) as u64,
+            agg,
+        );
+        for i in 0..p.iterations {
+            let scores = b.narrow(
+                format!("scores[{i}]"),
+                NarrowKind::Map,
+                &[matrix],
+                p.examples / 2,
+                8 * p.examples,
+                scan,
+            );
+            let model = b.wide_with_partitions(
+                format!("model[{i}]"),
+                WideKind::TreeAggregate,
+                &[scores],
+                1,
+                8 * p.features,
+                1,
+                agg,
+            );
+            b.job("treeAggregate", model);
+        }
+        b.default_schedule(Schedule::empty());
+        b.build().expect("valid plan")
+    }
+}

@@ -16,7 +16,8 @@ fn config_with_threads(threads: usize) -> TrainingConfig {
 
 /// Serializes a trained artifact to its canonical JSON bytes.
 fn artifact_bytes(w: &dyn Workload, threads: usize) -> String {
-    let trained = OfflineTraining::run(w, &config_with_threads(threads)).expect("training succeeds");
+    let trained =
+        OfflineTraining::run(w, &config_with_threads(threads)).expect("training succeeds");
     serde_json::to_string_pretty(&trained).expect("artifact serializes")
 }
 

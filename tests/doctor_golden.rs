@@ -1,0 +1,65 @@
+//! Golden test for `juggler doctor`'s rendered report: for a fixed tiny
+//! workload the render must be byte-for-byte the committed golden file —
+//! it contains no wall-clock values, so any drift is a real behaviour or
+//! formatting change. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test doctor_golden` and review the diff.
+
+mod common;
+
+use common::TinyScoring;
+use juggler_suite::juggler::pipeline::TrainingConfig;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/doctor_small.txt")
+}
+
+#[test]
+fn doctor_render_matches_golden_file() {
+    let report = juggler_suite::juggler::doctor(&TinyScoring, &TrainingConfig::default())
+        .expect("doctor succeeds");
+    let got = report.render();
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test doctor_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "doctor report drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn doctor_report_covers_the_contract() {
+    let report = juggler_suite::juggler::doctor(&TinyScoring, &TrainingConfig::default())
+        .expect("doctor succeeds");
+    let text = report.render();
+    // Per-model LOO-CV winner with relative error.
+    assert!(
+        text.contains("size models (LOO-CV winner per dataset)"),
+        "{text}"
+    );
+    assert!(
+        text.contains("time models (LOO-CV winner per schedule)"),
+        "{text}"
+    );
+    // Per-dataset hotspot accept/reject reasons.
+    assert!(text.contains("accepted (round"), "{text}");
+    // Cache counters from the simulator.
+    assert!(text.contains("sim_cache_hits_total"), "{text}");
+    assert!(text.contains("sim_cache_misses_total"), "{text}");
+    // Predicted-vs-simulated validation with error summaries.
+    assert!(text.contains("time error: mean"), "{text}");
+    // One ledger row per Pareto option.
+    assert_eq!(report.ledger.entries.len(), report.menu.options.len());
+    assert!(!report.ledger.entries.is_empty());
+}

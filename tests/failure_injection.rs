@@ -21,9 +21,16 @@ fn run_with_failure(failure: Option<FailureSpec>) -> juggler_suite::cluster_sim:
     let app = w.build(&params);
     let mut sim = quiet(&w);
     sim.failure = failure;
-    Engine::new(&app, ClusterConfig::new(3, MachineSpec::private_cluster()), sim)
-        .run(&Schedule::persist_all([DatasetId(2)]), RunOptions::default())
-        .unwrap()
+    Engine::new(
+        &app,
+        ClusterConfig::new(3, MachineSpec::private_cluster()),
+        sim,
+    )
+    .run(
+        &Schedule::persist_all([DatasetId(2)]),
+        RunOptions::default(),
+    )
+    .unwrap()
 }
 
 /// The failed machine's blocks are recomputed and re-cached: full
@@ -38,7 +45,9 @@ fn lineage_recovers_lost_blocks() {
     let d = DatasetId(2);
     let total = {
         let w = LogisticRegression;
-        w.build(&WorkloadParams::auto(14_000, 10_000, 6)).dataset(d).partitions
+        w.build(&WorkloadParams::auto(14_000, 10_000, 6))
+            .dataset(d)
+            .partitions
     };
     let stats = &failed.cache.per_dataset[&d];
     assert_eq!(
@@ -61,7 +70,10 @@ fn failure_cost_is_one_recomputation_wave() {
         machine: 0,
         at_seconds: baseline.total_time_s * 0.75,
     }));
-    assert!(failed.total_time_s > baseline.total_time_s, "failures are not free");
+    assert!(
+        failed.total_time_s > baseline.total_time_s,
+        "failures are not free"
+    );
     assert!(
         failed.total_time_s < baseline.total_time_s * 1.6,
         "failure recovery cost should be bounded: {} vs {}",
@@ -80,8 +92,14 @@ fn late_failures_are_noops_and_runs_stay_deterministic() {
         at_seconds: baseline.total_time_s * 10.0,
     }));
     assert_eq!(baseline.total_time_s, late.total_time_s);
-    let a = run_with_failure(Some(FailureSpec { machine: 1, at_seconds: 30.0 }));
-    let b = run_with_failure(Some(FailureSpec { machine: 1, at_seconds: 30.0 }));
+    let a = run_with_failure(Some(FailureSpec {
+        machine: 1,
+        at_seconds: 30.0,
+    }));
+    let b = run_with_failure(Some(FailureSpec {
+        machine: 1,
+        at_seconds: 30.0,
+    }));
     assert_eq!(a.total_time_s, b.total_time_s);
     assert_eq!(a.job_times_s, b.job_times_s);
 }
@@ -90,6 +108,9 @@ fn late_failures_are_noops_and_runs_stay_deterministic() {
 #[test]
 fn failing_a_nonexistent_machine_is_harmless() {
     let baseline = run_with_failure(None);
-    let ghost = run_with_failure(Some(FailureSpec { machine: 99, at_seconds: 20.0 }));
+    let ghost = run_with_failure(Some(FailureSpec {
+        machine: 99,
+        at_seconds: 20.0,
+    }));
     assert_eq!(baseline.total_time_s, ghost.total_time_s);
 }

@@ -3,9 +3,7 @@
 
 use juggler_suite::cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions};
 use juggler_suite::dagflow::{DatasetId, Schedule};
-use juggler_suite::workloads::{
-    LinearRegression, SupportVectorMachine, Workload, WorkloadParams,
-};
+use juggler_suite::workloads::{LinearRegression, SupportVectorMachine, Workload, WorkloadParams};
 
 fn run(
     w: &dyn Workload,
@@ -18,7 +16,14 @@ fn run(
     let mut sim = w.sim_params();
     sim.seed = 7 ^ u64::from(machines);
     Engine::new(&app, ClusterConfig::new(machines, spec), sim)
-        .run(schedule, RunOptions { collect_traces: false, partition_skew: 0.15, ..RunOptions::default() })
+        .run(
+            schedule,
+            RunOptions {
+                collect_traces: false,
+                partition_skew: 0.15,
+                ..RunOptions::default()
+            },
+        )
         .unwrap()
 }
 
@@ -56,7 +61,11 @@ fn svm_cost_curve_has_areas_a_b_c() {
     assert!(ev1 > 0.7, "eviction at 1 machine: {ev1}");
     assert!(ev7 < 0.02, "no eviction at 7 machines: {ev7}");
     // The 1-machine catastrophe: an order of magnitude above optimal.
-    assert!(cost[0] / cost[2] > 3.0, "1-machine cost blowup: {:.1}x", cost[0] / cost[2]);
+    assert!(
+        cost[0] / cost[2] > 3.0,
+        "1-machine cost blowup: {:.1}x",
+        cost[0] / cost[2]
+    );
 }
 
 /// Figure 1: caching LIR's parsed input roughly halves execution time at
@@ -68,7 +77,13 @@ fn lir_caching_halves_time() {
     let spec = MachineSpec::private_cluster();
     for machines in [2u32, 6, 12] {
         let cold = run(&w, &params, &Schedule::empty(), machines, spec);
-        let hot = run(&w, &params, &Schedule::persist_all([DatasetId(1)]), machines, spec);
+        let hot = run(
+            &w,
+            &params,
+            &Schedule::persist_all([DatasetId(1)]),
+            machines,
+            spec,
+        );
         let ratio = hot.total_time_s / cold.total_time_s;
         assert!(
             (0.25..0.85).contains(&ratio),

@@ -15,8 +15,13 @@ fn measured_sizes_match_ground_truth_for_all_workloads() {
         let sample = w.sample_params();
         let app = w.build(&sample);
         let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
-        let out = profile_run(&app, &app.default_schedule().clone(), cluster, w.sim_params())
-            .expect("profiling run succeeds");
+        let out = profile_run(
+            &app,
+            &app.default_schedule().clone(),
+            cluster,
+            w.sim_params(),
+        )
+        .expect("profiling run succeeds");
         let la = LineageAnalysis::new(&app);
         for d in la.intermediates() {
             let truth = app.dataset(d).bytes as f64;
@@ -27,7 +32,11 @@ fn measured_sizes_match_ground_truth_for_all_workloads() {
                 .unwrap_or_else(|| panic!("{}: {d} unobserved", w.name()))
                 .size_bytes as f64;
             let err = (measured - truth).abs() / truth.max(1.0);
-            assert!(err < 0.02, "{} {d}: measured {measured}, truth {truth}", w.name());
+            assert!(
+                err < 0.02,
+                "{} {d}: measured {measured}, truth {truth}",
+                w.name()
+            );
         }
     }
 }
@@ -41,8 +50,13 @@ fn lor_measured_time_ratios_match_the_paper_example() {
     let sample = w.sample_params();
     let app = w.build(&sample);
     let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
-    let out = profile_run(&app, &app.default_schedule().clone(), cluster, w.sim_params())
-        .expect("profiling run succeeds");
+    let out = profile_run(
+        &app,
+        &app.default_schedule().clone(),
+        cluster,
+        w.sim_params(),
+    )
+    .expect("profiling run succeeds");
     let et = |i: u32| {
         out.metrics
             .iter()
@@ -69,10 +83,15 @@ fn instrumentation_overhead_is_light() {
         .run(&app.default_schedule().clone(), RunOptions::default())
         .unwrap()
         .total_time_s;
-    let instrumented = profile_run(&app, &app.default_schedule().clone(), cluster, w.sim_params())
-        .unwrap()
-        .report
-        .total_time_s;
+    let instrumented = profile_run(
+        &app,
+        &app.default_schedule().clone(),
+        cluster,
+        w.sim_params(),
+    )
+    .unwrap()
+    .report
+    .total_time_s;
     let overhead = instrumented / raw - 1.0;
     assert!(
         overhead < 0.10,
@@ -90,8 +109,13 @@ fn profiler_observes_every_intermediate() {
         let sample = w.sample_params();
         let app = w.build(&sample);
         let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
-        let out = profile_run(&app, &app.default_schedule().clone(), cluster, w.sim_params())
-            .expect("profiling run succeeds");
+        let out = profile_run(
+            &app,
+            &app.default_schedule().clone(),
+            cluster,
+            w.sim_params(),
+        )
+        .expect("profiling run succeeds");
         let la = LineageAnalysis::new(&app);
         for d in la.intermediates() {
             let m = out.metrics.iter().find(|m| m.dataset == d);

@@ -66,7 +66,11 @@ fn transfer_model_bridges_a_slow_machine_type() {
     // β may land either side of 1: the type is slower per machine, but
     // Eq. 6 gives it more machines (12 GB vs 16 GB RAM). What matters is a
     // physical, finite bridge.
-    assert!(transfer.beta > 0.0 && transfer.beta.is_finite(), "β = {}", transfer.beta);
+    assert!(
+        transfer.beta > 0.0 && transfer.beta.is_finite(),
+        "β = {}",
+        transfer.beta
+    );
     assert!(transfer.alpha >= 0.0);
 
     // Validate the bridged prediction at paper scale.
@@ -96,7 +100,10 @@ fn transfer_model_bridges_a_slow_machine_type() {
 
 #[test]
 fn transfer_model_is_serializable() {
-    let tm = TransferModel { alpha: 3.0, beta: 1.2 };
+    let tm = TransferModel {
+        alpha: 3.0,
+        beta: 1.2,
+    };
     let json = serde_json::to_string(&tm).unwrap();
     let back: TransferModel = serde_json::from_str(&json).unwrap();
     assert_eq!(tm, back);

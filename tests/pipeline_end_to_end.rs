@@ -4,7 +4,9 @@
 use juggler_suite::cluster_sim::{ClusterConfig, Engine, RunOptions};
 use juggler_suite::juggler::pipeline::{OfflineTraining, TrainingConfig};
 use juggler_suite::modeling::accuracy_pct;
-use juggler_suite::workloads::{LogisticRegression, SupportVectorMachine, Workload, WorkloadParams};
+use juggler_suite::workloads::{
+    LogisticRegression, SupportVectorMachine, Workload, WorkloadParams,
+};
 
 #[test]
 fn lor_training_produces_usable_artifact() {
@@ -136,7 +138,11 @@ fn sample_params_stay_small() {
     for w in juggler_suite::workloads::all_workloads() {
         let s = w.sample_params();
         let p = w.paper_params();
-        assert!(s.input_bytes() <= p.input_bytes() / 3, "{} sample too big", w.name());
+        assert!(
+            s.input_bytes() <= p.input_bytes() / 3,
+            "{} sample too big",
+            w.name()
+        );
         assert!(s.iterations <= 3);
         let _ = WorkloadParams::auto(s.examples, s.features, s.iterations);
     }

@@ -24,8 +24,14 @@ fn explicit_schedule_overrides_default() {
     let params = WorkloadParams::auto(3_500, 2_500, 3);
     let app = w.build(&params);
     assert!(!app.default_schedule().is_empty());
-    let engine = Engine::new(&app, ClusterConfig::new(2, MachineSpec::private_cluster()), quiet(&w));
-    let r = engine.run(&Schedule::empty(), RunOptions::default()).unwrap();
+    let engine = Engine::new(
+        &app,
+        ClusterConfig::new(2, MachineSpec::private_cluster()),
+        quiet(&w),
+    );
+    let r = engine
+        .run(&Schedule::empty(), RunOptions::default())
+        .unwrap();
     for (d, stats) in &r.cache.per_dataset {
         assert_eq!(
             stats.insert_attempts, 0,
@@ -48,7 +54,11 @@ fn pca_unpersist_chain_caps_peak_memory() {
         ScheduleOp::Unpersist(DatasetId(2)),
         ScheduleOp::Persist(DatasetId(13)),
     ]);
-    let engine = Engine::new(&app, ClusterConfig::new(1, MachineSpec::private_cluster()), quiet(&w));
+    let engine = Engine::new(
+        &app,
+        ClusterConfig::new(1, MachineSpec::private_cluster()),
+        quiet(&w),
+    );
     let r = engine.run(&schedule, RunOptions::default()).unwrap();
     // End state: only D13 resident.
     assert_eq!(r.cache.per_dataset[&DatasetId(1)].resident_partitions, 0);
@@ -60,8 +70,15 @@ fn pca_unpersist_chain_caps_peak_memory() {
     // Peak storage ≈ one dataset plus one transition partition, far below
     // the 3-dataset sum.
     let one = app.dataset(DatasetId(13)).bytes;
-    let three: u64 = [1u32, 2, 13].iter().map(|&i| app.dataset(DatasetId(i)).bytes).sum();
-    assert!(r.cache.peak_storage_bytes < three * 6 / 10, "peak {}", r.cache.peak_storage_bytes);
+    let three: u64 = [1u32, 2, 13]
+        .iter()
+        .map(|&i| app.dataset(DatasetId(i)).bytes)
+        .sum();
+    assert!(
+        r.cache.peak_storage_bytes < three * 6 / 10,
+        "peak {}",
+        r.cache.peak_storage_bytes
+    );
     assert!(r.cache.peak_storage_bytes >= one, "peak below one dataset");
 }
 
@@ -73,7 +90,11 @@ fn plain_persist_pair_peaks_at_sum() {
     let params = w.sample_params();
     let app = w.build(&params);
     let schedule = Schedule::persist_all([DatasetId(1), DatasetId(2)]);
-    let engine = Engine::new(&app, ClusterConfig::new(1, MachineSpec::private_cluster()), quiet(&w));
+    let engine = Engine::new(
+        &app,
+        ClusterConfig::new(1, MachineSpec::private_cluster()),
+        quiet(&w),
+    );
     let r = engine.run(&schedule, RunOptions::default()).unwrap();
     let sum = app.dataset(DatasetId(1)).bytes + app.dataset(DatasetId(2)).bytes;
     assert!(

@@ -14,8 +14,13 @@ fn juggler_schedules(w: &dyn Workload) -> Vec<String> {
     let sample = w.sample_params();
     let app = w.build(&sample);
     let cluster = ClusterConfig::new(1, MachineSpec::calibration_node());
-    let out = profile_run(&app, &app.default_schedule().clone(), cluster, w.sim_params())
-        .expect("sample run succeeds");
+    let out = profile_run(
+        &app,
+        &app.default_schedule().clone(),
+        cluster,
+        w.sim_params(),
+    )
+    .expect("sample run succeeds");
     let metrics = DatasetMetricsView::from_metrics(&out.metrics, app.dataset_count());
     detect_hotspots(&app, &metrics, &HotspotConfig::default())
         .into_iter()
@@ -25,7 +30,10 @@ fn juggler_schedules(w: &dyn Workload) -> Vec<String> {
 
 #[test]
 fn lir_schedules_match_table2() {
-    assert_eq!(juggler_schedules(&LinearRegression), vec!["p(1)", "p(1) p(3)"]);
+    assert_eq!(
+        juggler_schedules(&LinearRegression),
+        vec!["p(1)", "p(1) p(3)"]
+    );
 }
 
 #[test]
@@ -51,5 +59,8 @@ fn rfc_schedules_match_table2() {
 
 #[test]
 fn svm_schedules_match_table2() {
-    assert_eq!(juggler_schedules(&SupportVectorMachine), vec!["p(2)", "p(1) p(6)"]);
+    assert_eq!(
+        juggler_schedules(&SupportVectorMachine),
+        vec!["p(2)", "p(1) p(6)"]
+    );
 }

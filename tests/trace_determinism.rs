@@ -4,9 +4,7 @@
 //! its RNG seed, timestamps are quantized to integer microseconds, and
 //! the exporters emit integers only.
 
-use juggler_suite::cluster_sim::{
-    ClusterConfig, Engine, MachineSpec, RunOptions, TraceConfig,
-};
+use juggler_suite::cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions, TraceConfig};
 use juggler_suite::dagflow::{DatasetId, Schedule};
 use juggler_suite::juggler::run_indexed;
 use juggler_suite::workloads::{LogisticRegression, Workload};
@@ -43,9 +41,9 @@ fn traced_streams(n: usize, threads: usize) -> Vec<(String, String)> {
 fn traced_runs_emit_identical_event_streams_at_any_thread_count() {
     let sequential = traced_streams(6, 1);
     assert!(!sequential.is_empty());
-    assert!(sequential.iter().all(|(jsonl, chrome)| {
-        !jsonl.is_empty() && chrome.starts_with('{')
-    }));
+    assert!(sequential
+        .iter()
+        .all(|(jsonl, chrome)| { !jsonl.is_empty() && chrome.starts_with('{') }));
     for threads in [2, 8] {
         let parallel = traced_streams(6, threads);
         assert_eq!(

@@ -83,8 +83,7 @@ fn chrome_export_matches_golden_file() {
         )
     });
     assert_eq!(
-        got,
-        want,
+        got, want,
         "Chrome export drifted from the golden file; if intentional, \
          regenerate with UPDATE_GOLDEN=1 and review the diff"
     );
