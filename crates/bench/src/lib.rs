@@ -152,14 +152,23 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Persists a bench's headline numbers as JSON under `results/` (next to
-/// the workspace root), so runs are diffable across calibration changes.
-/// Failures to write are reported but non-fatal — benches must not die on
-/// a read-only checkout.
-pub fn save_results(bench_name: &str, value: &serde_json::Value) {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+/// The workspace-level `results/` directory every bench writes its
+/// `BENCH_*.json` artifact to. `juggler perf-report` gates the same
+/// directory against `results/baselines/`, so emission and gating agree
+/// on the location by construction.
+#[must_use]
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
-        .join("results");
+        .join("results")
+}
+
+/// Persists a bench's headline numbers as JSON under [`results_dir`], so
+/// runs are diffable across calibration changes and gateable by
+/// `juggler perf-report`. Failures to write are reported but non-fatal —
+/// benches must not die on a read-only checkout.
+pub fn save_results(bench_name: &str, value: &serde_json::Value) {
+    let dir = results_dir();
     let write = || -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{bench_name}.json"));

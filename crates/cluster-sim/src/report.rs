@@ -194,6 +194,67 @@ impl RunReport {
     pub fn cost_machine_minutes(&self) -> f64 {
         self.cost_machine_seconds() / 60.0
     }
+
+    /// Content digest of the run's *outcome*: a SHA-256 over a canonical
+    /// byte encoding of what the simulation produced (app, schedule,
+    /// machine count, timings, cache peaks, per-dataset cache counters,
+    /// spill counts). Two runs of the same configuration must produce the
+    /// same digest regardless of worker-thread count or whether tracing
+    /// was requested — `traces`/`trace` are deliberately excluded, they
+    /// describe *how* the run was observed, not *what* it computed.
+    /// Floats enter by `to_bits`, so the digest detects even sub-format
+    /// numeric drift.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        let mut h = obs::Sha256::new();
+        let put_u64 = |h: &mut obs::Sha256, x: u64| h.update(&x.to_be_bytes());
+        let put_str = |h: &mut obs::Sha256, s: &str| {
+            h.update(&(s.len() as u64).to_be_bytes());
+            h.update(s.as_bytes());
+        };
+        put_str(&mut h, &self.app);
+        put_str(&mut h, &self.schedule.notation());
+        put_u64(&mut h, u64::from(self.machines));
+        put_u64(&mut h, self.total_time_s.to_bits());
+        put_u64(&mut h, self.job_times_s.len() as u64);
+        for t in &self.job_times_s {
+            put_u64(&mut h, t.to_bits());
+        }
+        put_u64(&mut h, self.cache.peak_storage_bytes);
+        put_u64(&mut h, self.cache.peak_exec_bytes);
+        // HashMap iteration order is nondeterministic; sort by dataset.
+        let mut datasets: Vec<&DatasetId> = self.cache.per_dataset.keys().collect();
+        datasets.sort();
+        put_u64(&mut h, datasets.len() as u64);
+        for d in datasets {
+            let s = &self.cache.per_dataset[d];
+            put_u64(&mut h, u64::from(d.0));
+            for counter in [
+                s.hits,
+                s.misses,
+                s.insert_attempts,
+                s.insert_failures,
+                s.evictions,
+                s.unpersisted,
+                u64::from(s.resident_partitions),
+                s.resident_bytes,
+                s.peak_resident_bytes,
+            ] {
+                put_u64(&mut h, counter);
+            }
+        }
+        put_u64(&mut h, self.stage_times.len() as u64);
+        for st in &self.stage_times {
+            put_u64(&mut h, u64::from(st.job.0));
+            put_u64(&mut h, u64::from(st.stage.0));
+            put_u64(&mut h, st.start.to_bits());
+            put_u64(&mut h, st.finish.to_bits());
+            put_u64(&mut h, u64::from(st.tasks));
+        }
+        put_u64(&mut h, self.spilled_tasks);
+        put_u64(&mut h, self.total_tasks);
+        obs::to_hex(&h.finalize())
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +279,41 @@ mod tests {
         };
         assert_eq!(r.cost_machine_seconds(), 840.0);
         assert_eq!(r.cost_machine_minutes(), 14.0);
+    }
+
+    #[test]
+    fn digest_is_stable_and_discriminating() {
+        let mut r = RunReport {
+            app: "x".into(),
+            schedule: Arc::new(Schedule::empty()),
+            machines: 7,
+            total_time_s: 120.0,
+            job_times_s: vec![40.0, 80.0],
+            cache: CacheStats::default(),
+            per_job_cache: vec![],
+            stage_times: vec![],
+            traces: vec![],
+            trace: None,
+            spilled_tasks: 0,
+            total_tasks: 10,
+        };
+        let d1 = r.digest();
+        assert_eq!(d1.len(), 64);
+        assert_eq!(r.clone().digest(), d1, "same content, same digest");
+        // Observation-only fields don't move the digest.
+        r.traces.push(TaskTrace {
+            job: JobId(0),
+            stage: StageId(0),
+            task: 0,
+            machine: 0,
+            start: 0.0,
+            finish: 1.0,
+            steps: vec![],
+        });
+        assert_eq!(r.digest(), d1, "traces are excluded");
+        // Outcome fields do.
+        r.total_time_s += 1e-9;
+        assert_ne!(r.digest(), d1, "timing drift must change the digest");
     }
 
     #[test]

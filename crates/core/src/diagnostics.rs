@@ -55,6 +55,10 @@ pub struct LedgerEntry {
     pub predicted_size_bytes: u64,
     /// Observed peak cached bytes during the run.
     pub actual_peak_bytes: u64,
+    /// Content digest of the validating run's report (see
+    /// `cluster_sim::RunReport::digest`) — lets run manifests prove which
+    /// simulated outcome backed each prediction row.
+    pub report_digest: String,
 }
 
 /// Relative error of `predicted` against `actual`; absolute error when
@@ -146,6 +150,7 @@ mod tests {
             actual_time_s: act_t,
             predicted_size_bytes: pred_b,
             actual_peak_bytes: act_b,
+            report_digest: String::new(),
         }
     }
 

@@ -93,6 +93,7 @@ fn doctor_inner(
             actual_time_s: report.total_time_s,
             predicted_size_bytes: opt.predicted_size_bytes,
             actual_peak_bytes: report.cache.peak_storage_bytes,
+            report_digest: report.digest(),
         });
     }
 

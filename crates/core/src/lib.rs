@@ -44,6 +44,7 @@ pub mod memory_calibration;
 pub mod parallel;
 pub mod param_calibration;
 pub mod pipeline;
+pub mod provenance;
 pub mod recommend;
 pub mod summary;
 pub mod time_model;
@@ -60,6 +61,10 @@ pub use parallel::{resolve_threads, run_indexed, try_run_indexed};
 pub use param_calibration::{ParamCalibration, SizeModel};
 pub use pipeline::{
     OfflineTraining, PipelineStageTiming, PipelineTimings, TrainedJuggler, TrainingConfig,
+};
+pub use provenance::{
+    schedule_digest, DiffTolerances, Drift, ManifestContent, ManifestDiff, ManifestEnvelope,
+    ModelRecord, RunManifest, ScheduleRecord,
 };
 pub use recommend::{CostModel, MachineMinutes, Recommendation, RecommendationMenu, TieredHourly};
 pub use summary::model_card;

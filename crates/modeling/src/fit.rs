@@ -101,6 +101,34 @@ impl FittedModel {
     }
 }
 
+/// Serialization-friendly précis of one model selection: the winning
+/// spec in formula notation (`1 + e·f`), the raw coefficient vector
+/// aligned with the spec's terms, and the LOO-CV error. This is the
+/// provenance surface — run manifests record it verbatim so cross-run
+/// diffs can compare winners and coefficients without carrying a whole
+/// [`FitReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSummary {
+    /// The winning spec's formula (see [`ModelSpec::formula`]).
+    pub spec: String,
+    /// Fitted coefficients θ, aligned with the spec's terms.
+    pub coeffs: Vec<f64>,
+    /// Mean leave-one-out relative error of the winner.
+    pub cv_error: f64,
+}
+
+impl ModelSummary {
+    /// Summary of a fitted model with a known cross-validation error.
+    #[must_use]
+    pub fn of(model: &FittedModel, cv_error: f64) -> Self {
+        ModelSummary {
+            spec: model.spec.to_string(),
+            coeffs: model.coeffs.clone(),
+            cv_error,
+        }
+    }
+}
+
 /// A fitted model together with its cross-validation error.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrossValidated {
@@ -227,6 +255,12 @@ impl FitReport {
         self.residuals
             .iter()
             .fold(f64::NEG_INFINITY, |m, &r| m.max(r))
+    }
+
+    /// The winner's [`ModelSummary`] — what run manifests record.
+    #[must_use]
+    pub fn summary(&self) -> ModelSummary {
+        ModelSummary::of(&self.winner, self.cv_error)
     }
 }
 
@@ -368,6 +402,17 @@ mod tests {
         for c in &report.candidates {
             assert!(c.cv_error >= cv.cv_error - 1e-15, "{c:?}");
         }
+    }
+
+    #[test]
+    fn summary_exposes_winner_spec_and_coefficients() {
+        let samples = grid(|e, f| 0.016 * e * f);
+        let (cv, report) = fit_best_with_report(&ModelSpec::size_candidates(), &samples).unwrap();
+        let s = report.summary();
+        assert_eq!(s.spec, cv.model.spec.to_string());
+        assert_eq!(s.coeffs, cv.model.coeffs);
+        assert_eq!(s.cv_error, cv.cv_error);
+        assert!(s.spec.contains("e·f"), "{}", s.spec);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub use design::{d_optimal_greedy, full_factorial};
 pub use families::{ModelSpec, Term};
 pub use fit::{
     fit_best, fit_best_with_report, fit_spec, loocv_residuals, CandidateScore, CrossValidated,
-    FitError, FitReport, FittedModel, Sample,
+    FitError, FitReport, FittedModel, ModelSummary, Sample,
 };
 pub use linalg::Matrix;
 pub use metrics::{accuracy_pct, mean_relative_error};

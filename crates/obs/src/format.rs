@@ -72,9 +72,10 @@ fn trim_digits(digits: &[u8]) -> &[u8] {
 }
 
 /// Formats a duration given in seconds for human eyes: 3 significant
-/// figures, tiered units (`ms` below one second, `s` below two minutes,
-/// then `min` and `h`). The single duration formatter for the workspace —
-/// reports must not print raw float seconds.
+/// figures, tiered units (`ns`/`µs`/`ms` below one second, `s` below
+/// two minutes, then `min` and `h`). The single duration formatter for
+/// the workspace — reports must not print raw float seconds, for any
+/// input from sub-nanosecond to geological.
 #[must_use]
 pub fn fmt_duration_s(seconds: f64) -> String {
     if !seconds.is_finite() {
@@ -84,7 +85,12 @@ pub fn fmt_duration_s(seconds: f64) -> String {
         return format!("-{}", fmt_duration_s(-seconds));
     }
     if seconds == 0.0 {
+        // Includes -0.0: a zero delta renders unsigned.
         "0 s".to_string()
+    } else if seconds < 1e-6 {
+        format!("{} ns", fmt_sig(seconds * 1e9, 3))
+    } else if seconds < 1e-3 {
+        format!("{} µs", fmt_sig(seconds * 1e6, 3))
     } else if seconds < 1.0 {
         format!("{} ms", fmt_sig(seconds * 1e3, 3))
     } else if seconds < 120.0 {
@@ -97,7 +103,8 @@ pub fn fmt_duration_s(seconds: f64) -> String {
 }
 
 /// Formats a byte count with decimal (SI) tiers and 3 significant
-/// figures: `999 B`, `1.5 kB`, `35.8 GB`.
+/// figures: `999 B`, `1.5 kB`, `35.8 GB`, up through `EB` — the full
+/// `u64` range renders without falling back to scientific notation.
 #[must_use]
 pub fn fmt_bytes(bytes: u64) -> String {
     let b = bytes as f64;
@@ -107,8 +114,33 @@ pub fn fmt_bytes(bytes: u64) -> String {
         format!("{} kB", fmt_sig(b / 1e3, 3))
     } else if b < 1e9 {
         format!("{} MB", fmt_sig(b / 1e6, 3))
-    } else {
+    } else if b < 1e12 {
         format!("{} GB", fmt_sig(b / 1e9, 3))
+    } else if b < 1e15 {
+        format!("{} TB", fmt_sig(b / 1e12, 3))
+    } else if b < 1e18 {
+        format!("{} PB", fmt_sig(b / 1e15, 3))
+    } else {
+        format!("{} EB", fmt_sig(b / 1e18, 3))
+    }
+}
+
+/// Formats a *signed* byte difference (ledger diffs report deltas that
+/// can exceed `u64` in either direction): `+1.5 kB`, `-46 MB`, `0 B`.
+#[must_use]
+pub fn fmt_bytes_delta(delta: i128) -> String {
+    if delta == 0 {
+        return "0 B".to_string();
+    }
+    let magnitude = delta.unsigned_abs();
+    // i128::MIN's magnitude (2^127 ≈ 1.7e38 B) overflows u64; clamp to
+    // the printable ceiling — "+18.4 EB"-scale deltas are already a
+    // "something is very wrong" signal, exact digits don't matter.
+    let rendered = fmt_bytes(u64::try_from(magnitude).unwrap_or(u64::MAX));
+    if delta < 0 {
+        format!("-{rendered}")
+    } else {
+        format!("+{rendered}")
     }
 }
 
@@ -152,7 +184,7 @@ mod tests {
     #[test]
     fn duration_tiers() {
         assert_eq!(fmt_duration_s(0.0), "0 s");
-        assert_eq!(fmt_duration_s(0.000123), "0.123 ms");
+        assert_eq!(fmt_duration_s(0.000123), "123 µs");
         assert_eq!(fmt_duration_s(0.0123), "12.3 ms");
         assert_eq!(fmt_duration_s(0.9994), "999 ms");
         assert_eq!(fmt_duration_s(1.0), "1 s");
@@ -164,10 +196,50 @@ mod tests {
     }
 
     #[test]
+    fn duration_extreme_inputs_never_print_raw_floats() {
+        // Sub-microsecond and sub-nanosecond.
+        assert_eq!(fmt_duration_s(5e-7), "500 ns");
+        assert_eq!(fmt_duration_s(1.23e-9), "1.23 ns");
+        assert_eq!(fmt_duration_s(7.5e-13), "0.00075 ns");
+        // Just under each tier boundary.
+        assert_eq!(fmt_duration_s(9.994e-7), "999 ns");
+        assert_eq!(fmt_duration_s(9.994e-4), "999 µs");
+        // Negative deltas mirror the positive tiers, including -0.0.
+        assert_eq!(fmt_duration_s(-5e-7), "-500 ns");
+        assert_eq!(fmt_duration_s(-3600.0), "-60 min");
+        assert_eq!(fmt_duration_s(-0.0), "0 s");
+        // Huge and non-finite inputs stay tiered / labelled.
+        assert_eq!(fmt_duration_s(1e9), "2.78e5 h");
+        assert_eq!(fmt_duration_s(f64::INFINITY), "inf s");
+        assert_eq!(fmt_duration_s(f64::NAN), "NaN s");
+        // Subnormal: must not panic and must carry a unit.
+        assert!(fmt_duration_s(f64::MIN_POSITIVE).ends_with(" ns"));
+    }
+
+    #[test]
     fn byte_tiers() {
         assert_eq!(fmt_bytes(999), "999 B");
         assert_eq!(fmt_bytes(1_500), "1.5 kB");
         assert_eq!(fmt_bytes(45_961_000), "46 MB");
         assert_eq!(fmt_bytes(35_800_000_000), "35.8 GB");
+    }
+    #[test]
+    fn byte_tiers_extreme_inputs() {
+        assert_eq!(fmt_bytes(2_500_000_000_000), "2.5 TB");
+        assert_eq!(fmt_bytes(7_000_000_000_000_000), "7 PB");
+        // 1 EiB = 2^60 bytes.
+        assert_eq!(fmt_bytes(1u64 << 60), "1.15 EB");
+        assert_eq!(fmt_bytes(u64::MAX), "18.4 EB");
+    }
+
+    #[test]
+    fn byte_deltas_are_signed() {
+        assert_eq!(fmt_bytes_delta(0), "0 B");
+        assert_eq!(fmt_bytes_delta(1_500), "+1.5 kB");
+        assert_eq!(fmt_bytes_delta(-45_961_000), "-46 MB");
+        assert_eq!(fmt_bytes_delta(i128::from(u64::MAX)), "+18.4 EB");
+        // Beyond-u64 magnitudes clamp instead of panicking.
+        assert_eq!(fmt_bytes_delta(i128::MAX), "+18.4 EB");
+        assert_eq!(fmt_bytes_delta(i128::MIN), "-18.4 EB");
     }
 }

@@ -19,13 +19,30 @@
 //! *timing* metrics (host wall-clock). Only stable metrics appear in
 //! the default export, which is what makes `juggler metrics` output
 //! byte-identical across worker-thread counts and machines.
+//!
+//! On top of those two, this crate hosts the *cross-run* observability
+//! primitives: a dependency-free SHA-256 ([`sha256_hex`]) for content
+//! addressing, the on-disk run ledger ([`LedgerStore`]) that files run
+//! manifests under `results/runs/`, and the perf-regression gate
+//! ([`BaselineSpec`]) behind `juggler perf-report`. The *typed* manifest
+//! schema lives in `juggler-core::provenance` (core depends on obs, not
+//! the other way round); obs deliberately only knows how to hash, store,
+//! and gate JSON documents.
 
 #![warn(missing_docs)]
 
 mod format;
+mod hash;
+mod ledger;
+mod perf;
 mod registry;
 
-pub use format::{fmt_bytes, fmt_duration_s, fmt_sig};
+pub use format::{fmt_bytes, fmt_bytes_delta, fmt_duration_s, fmt_sig};
+pub use hash::{sha256, sha256_hex, to_hex, Sha256};
+pub use ledger::{LedgerStore, StoredRun, RUN_ID_LEN};
+pub use perf::{
+    default_checks, lookup, BaselineSpec, BenchReport, Check, CheckOp, CheckOutcome, PerfReport,
+};
 pub use registry::{
     global, Counter, Gauge, Histogram, Metric, MetricClass, MetricKind, MetricValue, Registry,
     Snapshot, HIST_BUCKETS,

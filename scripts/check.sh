@@ -32,4 +32,10 @@ cargo bench --offline -p bench --bench trace_overhead
 echo "== metrics overhead (<5% budget; records results/BENCH_metrics_overhead.json) =="
 cargo bench --offline -p bench --bench metrics_overhead
 
+echo "== ledger determinism (manifest hash is thread-count-stable) =="
+cargo test -q --offline --test ledger_determinism
+
+echo "== perf report (fresh BENCH_*.json vs results/baselines/) =="
+cargo run -q --release --offline --bin juggler -- perf-report
+
 echo "all checks passed"

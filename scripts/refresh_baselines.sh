@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates the perf-regression baselines in results/baselines/ from
+# the current BENCH_*.json artifacts in results/. Run this after an
+# *intentional* performance-characteristics change, then commit the
+# regenerated specs — baseline churn should always be an explicit,
+# reviewable commit, never a side effect of `scripts/check.sh`.
+#
+# To refresh the BENCH artifacts themselves first:
+#   cargo bench --offline -p bench --bench trace_overhead
+#   cargo bench --offline -p bench --bench metrics_overhead
+#   cargo bench --offline -p bench --bench training_parallel
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q --release --offline --bin juggler -- perf-report --write-baselines
+echo "review and commit results/baselines/ explicitly"

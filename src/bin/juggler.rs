@@ -10,13 +10,18 @@
 //! juggler trace SVM --machines 4             # Gantt + Chrome trace JSON + stage timings
 //! juggler doctor KMEANS                      # model-quality & decision diagnostics
 //! juggler metrics LOR --format prom          # framework metrics export
+//! juggler runs record LOR                    # run -> provenance manifest in results/runs/
+//! juggler runs diff <a> <b>                  # cross-run drift report
+//! juggler perf-report                        # gate BENCH_*.json against results/baselines/
 //! ```
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use juggler_suite::cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions, TraceConfig};
 use juggler_suite::dagflow::to_dot;
 use juggler_suite::juggler::pipeline::{OfflineTraining, TrainedJuggler, TrainingConfig};
+use juggler_suite::juggler::provenance::{DiffTolerances, ManifestDiff, RunManifest};
 use juggler_suite::obs;
 use juggler_suite::workloads::{all_workloads, KMeans, Workload};
 
@@ -27,30 +32,39 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
-    let result = match command.as_str() {
-        "list" => cmd_list(),
-        "train" => cmd_train(rest),
-        "train-all" => cmd_train_all(rest),
-        "recommend" => cmd_recommend(rest),
-        "schedules" => cmd_schedules(rest),
-        "sweep" => cmd_sweep(rest),
-        "dot" => cmd_dot(rest),
-        "trace" => cmd_trace(rest),
-        "doctor" => cmd_doctor(rest),
-        "metrics" => cmd_metrics(rest),
+    // Most commands either succeed or error; `runs diff` and
+    // `perf-report` additionally signal drift/regression through their
+    // exit code, so the dispatch carries an ExitCode.
+    let result: Result<ExitCode, String> = match command.as_str() {
+        "list" => done(cmd_list()),
+        "train" => done(cmd_train(rest)),
+        "train-all" => done(cmd_train_all(rest)),
+        "recommend" => done(cmd_recommend(rest)),
+        "schedules" => done(cmd_schedules(rest)),
+        "sweep" => done(cmd_sweep(rest)),
+        "dot" => done(cmd_dot(rest)),
+        "trace" => done(cmd_trace(rest)),
+        "doctor" => done(cmd_doctor(rest)),
+        "metrics" => done(cmd_metrics(rest)),
+        "runs" => cmd_runs(rest),
+        "perf-report" => cmd_perf_report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+fn done(r: Result<(), String>) -> Result<ExitCode, String> {
+    r.map(|()| ExitCode::SUCCESS)
 }
 
 const USAGE: &str = "\
@@ -66,8 +80,14 @@ USAGE:
   juggler dot <WORKLOAD> [--schedule N]
   juggler trace <WORKLOAD> [--machines N] [--width N] [--out FILE]
                  [--jsonl FILE] [--no-pipeline] [--threads N]
-  juggler doctor <WORKLOAD> [--threads N] [--timings]
-  juggler metrics <WORKLOAD> [--format prom|json] [--timings] [--threads N]
+  juggler doctor <WORKLOAD> [--threads N] [--timings] [--format text|json]
+  juggler metrics <WORKLOAD> [--format prom|json] [--output FILE]
+                 [--timings] [--threads N]
+  juggler runs record <WORKLOAD> [--threads N] [--store DIR]
+  juggler runs list [--store DIR]
+  juggler runs show <RUN> [--store DIR]
+  juggler runs diff <RUN_A> <RUN_B> [--store DIR] [--tol-coeff X] [--tol-pred X]
+  juggler perf-report [--results DIR] [--baselines DIR] [--write-baselines]
 
 WORKLOAD: KMEANS | LIR | LOR | PCA | RFC | SVM
 
@@ -77,6 +97,19 @@ prints model-quality (per-model LOO-CV winner and error) and decision
 (hotspot accept/reject reasons) diagnostics. `metrics` runs the same flow
 and exports the registry (Prometheus text by default); --timings includes
 host wall-clock gauges, which makes the output non-deterministic.
+`doctor --format json` emits the run's provenance manifest instead of the
+human report; `metrics --output FILE` writes the export to a file.
+
+`runs record` performs the doctor flow and files the resulting manifest
+(content-addressed by SHA-256) in the run ledger (default store:
+results/runs/). `runs diff` compares two manifests' hashed content and
+flags model-winner changes, coefficient drift beyond tolerance,
+prediction-error regressions, and counter drift; it exits 1 when drift is
+found. RUN accepts a run id, an unambiguous id prefix, or a manifest
+path. `perf-report` gates the committed/fresh BENCH_*.json artifacts
+against the baseline specs in results/baselines/ and exits 1 on any
+regression; --write-baselines regenerates the specs (normally done via
+scripts/refresh_baselines.sh so baseline churn is an explicit commit).
 
 --threads 0 (the default) auto-sizes the experiment worker pool from the
 JUGGLER_THREADS environment variable or the machine's parallelism;
@@ -466,11 +499,24 @@ fn cmd_doctor(args: &[String]) -> Result<(), String> {
         threads: threads_flag(args)?,
         ..TrainingConfig::default()
     };
+    let format = flag(args, "--format").unwrap_or_else(|| "text".to_owned());
+    if format != "text" && format != "json" {
+        return Err(format!(
+            "unknown --format `{format}` (expected text or json)"
+        ));
+    }
     eprintln!(
         "doctor: training {} with the metrics registry enabled...",
         w.name()
     );
     let report = juggler_suite::juggler::doctor(w.as_ref(), &config).map_err(|e| e.to_string())?;
+    if format == "json" {
+        // The machine-readable form is the provenance manifest itself —
+        // exactly what `runs record` files in the ledger.
+        let manifest = RunManifest::from_doctor(&report, &config, &w.paper_params());
+        print!("{}", manifest.to_json());
+        return Ok(());
+    }
     print!("{}", report.render());
     // Host wall-clock timings are kept out of the deterministic report.
     if args.iter().any(|a| a == "--timings") {
@@ -505,9 +551,339 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     } else {
         report.snapshot
     };
-    match format.as_str() {
-        "prom" => print!("{}", snapshot.to_prometheus()),
-        _ => println!("{}", snapshot.to_json()),
+    let rendered = match format.as_str() {
+        "prom" => snapshot.to_prometheus(),
+        _ => format!("{}\n", snapshot.to_json()),
+    };
+    match flag(args, "--output") {
+        Some(path) => {
+            std::fs::write(&path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} metrics to {path}", snapshot.metrics.len());
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+// ───────────────────────── run ledger commands ─────────────────────────
+
+/// The conventional ledger store, overridable with `--store DIR`.
+fn ledger_store(args: &[String]) -> obs::LedgerStore {
+    match flag(args, "--store") {
+        Some(dir) => obs::LedgerStore::new(dir),
+        None => obs::LedgerStore::under(Path::new(env!("CARGO_MANIFEST_DIR"))),
+    }
+}
+
+fn cmd_runs(args: &[String]) -> Result<ExitCode, String> {
+    let sub = args
+        .first()
+        .ok_or("runs needs a subcommand: record | list | show | diff")?;
+    let rest = &args[1..];
+    match sub.as_str() {
+        "record" => done(cmd_runs_record(rest)),
+        "list" => done(cmd_runs_list(rest)),
+        "show" => done(cmd_runs_show(rest)),
+        "diff" => cmd_runs_diff(rest),
+        other => Err(format!(
+            "unknown runs subcommand `{other}` (expected record | list | show | diff)"
+        )),
+    }
+}
+
+fn cmd_runs_record(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("runs record needs a workload name")?;
+    let w = find_workload(name)?;
+    let config = TrainingConfig {
+        threads: threads_flag(args)?,
+        ..TrainingConfig::default()
+    };
+    eprintln!("runs record: training {} (doctor flow)...", w.name());
+    let report = juggler_suite::juggler::doctor(w.as_ref(), &config).map_err(|e| e.to_string())?;
+    let manifest = RunManifest::from_doctor(&report, &config, &w.paper_params());
+    let store = ledger_store(args);
+    let path = store
+        .record(&manifest.content_hash, &manifest.to_json())
+        .map_err(|e| format!("recording manifest: {e}"))?;
+    println!(
+        "recorded run {} ({}: {} schedules, mean time err {}%)",
+        manifest.id(),
+        manifest.content.workload,
+        manifest.content.schedules.len(),
+        obs::fmt_sig(manifest.content.predictions.mean_time_rel_error * 100.0, 3)
+    );
+    println!("  {}", path.display());
+    Ok(())
+}
+
+fn cmd_runs_list(args: &[String]) -> Result<(), String> {
+    let store = ledger_store(args);
+    let runs = store
+        .list()
+        .map_err(|e| format!("reading ledger {}: {e}", store.root().display()))?;
+    if runs.is_empty() {
+        println!("no runs recorded in {}", store.root().display());
+        return Ok(());
+    }
+    println!(
+        "{:<16} {:<8} {:>9} {:>9} {:>6} {:>10} {:>14}",
+        "id", "workload", "examples", "features", "iters", "schedules", "mean time err"
+    );
+    for r in &runs {
+        println!(
+            "{:<16} {:<8} {:>9} {:>9} {:>6} {:>10} {:>14}",
+            r.id,
+            r.workload,
+            r.params.0,
+            r.params.1,
+            r.params.2,
+            r.schedules,
+            r.mean_time_rel_error.map_or_else(
+                || "-".to_owned(),
+                |e| format!("{}%", obs::fmt_sig(e * 100.0, 3))
+            )
+        );
+    }
+    Ok(())
+}
+
+fn load_manifest(store: &obs::LedgerStore, reference: &str) -> Result<RunManifest, String> {
+    let (path, raw) = store.load(reference)?;
+    RunManifest::from_json(&raw).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_runs_show(args: &[String]) -> Result<(), String> {
+    let reference = args.first().ok_or("runs show needs a run id or path")?;
+    let manifest = load_manifest(&ledger_store(args), reference)?;
+    print!("{}", render_manifest(&manifest));
+    Ok(())
+}
+
+fn cmd_runs_diff(args: &[String]) -> Result<ExitCode, String> {
+    let a_ref = args.first().ok_or("runs diff needs two run references")?;
+    let b_ref = args.get(1).ok_or("runs diff needs two run references")?;
+    let store = ledger_store(args);
+    let a = load_manifest(&store, a_ref)?;
+    let b = load_manifest(&store, b_ref)?;
+    if a.envelope.schema_version != b.envelope.schema_version {
+        return Err(format!(
+            "cannot diff across manifest schema versions ({} vs {})",
+            a.envelope.schema_version, b.envelope.schema_version
+        ));
+    }
+    let mut tol = DiffTolerances::default();
+    if let Some(v) = flag(args, "--tol-coeff") {
+        tol.coeff_rel = parse_num(&v, "--tol-coeff")?;
+    }
+    if let Some(v) = flag(args, "--tol-pred") {
+        tol.pred_err_abs = parse_num(&v, "--tol-pred")?;
+    }
+    let diff = ManifestDiff::between(&a, &b, &tol);
+    print!("{}", diff.render());
+    Ok(if diff.has_drift() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Deterministic `runs show` rendering of a manifest.
+fn render_manifest(m: &RunManifest) -> String {
+    let mut out = String::new();
+    let c = &m.content;
+    out.push_str(&format!("run {}\n", m.id()));
+    out.push_str(&format!("  content hash {}\n", m.content_hash));
+    out.push_str(&format!(
+        "  tool {} (schema {}), threads requested {} resolved {}\n",
+        m.envelope.tool,
+        m.envelope.schema_version,
+        m.envelope.threads_requested,
+        m.envelope.threads_resolved
+    ));
+    out.push_str(&format!(
+        "  {}  e {}  f {}  i {}  seed {:#x}  max machines {}  memory factor {}\n",
+        c.workload,
+        c.params.examples,
+        c.params.features,
+        c.params.iterations,
+        c.seed,
+        c.max_machines,
+        obs::fmt_sig(c.memory_factor, 6)
+    ));
+    out.push_str("  schedules\n");
+    for s in &c.schedules {
+        out.push_str(&format!(
+            "    [{}] {:<24} digest {}…  benefit {:>8}  budget {:>8}\n",
+            s.index,
+            s.notation,
+            &s.digest[..12.min(s.digest.len())],
+            obs::fmt_duration_s(s.benefit_s),
+            obs::fmt_bytes(s.budget_bytes)
+        ));
+    }
+    for (label, models) in [
+        ("size models", &c.size_models),
+        ("time models", &c.time_models),
+    ] {
+        out.push_str(&format!("  {label}\n"));
+        for r in models {
+            let coeffs: Vec<String> = r.model.coeffs.iter().map(|&x| obs::fmt_sig(x, 6)).collect();
+            out.push_str(&format!(
+                "    {:<9} {}  θ [{}]  cv {}%\n",
+                r.name,
+                r.model.spec,
+                coeffs.join(", "),
+                obs::fmt_sig(r.model.cv_error * 100.0, 3)
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "  predictions ({} options)\n",
+        c.predictions.entries.len()
+    ));
+    for p in &c.predictions.entries {
+        out.push_str(&format!(
+            "    [{}] {} machines  time {} pred / {} sim  size {} / {}  report {}…\n",
+            p.schedule_index,
+            p.machines,
+            obs::fmt_duration_s(p.predicted_time_s),
+            obs::fmt_duration_s(p.actual_time_s),
+            obs::fmt_bytes(p.predicted_size_bytes),
+            obs::fmt_bytes(p.actual_peak_bytes),
+            &p.report_digest[..12.min(p.report_digest.len())]
+        ));
+    }
+    out.push_str(&format!(
+        "    time error: mean {}%, max {}%   size error: mean {}%\n",
+        obs::fmt_sig(c.predictions.mean_time_rel_error * 100.0, 3),
+        obs::fmt_sig(c.predictions.max_time_rel_error * 100.0, 3),
+        obs::fmt_sig(c.predictions.mean_size_rel_error * 100.0, 3)
+    ));
+    out.push_str(&format!("  counters ({})\n", c.counters.len()));
+    for k in &c.counters {
+        out.push_str(&format!("    {:<36} {}\n", k.name, k.value));
+    }
+    out
+}
+
+// ───────────────────────── perf-regression gate ─────────────────────────
+
+fn results_dir(args: &[String]) -> PathBuf {
+    flag(args, "--results").map_or_else(
+        || Path::new(env!("CARGO_MANIFEST_DIR")).join("results"),
+        PathBuf::from,
+    )
+}
+
+fn baselines_dir(args: &[String], results: &Path) -> PathBuf {
+    flag(args, "--baselines").map_or_else(|| results.join("baselines"), PathBuf::from)
+}
+
+/// Bench artifact name (`metrics_overhead`) from a `BENCH_*.json` file
+/// name, if it is one.
+fn bench_name(file_name: &str) -> Option<&str> {
+    file_name.strip_prefix("BENCH_")?.strip_suffix(".json")
+}
+
+fn cmd_perf_report(args: &[String]) -> Result<ExitCode, String> {
+    let results = results_dir(args);
+    let baselines = baselines_dir(args, &results);
+
+    if args.iter().any(|a| a == "--write-baselines") {
+        return done(write_baselines(&results, &baselines));
+    }
+
+    let mut specs = Vec::new();
+    let entries = std::fs::read_dir(&baselines)
+        .map_err(|e| format!("reading baselines {}: {e}", baselines.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let raw = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let spec =
+            obs::BaselineSpec::from_json(&raw).map_err(|e| format!("{}: {e}", path.display()))?;
+        specs.push(spec);
+    }
+    specs.sort_by(|a, b| a.source.cmp(&b.source));
+    if specs.is_empty() {
+        return Err(format!(
+            "no baseline specs in {} (run scripts/refresh_baselines.sh)",
+            baselines.display()
+        ));
+    }
+
+    let mut report = obs::PerfReport::default();
+    for spec in &specs {
+        let fresh_path = results.join(&spec.source);
+        let bench = match std::fs::read_to_string(&fresh_path) {
+            Ok(raw) => {
+                let fresh: serde_json::Value = serde_json::from_str(&raw)
+                    .map_err(|e| format!("{}: {e}", fresh_path.display()))?;
+                spec.evaluate(&fresh)
+            }
+            Err(e) => obs::BenchReport {
+                source: spec.source.clone(),
+                outcomes: vec![obs::CheckOutcome {
+                    path: "(artifact)".to_owned(),
+                    detail: format!("missing fresh artifact {}: {e}", fresh_path.display()),
+                    pass: false,
+                }],
+            },
+        };
+        report.benches.push(bench);
+    }
+    print!("{}", report.render());
+    Ok(if report.has_regressions() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Regenerates every baseline spec from the current `BENCH_*.json`
+/// artifacts (the implementation behind `scripts/refresh_baselines.sh`).
+fn write_baselines(results: &Path, baselines: &Path) -> Result<(), String> {
+    let entries = std::fs::read_dir(results)
+        .map_err(|e| format!("reading results {}: {e}", results.display()))?;
+    let mut wrote = 0usize;
+    let mut names: Vec<String> = Vec::new();
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let Some(file_name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if bench_name(file_name).is_some() {
+            names.push(file_name.to_owned());
+        }
+    }
+    names.sort();
+    std::fs::create_dir_all(baselines)
+        .map_err(|e| format!("creating {}: {e}", baselines.display()))?;
+    for file_name in &names {
+        let name = bench_name(file_name).expect("filtered above");
+        let Some(checks) = obs::default_checks(name) else {
+            eprintln!("skipping {file_name}: no gate policy for `{name}`");
+            continue;
+        };
+        let raw = std::fs::read_to_string(results.join(file_name))
+            .map_err(|e| format!("reading {file_name}: {e}"))?;
+        let doc: serde_json::Value =
+            serde_json::from_str(&raw).map_err(|e| format!("{file_name}: {e}"))?;
+        let spec = obs::BaselineSpec::new(file_name, checks, doc);
+        let out = baselines.join(file_name);
+        std::fs::write(&out, spec.to_json())
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!("baseline {} ({} checks)", out.display(), spec.checks.len());
+        wrote += 1;
+    }
+    if wrote == 0 {
+        return Err(format!(
+            "no gateable BENCH_*.json artifacts found in {}",
+            results.display()
+        ));
     }
     Ok(())
 }

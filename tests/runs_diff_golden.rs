@@ -1,0 +1,179 @@
+//! Golden test for the `juggler runs diff` transcript: two synthetic
+//! manifests with a representative spread of drift (model winner flip,
+//! coefficient drift, budget change, prediction regression, counter
+//! drift) must render byte-for-byte as the committed golden file. The
+//! fixture is hand-built rather than trained, so the transcript pins
+//! the *diff renderer*, independent of calibration changes upstream.
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test --test runs_diff_golden`
+//! and review the diff.
+
+use juggler_suite::juggler::pipeline::TrainingCosts;
+use juggler_suite::juggler::provenance::{
+    CounterRecord, DiffTolerances, ManifestContent, ManifestDiff, ManifestEnvelope, ModelRecord,
+    PredictionRecord, PredictionsRecord, RunManifest, ScheduleRecord, SCHEMA_VERSION,
+};
+use juggler_suite::modeling::ModelSummary;
+use juggler_suite::workloads::WorkloadParams;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/runs_diff_small.txt")
+}
+
+/// A fixed reference manifest, in the shape `juggler runs record TINY`
+/// produces.
+fn reference() -> RunManifest {
+    let content = ManifestContent {
+        workload: "TINY".into(),
+        params: WorkloadParams {
+            examples: 4_000,
+            features: 800,
+            iterations: 4,
+            partitions: 4,
+        },
+        seed: 0x5EED,
+        max_machines: 12,
+        memory_factor: 1.08,
+        schedules: vec![
+            ScheduleRecord {
+                index: 0,
+                notation: "P(D2@D0)".into(),
+                digest: "ab".repeat(32),
+                benefit_s: 12.5,
+                budget_bytes: 12_800_000,
+            },
+            ScheduleRecord {
+                index: 1,
+                notation: "P(D2@D0) U(D2@D4)".into(),
+                digest: "ba".repeat(32),
+                benefit_s: 9.75,
+                budget_bytes: 25_600_000,
+            },
+        ],
+        size_models: vec![ModelRecord {
+            name: "size D2".into(),
+            model: ModelSummary {
+                spec: "e·f".into(),
+                coeffs: vec![0.016],
+                cv_error: 0.001,
+            },
+        }],
+        time_models: vec![ModelRecord {
+            name: "time [0]".into(),
+            model: ModelSummary {
+                spec: "1 + e·f".into(),
+                coeffs: vec![30.0, 3.2e-7],
+                cv_error: 0.02,
+            },
+        }],
+        training_costs: TrainingCosts::default(),
+        predictions: PredictionsRecord {
+            entries: vec![PredictionRecord {
+                schedule_index: 0,
+                machines: 4,
+                predicted_time_s: 100.0,
+                actual_time_s: 104.0,
+                predicted_size_bytes: 12_700_000,
+                actual_peak_bytes: 12_750_000,
+                report_digest: "cd".repeat(32),
+            }],
+            mean_time_rel_error: 0.04,
+            max_time_rel_error: 0.04,
+            mean_size_rel_error: 0.05,
+        },
+        counters: vec![
+            CounterRecord {
+                name: "prediction_validations_total".into(),
+                value: 2,
+            },
+            CounterRecord {
+                name: "sim_cache_hits_total".into(),
+                value: 42,
+            },
+            CounterRecord {
+                name: "sim_runs_total".into(),
+                value: 11,
+            },
+        ],
+    };
+    let content_hash = content.hash();
+    RunManifest {
+        envelope: ManifestEnvelope {
+            schema_version: SCHEMA_VERSION,
+            tool: "juggler doctor".into(),
+            threads_requested: 0,
+            threads_resolved: 8,
+        },
+        content,
+        content_hash,
+    }
+}
+
+/// The reference with a representative spread of drift applied.
+fn drifted() -> RunManifest {
+    let mut m = reference();
+    let c = &mut m.content;
+    c.memory_factor = 1.11;
+    c.schedules[1].budget_bytes = 27_200_000;
+    c.size_models[0].model.spec = "e + e·f".into();
+    c.size_models[0].model.coeffs = vec![120.0, 0.015];
+    c.time_models[0].model.coeffs[1] = 3.36e-7;
+    c.predictions.mean_time_rel_error = 0.09;
+    c.predictions.max_time_rel_error = 0.09;
+    c.predictions.entries[0].report_digest = "dc".repeat(32);
+    c.counters[1].value = 45;
+    c.counters.push(CounterRecord {
+        name: "spill_events_total".into(),
+        value: 3,
+    });
+    c.counters.sort_by(|a, b| a.name.cmp(&b.name));
+    m.content_hash = m.content.hash();
+    m
+}
+
+#[test]
+fn runs_diff_transcript_matches_golden_file() {
+    let a = reference();
+    let b = drifted();
+    let tol = DiffTolerances::default();
+
+    let clean = ManifestDiff::between(&a, &a.clone(), &tol);
+    assert!(!clean.has_drift());
+    let diff = ManifestDiff::between(&a, &b, &tol);
+    assert!(diff.has_drift());
+
+    let got = format!(
+        "$ juggler runs diff {a_id} {a_id}\n{clean}\n$ juggler runs diff {a_id} {b_id}\n{drift}",
+        a_id = a.id(),
+        b_id = b.id(),
+        clean = clean.render(),
+        drift = diff.render(),
+    );
+
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test runs_diff_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "runs diff transcript drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn drift_categories_cover_the_contract() {
+    let diff = ManifestDiff::between(&reference(), &drifted(), &DiffTolerances::default());
+    let cats: Vec<&str> = diff.drifts.iter().map(|d| d.category).collect();
+    for expected in ["model", "coeff", "schedule", "prediction", "counter"] {
+        assert!(cats.contains(&expected), "missing {expected}: {cats:?}");
+    }
+}
