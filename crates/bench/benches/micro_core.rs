@@ -115,7 +115,7 @@ fn bench_simulator(c: &mut Criterion) {
     };
     c.bench_function("simulate_lor_sample_run", |b| {
         b.iter(|| {
-            let engine = Engine::new(&app, cluster, sim);
+            let engine = Engine::new(&app, cluster, sim.clone());
             engine
                 .run(&Schedule::empty(), RunOptions::default())
                 .unwrap()

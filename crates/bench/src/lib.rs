@@ -61,7 +61,7 @@ pub fn sweep(
     let machines: Vec<u32> = MACHINE_RANGE.collect();
     juggler::parallel::run_indexed(machines.len(), 0, |i| {
         let m = machines[i];
-        let mut sim = sim_base;
+        let mut sim = sim_base.clone();
         sim.seed = RUN_SEED ^ (u64::from(m) << 8);
         let engine = Engine::new(&app, ClusterConfig::new(m, spec), sim);
         engine

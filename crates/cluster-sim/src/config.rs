@@ -131,22 +131,6 @@ impl ClusterConfig {
     }
 }
 
-/// A machine failure to inject: at the start of the first job at or after
-/// `at_seconds`, the machine's executor is lost and every cached block it
-/// held disappears. The machine is immediately replaced (YARN restarts the
-/// container), so compute capacity is unchanged — what the run loses is
-/// cached state, which Spark recovers through lineage recomputation. This
-/// is the fault-tolerance story of the RDD paper, and it exercises
-/// Juggler's robustness: a failure mid-run costs one recomputation wave,
-/// not a wrong answer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct FailureSpec {
-    /// Index of the machine whose executor dies.
-    pub machine: u32,
-    /// Simulated time of the failure, seconds.
-    pub at_seconds: f64,
-}
-
 /// Task-duration noise: a lognormal factor `exp(σ·z)` on every task plus
 /// rare stragglers — the "uncertain internal cluster dynamics and
 /// stragglers" of §7.3/§7.5 that make some recommendations near-optimal
@@ -191,7 +175,7 @@ impl Default for NoiseParams {
 /// Engine-level simulation parameters. The workload crate ships calibrated
 /// values per application; these defaults describe a generic Spark 2.4 +
 /// YARN deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimParams {
     /// One-off application start-up (container launch, context init).
     pub app_startup_s: f64,
@@ -228,8 +212,13 @@ pub struct SimParams {
     /// training data) noisy while leaving long runs essentially
     /// unaffected.
     pub cluster_jitter_s: f64,
-    /// Optional injected executor failure (lineage-recovery testing).
-    pub failure: Option<FailureSpec>,
+    /// Ordered schedule of injected fault events (executor loss, slow
+    /// nodes, transient task failures, memory pressure). Empty by
+    /// default: a run with an empty plan is byte-identical to one with
+    /// no chaos layer at all.
+    pub faults: crate::fault::FaultPlan,
+    /// Fault-tolerance policy: task retry, blacklisting, speculation.
+    pub retry: crate::fault::RetryPolicy,
     /// RNG seed; equal seeds give bit-identical runs.
     pub seed: u64,
 }
@@ -247,7 +236,8 @@ impl Default for SimParams {
             eviction_policy: crate::eviction::EvictionPolicyKind::Lru,
             noise: NoiseParams::default(),
             cluster_jitter_s: 12.0,
-            failure: None,
+            faults: crate::fault::FaultPlan::default(),
+            retry: crate::fault::RetryPolicy::default(),
             seed: 0xC0FFEE,
         }
     }

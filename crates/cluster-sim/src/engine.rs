@@ -16,6 +16,7 @@ use dagflow::{
 
 use crate::config::{ClusterConfig, SimParams};
 use crate::executor::{run_stage, ExecutorState};
+use crate::fault::{ChaosState, FaultSummary};
 use crate::memory::BlockStore;
 use crate::report::{CacheStats, RunReport, StageTiming};
 use crate::rng::TaskNoise;
@@ -42,7 +43,7 @@ pub struct RunOptions {
 /// of `HashMap` iteration order.
 /// Feeds one finished run's counters into the global metrics registry.
 /// A single branch when the registry is disabled (the default).
-fn record_run_metrics(counters: &TraceCounters, total_tasks: u64) {
+fn record_run_metrics(counters: &TraceCounters, total_tasks: u64, faults: &FaultSummary) {
     let reg = obs::global();
     if !reg.enabled() {
         return;
@@ -83,12 +84,69 @@ fn record_run_metrics(counters: &TraceCounters, total_tasks: u64) {
         "tasks that gave up on their cache-local machine and ran elsewhere",
     )
     .add(counters.locality_fallbacks);
+    // Chaos counters register only when non-zero: fault-free runs leave
+    // the registry (and every golden pinned on it) exactly as before.
+    for (value, name, help) in [
+        (
+            faults.failed_attempts,
+            "sim_task_failures_total",
+            "task attempts that failed from injected transient failures",
+        ),
+        (
+            faults.retried_attempts,
+            "sim_task_retries_total",
+            "failed task attempts that were retried",
+        ),
+        (
+            faults.exhausted_tasks,
+            "sim_retry_exhausted_total",
+            "tasks whose retry budget was exhausted",
+        ),
+        (
+            faults.slowed_tasks,
+            "sim_slowed_tasks_total",
+            "task attempts slowed by a slow-node window",
+        ),
+        (
+            faults.speculative_launched,
+            "sim_speculative_tasks_total",
+            "speculative task copies launched",
+        ),
+        (
+            faults.speculative_wins,
+            "sim_speculative_wins_total",
+            "speculative copies that beat the original attempt",
+        ),
+        (
+            faults.blacklist.len() as u64,
+            "sim_blacklisted_machines_total",
+            "machines blacklisted after repeated task failures",
+        ),
+        (
+            faults.fired_count() as u64,
+            "sim_faults_fired_total",
+            "planned fault events that took effect",
+        ),
+        (
+            faults.unfired_count() as u64,
+            "sim_faults_unfired_total",
+            "planned fault events that did not fire",
+        ),
+    ] {
+        if value > 0 {
+            reg.counter(name, help).add(value);
+        }
+    }
 }
 
-fn gather_counters(store: &BlockStore, state: &ExecutorState) -> TraceCounters {
+fn gather_counters(store: &BlockStore, state: &ExecutorState, chaos: &ChaosState) -> TraceCounters {
+    let (task_retries, speculative_tasks, blacklisted_machines) = chaos.counter_snapshot();
     let mut c = TraceCounters {
         spills: state.spilled_tasks,
         locality_fallbacks: state.locality_fallbacks,
+        task_retries,
+        speculative_tasks,
+        blacklisted_machines,
         ..TraceCounters::default()
     };
     for s in store.stats().values() {
@@ -221,18 +279,15 @@ impl<'a> Engine<'a> {
         let mut traces = Vec::new();
         let mut recorder = TraceRecorder::new(options.trace);
 
-        let mut pending_failure = self.params.failure;
+        let mut chaos = ChaosState::new(&self.params.faults, self.params.retry, machines as usize);
         for ji in 0..self.app.jobs().len() {
             let job = JobId(ji as u32);
             let job_start = now;
-            // Injected executor loss: all cached blocks on the machine are
-            // gone; the replacement container keeps computing.
-            if let Some(f) = pending_failure {
-                if now >= f.at_seconds && (f.machine as usize) < store.machine_count() {
-                    store.lose_machine(f.machine as usize);
-                    pending_failure = None;
-                }
-            }
+            // Boundary fault events (executor loss, memory pressure) due
+            // at this job start take effect now; events scheduled after
+            // the last boundary are reported as "not fired" in the
+            // summary instead of being silently dropped.
+            chaos.fire_due(now, &mut store, &mut state);
             // Refresh DAG-aware eviction hints: remaining references and
             // next-use distance from this job onward.
             let hints: HashMap<DatasetId, crate::eviction::DatasetHints> = job_uses
@@ -279,6 +334,7 @@ impl<'a> Engine<'a> {
                     &env,
                     &mut store,
                     &mut state,
+                    &mut chaos,
                     job,
                     stage,
                     &consumers,
@@ -295,7 +351,7 @@ impl<'a> Engine<'a> {
                 });
                 if recorder.enabled() {
                     recorder.stage_span(job.0, stage.id.0, stage_start, now, stage.num_tasks);
-                    recorder.counter_snapshot(now, gather_counters(&store, &state));
+                    recorder.counter_snapshot(now, gather_counters(&store, &state, &chaos));
                 }
             }
             // Serial driver work: job bookkeeping plus per-machine
@@ -319,8 +375,9 @@ impl<'a> Engine<'a> {
             per_job_cache.push(deltas);
         }
 
-        let final_counters = gather_counters(&store, &state);
-        record_run_metrics(&final_counters, state.total_tasks);
+        let final_counters = gather_counters(&store, &state, &chaos);
+        let faults = chaos.finish(now);
+        record_run_metrics(&final_counters, state.total_tasks, &faults);
         let trace = recorder.finish(final_counters);
         let cache = CacheStats {
             peak_storage_bytes: store.peak_storage(),
@@ -340,6 +397,8 @@ impl<'a> Engine<'a> {
             trace,
             spilled_tasks: state.spilled_tasks,
             total_tasks: state.total_tasks,
+            task_attempts: state.task_attempts,
+            faults,
         })
     }
 }
@@ -494,7 +553,7 @@ mod tests {
             noise: NoiseParams::NONE,
             ..SimParams::default()
         };
-        let engine = Engine::new(&app, cluster, params);
+        let engine = Engine::new(&app, cluster, params.clone());
         let r = engine
             .run(
                 &Schedule::persist_all([DatasetId(1)]),

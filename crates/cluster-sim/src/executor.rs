@@ -12,6 +12,7 @@
 
 use dagflow::{DatasetId, JobId, Stage};
 
+use crate::fault::ChaosState;
 use crate::memory::BlockStore;
 use crate::report::TaskTrace;
 use crate::rng::TaskNoise;
@@ -21,6 +22,66 @@ use crate::trace::TraceRecorder;
 /// How long a task will wait for its preferred (cache-local) machine before
 /// falling back to any machine, seconds. Mirrors `spark.locality.wait = 3s`.
 const LOCALITY_WAIT_S: f64 = 3.0;
+
+/// A finite `f64` with a total order, for the running-median heaps.
+#[derive(PartialEq)]
+struct FiniteF64(f64);
+
+impl Eq for FiniteF64 {}
+
+impl PartialOrd for FiniteF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FiniteF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite durations")
+    }
+}
+
+/// Running lower median of completed task durations in a stage, via the
+/// classic two-heap scheme: `lo` (max-heap) holds the smaller half
+/// including the median, `hi` (min-heap) the larger half. O(log n) per
+/// insert and O(1) per query — a sorted `Vec` costs an O(n) memmove per
+/// insert, which at paper scale (thousands of tasks per run) blows the
+/// chaos machinery's fault-free overhead budget.
+#[derive(Default)]
+struct RunningMedian {
+    lo: std::collections::BinaryHeap<FiniteF64>,
+    hi: std::collections::BinaryHeap<std::cmp::Reverse<FiniteF64>>,
+}
+
+impl RunningMedian {
+    fn insert(&mut self, x: f64) {
+        if self.lo.peek().is_none_or(|m| x <= m.0) {
+            self.lo.push(FiniteF64(x));
+        } else {
+            self.hi.push(std::cmp::Reverse(FiniteF64(x)));
+        }
+        // Rebalance so lo holds ⌈n/2⌉ elements (its max is the lower
+        // median, matching `sorted[(n - 1) / 2]`).
+        if self.lo.len() > self.hi.len() + 1 {
+            let FiniteF64(x) = self.lo.pop().expect("lo non-empty");
+            self.hi.push(std::cmp::Reverse(FiniteF64(x)));
+        } else if self.hi.len() > self.lo.len() {
+            let std::cmp::Reverse(FiniteF64(x)) = self.hi.pop().expect("hi non-empty");
+            self.lo.push(FiniteF64(x));
+        }
+    }
+
+    fn get(&self) -> f64 {
+        self.lo.peek().expect("median of at least one task").0
+    }
+
+    /// Empties both heaps, keeping their capacity so the structure can be
+    /// reused across stages without reallocating.
+    fn clear(&mut self) {
+        self.lo.clear();
+        self.hi.clear();
+    }
+}
 
 /// Total task slots of a cluster. Both factors are widened to `usize`
 /// *before* multiplying: the old `(machines * cores) as usize` computed the
@@ -44,9 +105,17 @@ pub struct ExecutorState {
     pub spilled_tasks: u64,
     /// Total tasks executed.
     pub total_tasks: u64,
+    /// Total task attempts, including retried failures and speculative
+    /// copies (equals `total_tasks` in fault-free runs).
+    pub task_attempts: u64,
     /// Tasks that preferred their cache-local machine but ran elsewhere
     /// because the locality wait was exceeded.
     pub locality_fallbacks: u64,
+    /// Scratch running-median of completed task durations for speculation
+    /// detection, cleared at every stage start. Lives here (not in
+    /// `run_stage`) so heap capacity is reused across the hundreds of
+    /// stages of an iterative run instead of reallocated per stage.
+    spec_durations: RunningMedian,
 }
 
 impl ExecutorState {
@@ -59,7 +128,9 @@ impl ExecutorState {
             noise,
             spilled_tasks: 0,
             total_tasks: 0,
+            task_attempts: 0,
             locality_fallbacks: 0,
+            spec_durations: RunningMedian::default(),
         }
     }
 
@@ -78,14 +149,75 @@ impl ExecutorState {
     }
 }
 
+/// Picks the core for a task attempt:
+/// `(slot, free_at, locality_fallback)`. The fast path (no blacklist, no
+/// machine to avoid) is the pre-chaos locality logic unchanged; the
+/// constrained path excludes blacklisted machines and — when an
+/// alternative exists — the machine a previous attempt just failed on.
+/// If the constraints exclude everything, they are ignored: the run must
+/// terminate.
+fn choose_slot(
+    state: &ExecutorState,
+    chaos: &ChaosState,
+    machines: usize,
+    cores: usize,
+    preferred: Option<usize>,
+    avoid: Option<usize>,
+) -> (usize, f64, bool) {
+    let earliest_core = |m: usize| -> (usize, f64) {
+        let base = m * cores;
+        (0..cores)
+            .map(|c| (base + c, state.core_free[base + c]))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .expect("cores >= 1")
+    };
+    let constrained = avoid.is_some() || chaos.constrained();
+    let allowed =
+        |m: usize| -> bool { !chaos.is_excluded(m) && (avoid != Some(m) || machines == 1) };
+    let global_best = if constrained {
+        (0..machines)
+            .filter(|&m| allowed(m))
+            .map(earliest_core)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+    } else {
+        None
+    }
+    .unwrap_or_else(|| {
+        (0..machines)
+            .map(earliest_core)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .expect("machines >= 1")
+    });
+    match preferred {
+        Some(m) if !constrained || allowed(m) => {
+            let local = earliest_core(m);
+            if local.1 <= global_best.1 + LOCALITY_WAIT_S {
+                (local.0, local.1, m != local.0 / cores)
+            } else {
+                (global_best.0, global_best.1, m != global_best.0 / cores)
+            }
+        }
+        Some(m) => (
+            global_best.0,
+            global_best.1,
+            m != global_best.0 / cores, // preferred machine excluded
+        ),
+        None => (global_best.0, global_best.1, false),
+    }
+}
+
 /// Runs one stage starting at `stage_start`; returns the stage finish time
 /// and appends traces when tracing is on. Structured span events (tasks,
-/// waves) go to `recorder` when it is enabled.
+/// waves) go to `recorder` when it is enabled. `chaos` carries the run's
+/// fault plan and retry policy; with an empty plan and the default policy
+/// the stage executes the exact fault-free arithmetic (zero extra RNG
+/// draws), so reports stay byte-identical.
 #[allow(clippy::too_many_arguments)]
 pub fn run_stage(
     env: &TaskEnv<'_>,
     store: &mut BlockStore,
     state: &mut ExecutorState,
+    chaos: &mut ChaosState,
     job: JobId,
     stage: &Stage,
     shuffle_consumers: &[DatasetId],
@@ -95,6 +227,15 @@ pub fn run_stage(
 ) -> f64 {
     let machines = env.cluster.machines as usize;
     let cores = env.cluster.spec.cores as usize;
+    let policy = chaos.policy();
+    // Completed-task durations for speculation, kept sorted so detection
+    // uses the *median* like Spark's TaskSetManager — a mean would be
+    // inflated by the very stragglers speculation hunts, pushing
+    // detection so late the copy can never win. Only maintained when
+    // speculation is on, keeping the fault-free hot path unchanged.
+    let track_speculation = policy.speculation && machines > 1;
+    let mut done_tasks: u64 = 0;
+    state.spec_durations.clear();
     // Wave bookkeeping for the structured trace: wave `w` holds the tasks
     // dispatched onto the `w`-th round of cluster slots.
     let slots = total_slots(env.cluster.machines, env.cluster.spec.cores).max(1);
@@ -122,64 +263,162 @@ pub fn run_stage(
             .filter(|&&d| env.persisted[d.index()])
             .find_map(|&d| store.residency(d, task_idx));
 
-        // Earliest core per machine.
-        let earliest_core = |state: &ExecutorState, m: usize| -> (usize, f64) {
-            let base = m * cores;
-            (0..cores)
-                .map(|c| (base + c, state.core_free[base + c]))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
-                .expect("cores >= 1")
+        // Attempt loop: a transient failure kills the attempt halfway
+        // through, releases its core and memory at the failure instant,
+        // and reschedules after a linear backoff on a different machine
+        // when one exists. A failed attempt's cache reads and inserts
+        // stand — the retry recomputes through whatever lineage state the
+        // first attempt left behind, which is exactly Spark's behaviour.
+        let mut attempt: u32 = 0;
+        let mut avoid: Option<usize> = None;
+        let mut retry_ready = 0.0f64;
+        let (slot, machine, start, claimed, mut walk, duration, spilled, fell_back) = loop {
+            let (slot, slot_free, locality_fallback) =
+                choose_slot(state, chaos, machines, cores, preferred, avoid);
+            let machine = slot / cores;
+            if locality_fallback {
+                state.locality_fallbacks += 1;
+            }
+            let start = slot_free
+                .max(dispatch_ready)
+                .max(stage_start)
+                .max(retry_ready);
+
+            // Memory: release expired claims, then claim for this task.
+            state.expire_claims(store, machine, start);
+            let claimed = store.claim_exec(machine, exec_bytes);
+
+            let walk = walk_task(
+                env,
+                store,
+                machine,
+                stage.output,
+                task_idx,
+                shuffle_consumers,
+            );
+            let (noise_factor, is_straggler) = state.noise.sample();
+            let mut duration = walk.duration * noise_factor;
+            if is_straggler {
+                // GC pauses and slow containers have an absolute
+                // magnitude: a straggler never finishes faster than the
+                // floor, no matter how tiny its partition is.
+                duration = duration.max(state.noise.straggler_floor_s());
+            }
+            let spilled = claimed < exec_bytes;
+            if spilled {
+                duration *= env.params.spill_penalty;
+                state.spilled_tasks += 1;
+            }
+            let slow = chaos.slow_factor(machine, start);
+            if slow != 1.0 {
+                duration *= slow;
+            }
+            state.task_attempts += 1;
+            if chaos.take_failure(start) {
+                if attempt + 1 < policy.max_attempts {
+                    let fail_at = start + duration * 0.5;
+                    state.core_free[slot] = fail_at;
+                    store.release_exec(machine, claimed);
+                    chaos.record_retry(machine, fail_at);
+                    attempt += 1;
+                    avoid = if machines > 1 { Some(machine) } else { None };
+                    retry_ready = fail_at + policy.retry_backoff_s * f64::from(attempt);
+                    continue;
+                }
+                // Retry budget exhausted: real Spark fails the job after
+                // max_attempts; the simulator completes the final attempt
+                // and records the exhaustion so chaos runs terminate.
+                chaos.note_exhausted();
+            }
+            break (
+                slot,
+                machine,
+                start,
+                claimed,
+                walk,
+                duration,
+                spilled,
+                locality_fallback,
+            );
         };
-        let global_best = (0..machines)
-            .map(|m| earliest_core(state, m))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
-            .expect("machines >= 1");
-        let (slot, slot_free) = match preferred {
-            Some(m) => {
-                let local = earliest_core(state, m);
-                if local.1 <= global_best.1 + LOCALITY_WAIT_S {
-                    local
-                } else {
-                    global_best
+        let mut finish = start + duration;
+        let mut eff_duration = duration;
+
+        // Speculative execution: once enough tasks of the stage finished,
+        // a running attempt that exceeds multiplier × mean is copied onto
+        // another machine; whichever copy finishes first wins and the
+        // loser is killed at that instant.
+        let mut winner = (machine, slot, start);
+        let mut speculated = false;
+        if track_speculation && done_tasks >= u64::from(policy.speculation_min_tasks) {
+            let median = state.spec_durations.get();
+            if duration > policy.speculation_multiplier * median {
+                let detect_at = start + policy.speculation_multiplier * median;
+                let copy_best = (0..machines)
+                    .filter(|&m| m != machine && !chaos.is_excluded(m))
+                    .map(|m| {
+                        let base = m * cores;
+                        (0..cores)
+                            .map(|c| (base + c, state.core_free[base + c]))
+                            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+                            .expect("cores >= 1")
+                    })
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+                if let Some((cslot, cfree)) = copy_best {
+                    let cmachine = cslot / cores;
+                    let cstart = cfree.max(detect_at);
+                    state.expire_claims(store, cmachine, cstart);
+                    let cclaimed = store.claim_exec(cmachine, exec_bytes);
+                    let cwalk = walk_task(
+                        env,
+                        store,
+                        cmachine,
+                        stage.output,
+                        task_idx,
+                        shuffle_consumers,
+                    );
+                    let (cnoise, cstraggler) = state.noise.sample();
+                    let mut cduration = cwalk.duration * cnoise;
+                    if cstraggler {
+                        cduration = cduration.max(state.noise.straggler_floor_s());
+                    }
+                    if cclaimed < exec_bytes {
+                        cduration *= env.params.spill_penalty;
+                        state.spilled_tasks += 1;
+                    }
+                    let cslow = chaos.slow_factor(cmachine, cstart);
+                    if cslow != 1.0 {
+                        cduration *= cslow;
+                    }
+                    state.task_attempts += 1;
+                    let cfinish = cstart + cduration;
+                    let won = cfinish < finish;
+                    chaos.note_speculative(won);
+                    let effective = cfinish.min(finish);
+                    state.core_free[cslot] = effective.max(cstart);
+                    state.exec_claims[cmachine].push((effective.max(cstart), cclaimed));
+                    state.core_free[slot] = effective;
+                    state.exec_claims[machine].push((effective, claimed));
+                    if won {
+                        finish = cfinish;
+                        winner = (cmachine, cslot, cstart);
+                        walk = cwalk;
+                        eff_duration = cduration;
+                    }
+                    speculated = true;
                 }
             }
-            None => global_best,
-        };
-        let machine = slot / cores;
-        let locality_fallback = preferred.is_some_and(|m| m != machine);
-        if locality_fallback {
-            state.locality_fallbacks += 1;
         }
-        let start = slot_free.max(dispatch_ready).max(stage_start);
-
-        // Memory: release expired claims, then claim for this task.
-        state.expire_claims(store, machine, start);
-        let claimed = store.claim_exec(machine, exec_bytes);
-
-        let mut walk = walk_task(
-            env,
-            store,
-            machine,
-            stage.output,
-            task_idx,
-            shuffle_consumers,
-        );
-        let (noise_factor, is_straggler) = state.noise.sample();
-        let mut duration = walk.duration * noise_factor;
-        if is_straggler {
-            // GC pauses and slow containers have an absolute magnitude: a
-            // straggler never finishes faster than the floor, no matter
-            // how tiny its partition is.
-            duration = duration.max(state.noise.straggler_floor_s());
+        if !speculated {
+            state.core_free[slot] = finish;
+            state.exec_claims[machine].push((finish, claimed));
         }
-        if claimed < exec_bytes {
-            duration *= env.params.spill_penalty;
-            state.spilled_tasks += 1;
-        }
+        let (run_machine, run_slot, run_start) = winner;
         state.total_tasks += 1;
-        let finish = start + duration;
-        state.core_free[slot] = finish;
-        state.exec_claims[machine].push((finish, claimed));
+        done_tasks += 1;
+        if track_speculation {
+            state.spec_durations.insert(eff_duration);
+        }
         stage_finish = stage_finish.max(finish);
 
         if recorder.enabled() {
@@ -187,12 +426,12 @@ pub fn run_stage(
                 job.0,
                 stage.id.0,
                 task_idx,
-                machine as u32,
-                (slot % cores) as u32,
-                start,
+                run_machine as u32,
+                (run_slot % cores) as u32,
+                run_start,
                 finish,
-                claimed < exec_bytes,
-                locality_fallback,
+                spilled,
+                fell_back,
             );
             let wave = task_idx as usize / slots;
             if waves.len() <= wave {
@@ -206,22 +445,22 @@ pub fn run_stage(
 
         if env.trace {
             // Shift step offsets to absolute times, scaled to the noisy
-            // duration so steps still tile the task exactly.
+            // duration so steps still tile the (winning) attempt exactly.
             let scale = if walk.duration > 0.0 {
-                duration / walk.duration
+                eff_duration / walk.duration
             } else {
                 1.0
             };
             for s in &mut walk.steps {
-                s.start = start + s.start * scale;
-                s.finish = start + s.finish * scale;
+                s.start = run_start + s.start * scale;
+                s.finish = run_start + s.finish * scale;
             }
             traces.push(TaskTrace {
                 job,
                 stage: stage.id,
                 task: task_idx,
-                machine: machine as u32,
-                start,
+                machine: run_machine as u32,
+                start: run_start,
                 finish,
                 steps: walk.steps,
             });
@@ -247,7 +486,16 @@ mod tests {
     use crate::trace::TraceConfig;
 
     use crate::config::{ClusterConfig, MachineSpec, NoiseParams, SimParams};
+    use crate::fault::{FaultPlan, RetryPolicy};
     use crate::task::Sizing;
+
+    fn inert_chaos(machines: u32) -> ChaosState {
+        ChaosState::new(
+            &FaultPlan::none(),
+            RetryPolicy::default(),
+            machines as usize,
+        )
+    }
 
     fn fixture(partitions: u32) -> Application {
         let mut b = AppBuilder::new("exec");
@@ -307,10 +555,12 @@ mod tests {
             let plan = StagePlan::build(&app, dagflow::JobId(0));
             let mut traces = Vec::new();
             let mut recorder = TraceRecorder::new(TraceConfig::default());
+            let mut chaos = inert_chaos(machines);
             let finish = run_stage(
                 &env,
                 &mut store,
                 &mut state,
+                &mut chaos,
                 dagflow::JobId(0),
                 plan.result_stage(),
                 &[],
@@ -348,10 +598,12 @@ mod tests {
         let plan = StagePlan::build(&app, dagflow::JobId(0));
         let mut traces = Vec::new();
         let mut recorder = TraceRecorder::new(TraceConfig::default());
+        let mut chaos = inert_chaos(cluster.machines);
         run_stage(
             &env,
             &mut store,
             &mut state,
+            &mut chaos,
             dagflow::JobId(0),
             plan.result_stage(),
             &[],
@@ -369,6 +621,7 @@ mod tests {
             &env,
             &mut store,
             &mut state,
+            &mut chaos,
             dagflow::JobId(0),
             plan.result_stage(),
             &[],
@@ -414,10 +667,12 @@ mod tests {
         let plan = StagePlan::build(&app, dagflow::JobId(0));
         let mut traces = Vec::new();
         let mut recorder = TraceRecorder::new(TraceConfig::default());
+        let mut chaos = inert_chaos(cluster.machines);
         run_stage(
             &env,
             &mut store,
             &mut state,
+            &mut chaos,
             dagflow::JobId(0),
             plan.result_stage(),
             &[],
@@ -461,10 +716,12 @@ mod tests {
         let plan = StagePlan::build(&app, dagflow::JobId(0));
         let mut traces = Vec::new();
         let mut recorder = TraceRecorder::new(TraceConfig::default());
+        let mut chaos = inert_chaos(cluster.machines);
         let finish = run_stage(
             &env,
             &mut store,
             &mut state,
+            &mut chaos,
             dagflow::JobId(0),
             plan.result_stage(),
             &[],

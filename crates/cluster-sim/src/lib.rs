@@ -34,6 +34,7 @@ pub mod config;
 pub mod engine;
 pub mod eviction;
 pub mod executor;
+pub mod fault;
 pub mod memory;
 pub mod report;
 pub mod rng;
@@ -41,9 +42,12 @@ pub mod task;
 pub mod trace;
 pub mod trace_view;
 
-pub use config::{ClusterConfig, FailureSpec, MachineSpec, MemoryLayout, NoiseParams, SimParams};
+pub use config::{ClusterConfig, MachineSpec, MemoryLayout, NoiseParams, SimParams};
 pub use engine::{Engine, RunOptions};
 pub use eviction::EvictionPolicyKind;
+pub use fault::{
+    BlacklistEvent, FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultSummary, RetryPolicy,
+};
 pub use report::{
     CacheStats, DatasetCacheStats, PipelineStep, RunReport, StageTiming, StepKind, TaskTrace,
 };

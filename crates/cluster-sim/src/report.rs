@@ -178,6 +178,13 @@ pub struct RunReport {
     pub spilled_tasks: u64,
     /// Total tasks executed.
     pub total_tasks: u64,
+    /// Total task attempts, including retried failures and speculative
+    /// copies. Equals `total_tasks` in fault-free runs.
+    pub task_attempts: u64,
+    /// Fault-injection outcomes and fault-tolerance counters: per-event
+    /// fired/not-fired accounting, retries, speculation wins, blacklist
+    /// events. Quiet (all-empty) for fault-free runs.
+    pub faults: crate::fault::FaultSummary,
 }
 
 impl RunReport {
@@ -253,6 +260,38 @@ impl RunReport {
         }
         put_u64(&mut h, self.spilled_tasks);
         put_u64(&mut h, self.total_tasks);
+        // Chaos block: hashed only when the run actually saw chaos, so
+        // fault-free digests are byte-identical to the pre-chaos format
+        // (ledger manifests and drift baselines stay valid).
+        if !self.faults.is_quiet() {
+            put_u64(&mut h, self.task_attempts);
+            for counter in [
+                self.faults.failed_attempts,
+                self.faults.retried_attempts,
+                self.faults.exhausted_tasks,
+                self.faults.slowed_tasks,
+                self.faults.speculative_launched,
+                self.faults.speculative_wins,
+            ] {
+                put_u64(&mut h, counter);
+            }
+            put_u64(&mut h, self.faults.outcomes.len() as u64);
+            for o in &self.faults.outcomes {
+                put_u64(&mut h, u64::from(o.fired));
+                put_u64(&mut h, o.event.at_s.to_bits());
+                put_u64(&mut h, o.fired_at_s.map_or(u64::MAX, f64::to_bits));
+                for w in o.event.kind.digest_words() {
+                    put_u64(&mut h, w);
+                }
+                put_str(&mut h, &o.detail);
+            }
+            put_u64(&mut h, self.faults.blacklist.len() as u64);
+            for b in &self.faults.blacklist {
+                put_u64(&mut h, u64::from(b.machine));
+                put_u64(&mut h, b.at_s.to_bits());
+                put_u64(&mut h, u64::from(b.failures));
+            }
+        }
         obs::to_hex(&h.finalize())
     }
 }
@@ -276,6 +315,8 @@ mod tests {
             trace: None,
             spilled_tasks: 0,
             total_tasks: 0,
+            task_attempts: 0,
+            faults: crate::fault::FaultSummary::default(),
         };
         assert_eq!(r.cost_machine_seconds(), 840.0);
         assert_eq!(r.cost_machine_minutes(), 14.0);
@@ -296,6 +337,8 @@ mod tests {
             trace: None,
             spilled_tasks: 0,
             total_tasks: 10,
+            task_attempts: 10,
+            faults: crate::fault::FaultSummary::default(),
         };
         let d1 = r.digest();
         assert_eq!(d1.len(), 64);

@@ -90,6 +90,12 @@ pub struct TraceCounters {
     pub spills: u64,
     /// Tasks that gave up on their cache-local machine and ran elsewhere.
     pub locality_fallbacks: u64,
+    /// Task attempts that failed from an injected fault and were retried.
+    pub task_retries: u64,
+    /// Speculative straggler copies launched.
+    pub speculative_tasks: u64,
+    /// Machines blacklisted after repeated task failures.
+    pub blacklisted_machines: u64,
 }
 
 /// One structured trace event. Timestamps are integer microseconds of

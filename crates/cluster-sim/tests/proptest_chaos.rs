@@ -1,0 +1,218 @@
+//! Property-based tests of the chaos machinery: under *arbitrary* fault
+//! plans the engine must terminate, account for every task attempt, and
+//! restore cache residency through lineage — and an empty plan must be
+//! byte-identical to a plain run.
+//!
+//! The fixture keeps cached data far below the block store's capacity so
+//! memory-pressure claims squeeze execution memory without forcing the
+//! run into a different caching regime; every other fault is fair game,
+//! including ghost machines the cluster does not have.
+
+use proptest::prelude::*;
+
+use cluster_sim::{
+    ClusterConfig, Engine, FaultKind, FaultPlan, MachineSpec, NoiseParams, RetryPolicy, RunOptions,
+    SimParams,
+};
+use dagflow::{
+    AppBuilder, Application, ComputeCost, DatasetId, NarrowKind, Schedule, SourceFormat, WideKind,
+};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    iterations: usize,
+    partitions: u32,
+    megabytes: u64,
+    machines: u32,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (1usize..6, 2u32..12, 1u64..400, 1u32..6, any::<u64>()).prop_map(
+        |(iterations, partitions, megabytes, machines, seed)| Scenario {
+            iterations,
+            partitions,
+            megabytes,
+            machines,
+            seed,
+        },
+    )
+}
+
+fn fault_kind() -> impl Strategy<Value = FaultKind> {
+    (
+        0u32..4,
+        0u32..8,
+        1u32..10,
+        1.0f64..8.0,
+        0.0f64..30.0,
+        0u64..2_000_000_000,
+    )
+        .prop_map(
+            |(which, machine, count, factor, duration_s, bytes)| match which {
+                0 => FaultKind::ExecutorLoss { machine },
+                1 => FaultKind::SlowNode {
+                    machine,
+                    factor,
+                    duration_s,
+                },
+                2 => FaultKind::TaskFailures { count },
+                _ => FaultKind::MemoryPressure {
+                    machine,
+                    bytes,
+                    duration_s,
+                },
+            },
+        )
+}
+
+fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+    proptest::collection::vec((0.0f64..60.0, fault_kind()), 0..4).prop_map(|events| {
+        events
+            .into_iter()
+            .fold(FaultPlan::none(), |p, (at, k)| p.event(at, k))
+    })
+}
+
+fn build_app(s: &Scenario) -> Application {
+    let bytes = s.megabytes * 1_000_000;
+    let mut b = AppBuilder::new("chaos-prop");
+    let src = b.source(
+        "in",
+        SourceFormat::DistributedFs,
+        10_000,
+        bytes,
+        s.partitions,
+    );
+    let core = b.narrow(
+        "core",
+        NarrowKind::Map,
+        &[src],
+        10_000,
+        bytes,
+        ComputeCost::new(0.001, 0.0, 1e-9),
+    );
+    for i in 0..s.iterations {
+        let m = b.narrow(
+            format!("m{i}"),
+            NarrowKind::Map,
+            &[core],
+            10_000,
+            16 * 10_000,
+            ComputeCost::new(0.001, 0.0, 1e-9),
+        );
+        let g = b.wide_with_partitions(
+            format!("g{i}"),
+            WideKind::TreeAggregate,
+            &[m],
+            1,
+            4096,
+            1,
+            ComputeCost::new(0.001, 0.0, 1e-9),
+        );
+        b.job("agg", g);
+    }
+    b.build().unwrap()
+}
+
+fn quiet(seed: u64, faults: FaultPlan, retry: RetryPolicy) -> SimParams {
+    SimParams {
+        noise: NoiseParams::NONE,
+        cluster_jitter_s: 0.0,
+        seed,
+        faults,
+        retry,
+        ..SimParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Any fault plan: the run terminates, every task attempt is
+    /// accounted for, every event either fires or explains itself, and
+    /// lineage restores the fault-free run's final cache residency.
+    #[test]
+    fn chaos_runs_terminate_and_recover(
+        s in scenario(),
+        plan in fault_plan(),
+        speculative in any::<bool>(),
+    ) {
+        let app = build_app(&s);
+        let schedule = Schedule::persist_all([DatasetId(1)]);
+        let cluster = ClusterConfig::new(s.machines, MachineSpec::private_cluster());
+        let policy = if speculative {
+            RetryPolicy::speculative()
+        } else {
+            RetryPolicy::default()
+        };
+        let events = plan.events.len();
+
+        let base = Engine::new(&app, cluster, quiet(s.seed, FaultPlan::none(), RetryPolicy::default()))
+            .run(&schedule, RunOptions::default())
+            .unwrap();
+        let chaos = Engine::new(&app, cluster, quiet(s.seed, plan, policy))
+            .run(&schedule, RunOptions::default())
+            .unwrap();
+
+        // Termination and attempt accounting.
+        prop_assert!(chaos.total_time_s.is_finite() && chaos.total_time_s > 0.0);
+        prop_assert!(chaos.total_time_s + 1e-9 >= base.total_time_s);
+        prop_assert!(chaos.task_attempts >= chaos.total_tasks);
+        let f = &chaos.faults;
+        prop_assert_eq!(
+            chaos.task_attempts,
+            chaos.total_tasks + f.retried_attempts + f.speculative_launched
+        );
+        prop_assert!(f.retried_attempts <= f.failed_attempts);
+        prop_assert!(f.speculative_wins <= f.speculative_launched);
+
+        // Every event is reported; unfired events explain why.
+        prop_assert_eq!(f.outcomes.len(), events);
+        for o in &f.outcomes {
+            prop_assert!(o.fired == o.fired_at_s.is_some());
+            prop_assert!(o.fired || !o.detail.is_empty());
+        }
+
+        // Lineage restores the fault-free final residency, dataset by
+        // dataset (faults fire at job boundaries, and every job here
+        // re-reads the cached dataset).
+        for (d, b_stats) in &base.cache.per_dataset {
+            let c_stats = &chaos.cache.per_dataset[d];
+            prop_assert_eq!(
+                c_stats.resident_partitions,
+                b_stats.resident_partitions,
+                "{:?} residency not restored",
+                d
+            );
+            prop_assert!(c_stats.misses >= b_stats.misses);
+        }
+    }
+
+    /// An empty fault plan with the default retry policy is invisible:
+    /// the report is bit-identical to one from untouched `SimParams`.
+    #[test]
+    fn zero_fault_plans_are_invisible(s in scenario()) {
+        let app = build_app(&s);
+        let schedule = Schedule::persist_all([DatasetId(1)]);
+        let cluster = ClusterConfig::new(s.machines, MachineSpec::private_cluster());
+        let plain = Engine::new(&app, cluster, SimParams { seed: s.seed, ..SimParams::default() })
+            .run(&schedule, RunOptions::default())
+            .unwrap();
+        let armed = Engine::new(
+            &app,
+            cluster,
+            SimParams {
+                seed: s.seed,
+                faults: FaultPlan::none(),
+                retry: RetryPolicy::default(),
+                ..SimParams::default()
+            },
+        )
+        .run(&schedule, RunOptions::default())
+        .unwrap();
+        prop_assert_eq!(plain.digest(), armed.digest());
+        prop_assert!(armed.faults.is_quiet());
+        prop_assert_eq!(armed.task_attempts, armed.total_tasks);
+    }
+}

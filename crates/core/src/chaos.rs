@@ -1,0 +1,439 @@
+//! Chaos drills: curated fault plans and a baseline-vs-chaos runner.
+//!
+//! Juggler's recommendations assume runs survive the churn of a real
+//! cluster — executor loss, stragglers, flaky tasks, memory pressure.
+//! This module packages that assumption as an executable drill: run a
+//! workload fault-free, inject a named [`FaultPlan`] positioned at
+//! fractions of the measured baseline duration, and check the recovery
+//! invariants the chaos test matrix asserts (`tests/chaos/`):
+//!
+//! * the chaos run **terminates** (retry budgets and the blacklist-lift
+//!   rule guarantee progress),
+//! * **cache residency is restored** through lineage — every dataset ends
+//!   the chaos run with the residency of the fault-free run,
+//! * **task accounting** holds: attempts ≥ tasks, with the surplus
+//!   explained by retries and speculative copies.
+//!
+//! Both runs use `NoiseParams::NONE` and zero cluster jitter, so the only
+//! difference between them is the injected plan — the drill is bit-for-bit
+//! reproducible, which is what lets `tests/chaos_golden.rs` pin the
+//! rendered report.
+
+use cluster_sim::{
+    ClusterConfig, Engine, FaultKind, FaultPlan, MachineSpec, NoiseParams, RetryPolicy, RunOptions,
+    RunReport,
+};
+use dagflow::{DagError, DatasetId};
+use workloads::{Workload, WorkloadParams};
+
+/// A named, curated fault plan for the chaos drill and test matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// One executor loss mid-run — the classic lineage-recovery scenario.
+    ExecutorLoss,
+    /// One machine slowed for a window; speculation hunts the stragglers.
+    SlowNode,
+    /// A burst of transient task failures consumed by the retry budget.
+    TaskFailures,
+    /// A temporary execution-memory claim squeezing the block store.
+    MemoryPressure,
+    /// Everything at once: loss + slow window + flaky tasks + pressure.
+    Combo,
+    /// The golden-pinned drill: a straggler burst followed by an executor
+    /// loss, with speculation enabled.
+    Drill,
+}
+
+impl PlanKind {
+    /// All plans, in drill-menu order.
+    pub const ALL: [PlanKind; 6] = [
+        PlanKind::ExecutorLoss,
+        PlanKind::SlowNode,
+        PlanKind::TaskFailures,
+        PlanKind::MemoryPressure,
+        PlanKind::Combo,
+        PlanKind::Drill,
+    ];
+
+    /// Stable CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanKind::ExecutorLoss => "loss",
+            PlanKind::SlowNode => "slow",
+            PlanKind::TaskFailures => "flaky",
+            PlanKind::MemoryPressure => "pressure",
+            PlanKind::Combo => "combo",
+            PlanKind::Drill => "drill",
+        }
+    }
+
+    /// Parses a CLI name (case-insensitive).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
+    /// One-line description for menus and reports.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            PlanKind::ExecutorLoss => "one executor loss mid-run",
+            PlanKind::SlowNode => "one machine slowed 3x for a window (speculation on)",
+            PlanKind::TaskFailures => "six transient task failures",
+            PlanKind::MemoryPressure => "a 2 GB execution-memory claim for a window",
+            PlanKind::Combo => "loss + slow window + flaky tasks + memory pressure",
+            PlanKind::Drill => "straggler burst then an executor loss (speculation on)",
+        }
+    }
+}
+
+/// Builds the fault plan and retry policy for a [`PlanKind`], with events
+/// positioned at fractions of the measured fault-free `baseline_s` so the
+/// same plan name scales from tiny test fixtures to paper-scale runs.
+/// Machine indices stay inside `machines`.
+#[must_use]
+pub fn build_plan(kind: PlanKind, baseline_s: f64, machines: u32) -> (FaultPlan, RetryPolicy) {
+    // The "other" machine: lose/slow a non-zero machine where one exists
+    // so locality effects are visible, machine 0 otherwise.
+    let other = u32::from(machines > 1);
+    let at = |frac: f64| baseline_s * frac;
+    let plan = match kind {
+        PlanKind::ExecutorLoss => {
+            FaultPlan::none().event(at(0.55), FaultKind::ExecutorLoss { machine: other })
+        }
+        PlanKind::SlowNode => FaultPlan::none().event(
+            at(0.55),
+            FaultKind::SlowNode {
+                machine: 0,
+                factor: 3.0,
+                duration_s: at(0.35),
+            },
+        ),
+        PlanKind::TaskFailures => {
+            FaultPlan::none().event(at(0.2), FaultKind::TaskFailures { count: 6 })
+        }
+        PlanKind::MemoryPressure => FaultPlan::none().event(
+            at(0.45),
+            FaultKind::MemoryPressure {
+                machine: 0,
+                bytes: 2_000_000_000,
+                duration_s: at(0.25),
+            },
+        ),
+        PlanKind::Combo => FaultPlan::none()
+            .event(at(0.15), FaultKind::TaskFailures { count: 4 })
+            .event(
+                at(0.25),
+                FaultKind::SlowNode {
+                    machine: 0,
+                    factor: 2.5,
+                    duration_s: at(0.2),
+                },
+            )
+            .event(at(0.55), FaultKind::ExecutorLoss { machine: other })
+            .event(
+                at(0.7),
+                FaultKind::MemoryPressure {
+                    machine: 0,
+                    bytes: 1_500_000_000,
+                    duration_s: at(0.15),
+                },
+            ),
+        // The burst is x6 — a dying disk or GC-thrashing JVM, not mild
+        // contention — because that is where speculation pays off: a copy
+        // must absorb the detection delay (1.5x the stage median) plus a
+        // remote cache fetch at network bandwidth before it can beat the
+        // straggler, which a x3 slowdown never loses to.
+        PlanKind::Drill => FaultPlan::none()
+            .event(
+                at(0.5),
+                FaultKind::SlowNode {
+                    machine: 0,
+                    factor: 6.0,
+                    duration_s: at(0.25),
+                },
+            )
+            .event(at(0.8), FaultKind::ExecutorLoss { machine: other }),
+    };
+    let policy = match kind {
+        PlanKind::SlowNode | PlanKind::Combo | PlanKind::Drill => RetryPolicy::speculative(),
+        _ => RetryPolicy::default(),
+    };
+    (plan, policy)
+}
+
+/// Configuration of one chaos drill.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// The plan to inject.
+    pub kind: PlanKind,
+    /// Cluster size (private-cluster machine spec).
+    pub machines: u32,
+    /// RNG seed for both runs (they are noise-free; the seed still feeds
+    /// the engine's determinism contract).
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            kind: PlanKind::Drill,
+            machines: 3,
+            seed: 0xC4A05,
+        }
+    }
+}
+
+/// Per-dataset end-of-run residency, chaos vs fault-free.
+#[derive(Debug, Clone, Copy)]
+pub struct ResidencyCheck {
+    /// The cached dataset.
+    pub dataset: DatasetId,
+    /// Partitions resident at the end of the fault-free run.
+    pub baseline_resident: u32,
+    /// Partitions resident at the end of the chaos run.
+    pub chaos_resident: u32,
+}
+
+/// The outcome of one chaos drill: both reports plus the derived
+/// invariant checks.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Workload name.
+    pub workload: String,
+    /// The injected plan.
+    pub kind: PlanKind,
+    /// Cluster size used.
+    pub machines: u32,
+    /// Seed used.
+    pub seed: u64,
+    /// Schedule notation both runs executed.
+    pub schedule: String,
+    /// The fault-free run.
+    pub baseline: RunReport,
+    /// The run with the plan injected.
+    pub chaos: RunReport,
+    /// Per-dataset residency comparison (datasets the baseline cached).
+    pub residency: Vec<ResidencyCheck>,
+}
+
+impl ChaosOutcome {
+    /// Every baseline-cached dataset ends the chaos run with the same
+    /// residency — lineage recovered whatever the faults destroyed.
+    #[must_use]
+    pub fn residency_restored(&self) -> bool {
+        self.residency
+            .iter()
+            .all(|r| r.chaos_resident == r.baseline_resident)
+    }
+
+    /// Attempts ≥ tasks, the surplus explained by retries + speculation.
+    /// (A failed attempt whose retry budget was exhausted spawns no extra
+    /// attempt — the forced completion *is* that attempt — so the surplus
+    /// counts retries, not raw failures.)
+    #[must_use]
+    pub fn attempts_consistent(&self) -> bool {
+        let extra = self.chaos.faults.retried_attempts + self.chaos.faults.speculative_launched;
+        self.chaos.task_attempts == self.chaos.total_tasks + extra
+    }
+
+    /// Wall-clock slowdown of the chaos run over the baseline.
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        self.chaos.total_time_s / self.baseline.total_time_s
+    }
+
+    /// Deterministic human report (golden-pinned for the LOR drill).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "chaos drill: {} plan `{}` ({}) on {} machines, seed {:#x}\n",
+            self.workload,
+            self.kind.name(),
+            self.kind.describe(),
+            self.machines,
+            self.seed
+        ));
+        out.push_str(&format!("  schedule {}\n", self.schedule));
+        out.push_str(&format!(
+            "  fault-free baseline {:>8.1} s  {} tasks\n",
+            self.baseline.total_time_s, self.baseline.total_tasks
+        ));
+        out.push_str(&format!(
+            "  chaos run           {:>8.1} s  {} tasks in {} attempts  ({:+.1}% wall clock)\n",
+            self.chaos.total_time_s,
+            self.chaos.total_tasks,
+            self.chaos.task_attempts,
+            (self.slowdown() - 1.0) * 100.0
+        ));
+        out.push_str("  events\n");
+        for o in &self.chaos.faults.outcomes {
+            let status = if o.fired {
+                format!("fired @ {:>7.1} s", o.fired_at_s.unwrap_or(o.event.at_s))
+            } else {
+                "not fired       ".to_owned()
+            };
+            out.push_str(&format!(
+                "    [{status}] {} — {}\n",
+                o.event.kind.describe(),
+                o.detail
+            ));
+        }
+        let f = &self.chaos.faults;
+        out.push_str(&format!(
+            "  fault tolerance: {} failed attempts ({} retried, {} budget-exhausted), \
+             {} slowed, {} speculative ({} won), {} blacklist events\n",
+            f.failed_attempts,
+            f.retried_attempts,
+            f.exhausted_tasks,
+            f.slowed_tasks,
+            f.speculative_launched,
+            f.speculative_wins,
+            f.blacklist.len()
+        ));
+        for b in &f.blacklist {
+            out.push_str(&format!(
+                "    blacklisted m{} at {:.1} s after {} failures\n",
+                b.machine, b.at_s, b.failures
+            ));
+        }
+        out.push_str("  cache residency after chaos\n");
+        for r in &self.residency {
+            let mark = if r.chaos_resident == r.baseline_resident {
+                "restored"
+            } else {
+                "LOST"
+            };
+            out.push_str(&format!(
+                "    D{} {:>4}/{} partitions  {}\n",
+                r.dataset.0, r.chaos_resident, r.baseline_resident, mark
+            ));
+        }
+        let check = |ok: bool| if ok { "ok" } else { "FAIL" };
+        out.push_str("  invariants\n");
+        out.push_str(&format!(
+            "    run terminated                  {}\n",
+            check(self.chaos.total_time_s.is_finite())
+        ));
+        out.push_str(&format!(
+            "    cache residency restored        {}\n",
+            check(self.residency_restored())
+        ));
+        out.push_str(&format!(
+            "    attempts account for every task {}\n",
+            check(self.attempts_consistent())
+        ));
+        out
+    }
+}
+
+/// Drill-scale parameters: paper scale divided by five (matching the
+/// long-standing failure-injection fixture), iterations capped so a drill
+/// stays interactive.
+#[must_use]
+pub fn drill_params(w: &dyn Workload) -> WorkloadParams {
+    let paper = w.paper_params();
+    WorkloadParams::auto(
+        (paper.examples / 5).max(1_000),
+        (paper.features / 5).max(200),
+        paper.iterations.min(6),
+    )
+}
+
+/// Runs the drill: fault-free baseline, then the same run with the plan
+/// injected at fractions of the measured baseline duration.
+pub fn run_chaos(w: &dyn Workload, cfg: &ChaosConfig) -> Result<ChaosOutcome, DagError> {
+    let params = drill_params(w);
+    let app = w.build(&params);
+    let schedule = app.default_schedule().clone();
+    let quiet = |faults: FaultPlan, retry: RetryPolicy| {
+        let mut sim = w.sim_params();
+        sim.noise = NoiseParams::NONE;
+        sim.cluster_jitter_s = 0.0;
+        sim.seed = cfg.seed;
+        sim.faults = faults;
+        sim.retry = retry;
+        sim
+    };
+    let cluster = ClusterConfig::new(cfg.machines, MachineSpec::private_cluster());
+    let run = |sim| Engine::new(&app, cluster, sim).run(&schedule, RunOptions::default());
+
+    let baseline = run(quiet(FaultPlan::none(), RetryPolicy::default()))?;
+    let (plan, policy) = build_plan(cfg.kind, baseline.total_time_s, cfg.machines);
+    let chaos = run(quiet(plan, policy))?;
+
+    let mut residency: Vec<ResidencyCheck> = baseline
+        .cache
+        .per_dataset
+        .iter()
+        .map(|(&dataset, stats)| ResidencyCheck {
+            dataset,
+            baseline_resident: stats.resident_partitions,
+            chaos_resident: chaos
+                .cache
+                .per_dataset
+                .get(&dataset)
+                .map_or(0, |s| s.resident_partitions),
+        })
+        .collect();
+    residency.sort_by_key(|r| r.dataset.0);
+
+    Ok(ChaosOutcome {
+        workload: w.name().to_owned(),
+        kind: cfg.kind,
+        machines: cfg.machines,
+        seed: cfg.seed,
+        schedule: schedule.notation(),
+        baseline,
+        chaos,
+        residency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_names_round_trip() {
+        for kind in PlanKind::ALL {
+            assert_eq!(PlanKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(PlanKind::from_name("DRILL"), Some(PlanKind::Drill));
+        assert_eq!(PlanKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn plans_scale_with_the_baseline_and_stay_in_machine_range() {
+        for kind in PlanKind::ALL {
+            for machines in [1_u32, 3] {
+                let (plan, _) = build_plan(kind, 100.0, machines);
+                assert!(!plan.is_empty());
+                for ev in &plan.events {
+                    assert!(ev.at_s >= 0.0 && ev.at_s <= 100.0);
+                    let machine = match ev.kind {
+                        FaultKind::ExecutorLoss { machine }
+                        | FaultKind::SlowNode { machine, .. }
+                        | FaultKind::MemoryPressure { machine, .. } => machine,
+                        FaultKind::TaskFailures { .. } => 0,
+                    };
+                    assert!(machine < machines, "{kind:?} on {machines} machines");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_plans_enable_speculation() {
+        for kind in [PlanKind::SlowNode, PlanKind::Combo, PlanKind::Drill] {
+            let (_, policy) = build_plan(kind, 50.0, 3);
+            assert!(policy.speculation);
+        }
+        let (_, policy) = build_plan(PlanKind::ExecutorLoss, 50.0, 3);
+        assert!(!policy.speculation);
+    }
+}

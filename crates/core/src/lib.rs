@@ -37,6 +37,7 @@
 //! }
 //! ```
 
+pub mod chaos;
 pub mod diagnostics;
 pub mod doctor;
 pub mod hotspot;
@@ -50,6 +51,7 @@ pub mod summary;
 pub mod time_model;
 pub mod transfer;
 
+pub use chaos::{build_plan, run_chaos, ChaosConfig, ChaosOutcome, PlanKind, ResidencyCheck};
 pub use diagnostics::{LedgerEntry, PredictionLedger, TrainingDiagnostics};
 pub use doctor::{doctor, DoctorReport};
 pub use hotspot::{
@@ -57,7 +59,7 @@ pub use hotspot::{
     HotspotAudit, HotspotConfig, RankedSchedule, ScheduleAudit,
 };
 pub use memory_calibration::{MemoryCalibration, MemoryFactor, ScaleOutcome, ScaledParams};
-pub use parallel::{resolve_threads, run_indexed, try_run_indexed};
+pub use parallel::{resolve_threads, run_indexed, try_run_indexed, with_retry};
 pub use param_calibration::{ParamCalibration, SizeModel};
 pub use pipeline::{
     OfflineTraining, PipelineStageTiming, PipelineTimings, TrainedJuggler, TrainingConfig,

@@ -114,6 +114,30 @@ where
     Ok(results)
 }
 
+/// Calls `f(attempt)` up to `attempts` times (attempt numbers `0..attempts`)
+/// and returns the first success together with the attempt it happened on.
+/// On persistent failure the *last* error is returned — that is the error
+/// state the caller would act on, and earlier ones are retried-away noise.
+///
+/// This is the training-pipeline counterpart of the simulator's task retry:
+/// an experiment run that dies (a schedule that fails validation at one
+/// grid point, a poisoned workload) gets a bounded number of fresh chances
+/// before the caller decides whether to fail or degrade gracefully.
+pub fn with_retry<T, E, F>(attempts: u32, mut f: F) -> Result<(T, u32), E>
+where
+    F: FnMut(u32) -> Result<T, E>,
+{
+    let attempts = attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        match f(attempt) {
+            Ok(v) => return Ok((v, attempt)),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +178,30 @@ mod tests {
             });
             assert_eq!(r.unwrap_err(), "slow failure at 3", "threads={threads}");
         }
+    }
+
+    #[test]
+    fn with_retry_returns_first_success_and_attempt() {
+        let r: Result<(u32, u32), &str> =
+            with_retry(4, |attempt| if attempt < 2 { Err("boom") } else { Ok(7) });
+        assert_eq!(r, Ok((7, 2)));
+    }
+
+    #[test]
+    fn with_retry_surfaces_last_error_when_exhausted() {
+        let mut calls = 0;
+        let r: Result<((), u32), String> = with_retry(3, |attempt| {
+            calls += 1;
+            Err(format!("fail {attempt}"))
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(r.unwrap_err(), "fail 2");
+    }
+
+    #[test]
+    fn with_retry_treats_zero_attempts_as_one() {
+        let r: Result<(u32, u32), &str> = with_retry(0, |_| Ok(1));
+        assert_eq!(r, Ok((1, 0)));
     }
 
     #[test]

@@ -23,6 +23,19 @@ use crate::param_calibration::ParamCalibration;
 use crate::recommend::{CostModel, MachineMinutes, Recommendation, RecommendationMenu};
 use crate::time_model::TimeModel;
 
+/// Attempts each training experiment gets before the pipeline reacts: the
+/// single-run stages (1: hotspot, 3: memory calibration) fail after the
+/// last attempt, while the grid stages (2: parameter calibration, 4:
+/// execution-time models) skip the failing point with a note — losing one
+/// of nine grid cells degrades the fit, it does not kill the training.
+pub const TRAINING_RETRIES: u32 = 3;
+
+/// Seed salt added per retry attempt. Far above every stage's seed-offset
+/// space, so a retried run draws fresh noise, while attempt 0 keeps the
+/// original seed — healthy workloads produce bit-identical artifacts to
+/// the pre-retry pipeline.
+const RETRY_SEED_SALT: u64 = 1 << 32;
+
 /// Errors from the offline-training pipeline.
 #[derive(Debug)]
 pub enum TrainingError {
@@ -431,12 +444,20 @@ impl OfflineTraining {
         let sample = workload.sample_params();
         let sample_app = workload.build(&sample);
         let calib_cluster = ClusterConfig::new(1, config.calibration_spec);
-        let out = profile_run(
-            &sample_app,
-            sample_app.default_schedule(),
-            calib_cluster,
-            sim(1),
-        )?;
+        let (out, attempt) = crate::parallel::with_retry(TRAINING_RETRIES, |attempt| {
+            profile_run(
+                &sample_app,
+                sample_app.default_schedule(),
+                calib_cluster,
+                sim(1 + u64::from(attempt) * RETRY_SEED_SALT),
+            )
+        })?;
+        if attempt > 0 {
+            timings.notes.push(format!(
+                "stage-1 sample run succeeded on attempt {}",
+                attempt + 1
+            ));
+        }
         costs.hotspot.add(&out.report);
         let metrics = DatasetMetricsView::from_metrics(&out.metrics, sample_app.dataset_count());
         let (schedules, hotspot_audit) =
@@ -450,34 +471,56 @@ impl OfflineTraining {
         let grid = ParamCalibration::training_grid(&e_axis, &f_axis);
         let wanted: BTreeSet<DatasetId> =
             ParamCalibration::datasets_of(schedules.iter().map(|s| s.schedule.as_ref()));
-        let grid_runs = try_run_indexed::<_, TrainingError, _>(grid.len(), config.threads, |gi| {
+        let grid_runs = crate::parallel::run_indexed(grid.len(), config.threads, |gi| {
             let (e, f) = grid[gi];
             let params = WorkloadParams::auto(e as u64, f as u64, sample.iterations);
-            let app = workload.build(&params);
-            let run = profile_run(
-                &app,
-                app.default_schedule(),
-                calib_cluster,
-                sim(2 + gi as u64),
-            )
-            .map_err(TrainingError::from)?;
-            let sizes: Vec<(DatasetId, u64)> = run
-                .metrics
-                .iter()
-                .filter(|m| wanted.contains(&m.dataset))
-                .map(|m| (m.dataset, m.size_bytes))
-                .collect();
-            Ok((run.report.cost_machine_minutes(), sizes))
-        })?;
-        // Accumulate in grid order — identical at any thread count.
+            let attempt_run = |attempt: u32| {
+                let app = workload.build(&params);
+                profile_run(
+                    &app,
+                    app.default_schedule(),
+                    calib_cluster,
+                    sim(2 + gi as u64 + u64::from(attempt) * RETRY_SEED_SALT),
+                )
+            };
+            match crate::parallel::with_retry(TRAINING_RETRIES, attempt_run) {
+                Ok((run, attempt)) => {
+                    let sizes: Vec<(DatasetId, u64)> = run
+                        .metrics
+                        .iter()
+                        .filter(|m| wanted.contains(&m.dataset))
+                        .map(|m| (m.dataset, m.size_bytes))
+                        .collect();
+                    Ok((run.report.cost_machine_minutes(), sizes, attempt))
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        });
+        // Accumulate in grid order — identical at any thread count. A grid
+        // point whose run died on every attempt is skipped with a note:
+        // the size models fit on the surviving eight points.
         let mut observations: HashMap<DatasetId, Vec<(f64, f64, u64)>> = HashMap::new();
-        for ((machine_minutes, sizes), &(e, f)) in grid_runs.iter().zip(&grid) {
-            costs.param_calibration.add_cost(*machine_minutes);
-            for &(dataset, size_bytes) in sizes {
-                observations
-                    .entry(dataset)
-                    .or_default()
-                    .push((e, f, size_bytes));
+        for (outcome, &(e, f)) in grid_runs.iter().zip(&grid) {
+            match outcome {
+                Ok((machine_minutes, sizes, attempt)) => {
+                    if *attempt > 0 {
+                        timings.notes.push(format!(
+                            "stage-2 run at (e={e:.0}, f={f:.0}) succeeded on attempt {}",
+                            attempt + 1
+                        ));
+                    }
+                    costs.param_calibration.add_cost(*machine_minutes);
+                    for &(dataset, size_bytes) in sizes {
+                        observations
+                            .entry(dataset)
+                            .or_default()
+                            .push((e, f, size_bytes));
+                    }
+                }
+                Err(msg) => timings.notes.push(format!(
+                    "stage-2 run at (e={e:.0}, f={f:.0}) failed after \
+                     {TRAINING_RETRIES} attempts; grid point skipped: {msg}"
+                )),
             }
         }
         let (sizes, size_fits) = match ParamCalibration::fit_with_reports(&observations) {
@@ -507,14 +550,26 @@ impl OfflineTraining {
             }
             let params = WorkloadParams::auto(scaled.e as u64, scaled.f as u64, sample.iterations);
             let app = workload.build(&params);
-            let engine = Engine::new(&app, calib_cluster, sim(20));
-            let report = engine.run_shared(
-                &first.schedule,
-                RunOptions {
-                    trace: config.trace,
-                    ..RunOptions::default()
-                },
-            )?;
+            let (report, attempt) = crate::parallel::with_retry(TRAINING_RETRIES, |attempt| {
+                let engine = Engine::new(
+                    &app,
+                    calib_cluster,
+                    sim(20 + u64::from(attempt) * RETRY_SEED_SALT),
+                );
+                engine.run_shared(
+                    &first.schedule,
+                    RunOptions {
+                        trace: config.trace,
+                        ..RunOptions::default()
+                    },
+                )
+            })?;
+            if attempt > 0 {
+                timings.notes.push(format!(
+                    "stage-3 memory-calibration run succeeded on attempt {}",
+                    attempt + 1
+                ));
+            }
             costs.memory_calibration.add(&report);
             if let Some(trace) = &report.trace {
                 timings.notes.push(format!("stage-3 {}", trace.summary()));
@@ -536,7 +591,7 @@ impl OfflineTraining {
         let clock = std::time::Instant::now();
         let paper = workload.paper_params();
         let cells = schedules.len() * grid.len();
-        let matrix = try_run_indexed::<_, TrainingError, _>(cells, config.threads, |k| {
+        let matrix = crate::parallel::run_indexed(cells, config.threads, |k| {
             let (si, gi) = (k / grid.len(), k % grid.len());
             let rs = &schedules[si];
             let (e, f) = grid[gi];
@@ -545,22 +600,52 @@ impl OfflineTraining {
                 .recommend_machines(size, &config.target_spec)
                 .min(config.max_machines);
             let params = WorkloadParams::auto(e as u64, f as u64, paper.iterations);
-            let app = workload.build(&params);
             let cluster = ClusterConfig::new(machines, config.target_spec);
-            let engine = Engine::new(&app, cluster, sim(40 + k as u64));
-            let report = engine
-                .run_shared(&rs.schedule, RunOptions::default())
-                .map_err(TrainingError::from)?;
-            Ok((report.cost_machine_minutes(), (e, f, report.total_time_s)))
-        })?;
+            let attempt_run = |attempt: u32| {
+                let app = workload.build(&params);
+                let engine = Engine::new(
+                    &app,
+                    cluster,
+                    sim(40 + k as u64 + u64::from(attempt) * RETRY_SEED_SALT),
+                );
+                engine.run_shared(&rs.schedule, RunOptions::default())
+            };
+            match crate::parallel::with_retry(TRAINING_RETRIES, attempt_run) {
+                Ok((report, attempt)) => Ok((
+                    report.cost_machine_minutes(),
+                    (e, f, report.total_time_s),
+                    attempt,
+                )),
+                Err(e) => Err(e.to_string()),
+            }
+        });
         let mut time_models = Vec::with_capacity(schedules.len());
         let mut time_fits = Vec::with_capacity(schedules.len());
         for si in 0..schedules.len() {
             let row = &matrix[si * grid.len()..(si + 1) * grid.len()];
             let mut points = Vec::with_capacity(grid.len());
-            for &(machine_minutes, point) in row {
-                costs.time_models.add_cost(machine_minutes);
-                points.push(point);
+            for (ci, cell) in row.iter().enumerate() {
+                let (e, f) = grid[ci];
+                match cell {
+                    Ok((machine_minutes, point, attempt)) => {
+                        if *attempt > 0 {
+                            timings.notes.push(format!(
+                                "stage-4 run (schedule {si}, e={e:.0}, f={f:.0}) \
+                                 succeeded on attempt {}",
+                                attempt + 1
+                            ));
+                        }
+                        costs.time_models.add_cost(*machine_minutes);
+                        points.push(*point);
+                    }
+                    // A cell whose run died on every attempt loses one of
+                    // the schedule's nine fit points; the model fits on
+                    // the rest (and fitting fails loudly if none survive).
+                    Err(msg) => timings.notes.push(format!(
+                        "stage-4 run (schedule {si}, e={e:.0}, f={f:.0}) failed after \
+                         {TRAINING_RETRIES} attempts; point skipped: {msg}"
+                    )),
+                }
             }
             let (model, report) = TimeModel::fit_with_report(si, &points)?;
             time_models.push(model);

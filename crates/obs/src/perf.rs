@@ -373,6 +373,19 @@ pub fn default_checks(bench: &str) -> Option<Vec<Check>> {
     match bench {
         "metrics_overhead" => Some(overhead_common(8.0)),
         "trace_overhead" => Some(overhead_common(25.0)),
+        // Armed-but-idle chaos machinery on the fault-free hot path: the
+        // recorded overhead percentage must stay under the 5 % budget.
+        "chaos_overhead" => Some(vec![
+            Check::new("workload", CheckOp::Equals),
+            Check::new("reps", CheckOp::Equals),
+            Check::new("budget_pct", CheckOp::Equals),
+            Check::new("within_budget", CheckOp::Equals),
+            // The default-policy armed state is the one every fault-free
+            // run carries: gate it to the declared 5 % budget. The
+            // speculation-armed row is opt-in and reported but not gated
+            // (like trace_overhead's jittery engine batch).
+            Check::new("armed_idle.overhead_pct", CheckOp::Max(5.0)),
+        ]),
         "training_parallel" => Some(vec![
             Check::new("workload", CheckOp::Equals),
             Check::new("reps", CheckOp::Equals),

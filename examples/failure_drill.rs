@@ -5,9 +5,12 @@
 //! ```text
 //! cargo run --release --example failure_drill
 //! ```
+//!
+//! For the full menu of fault plans (slow nodes, flaky tasks, memory
+//! pressure, combinations) see `juggler chaos <WORKLOAD> --plan <NAME>`.
 
 use juggler_suite::cluster_sim::{
-    render_gantt, ClusterConfig, Engine, FailureSpec, MachineSpec, RunOptions,
+    render_gantt, ClusterConfig, Engine, FaultPlan, MachineSpec, RunOptions,
 };
 use juggler_suite::dagflow::{DatasetId, Schedule};
 use juggler_suite::workloads::{LogisticRegression, Workload, WorkloadParams};
@@ -19,10 +22,10 @@ fn main() {
     let schedule = Schedule::persist_all([DatasetId(2)]);
     let cluster = ClusterConfig::new(3, MachineSpec::private_cluster());
 
-    let run = |failure: Option<FailureSpec>| {
+    let run = |faults: FaultPlan| {
         let mut sim = w.sim_params();
         sim.seed = 0xD01;
-        sim.failure = failure;
+        sim.faults = faults;
         Engine::new(&app, cluster, sim)
             .run(
                 &schedule,
@@ -35,22 +38,22 @@ fn main() {
             .expect("run succeeds")
     };
 
-    let healthy = run(None);
+    let healthy = run(FaultPlan::none());
     println!("— healthy run: {:.1}s —", healthy.total_time_s);
     print!("{}", render_gantt(&healthy, 100));
 
-    let failure = FailureSpec {
-        machine: 1,
-        at_seconds: healthy.total_time_s * 0.6,
-    };
-    let failed = run(Some(failure));
+    let at_s = healthy.total_time_s * 0.6;
+    let failed = run(FaultPlan::executor_loss(1, at_s));
     println!(
         "\n— executor on m1 lost at {:.0}s: {:.1}s total (+{:.1}s recovery) —",
-        failure.at_seconds,
+        at_s,
         failed.total_time_s,
         failed.total_time_s - healthy.total_time_s
     );
     print!("{}", render_gantt(&failed, 100));
+    for o in &failed.faults.outcomes {
+        println!("fault: {} — {}", o.event.kind.describe(), o.detail);
+    }
 
     let d = DatasetId(2);
     let h = &healthy.cache.per_dataset[&d];

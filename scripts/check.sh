@@ -35,6 +35,15 @@ cargo bench --offline -p bench --bench metrics_overhead
 echo "== ledger determinism (manifest hash is thread-count-stable) =="
 cargo test -q --offline --test ledger_determinism
 
+echo "== chaos matrix (workload x fault plan x seed recovery invariants) =="
+cargo test -q --offline --test chaos
+
+echo "== chaos golden (drill report is byte-stable) =="
+cargo test -q --offline --test chaos_golden
+
+echo "== chaos overhead (<5% armed-idle budget; records results/BENCH_chaos_overhead.json) =="
+cargo bench --offline -p bench --bench chaos_overhead
+
 echo "== perf report (fresh BENCH_*.json vs results/baselines/) =="
 cargo run -q --release --offline --bin juggler -- perf-report
 

@@ -45,6 +45,7 @@ fn main() -> ExitCode {
         "dot" => done(cmd_dot(rest)),
         "trace" => done(cmd_trace(rest)),
         "doctor" => done(cmd_doctor(rest)),
+        "chaos" => done(cmd_chaos(rest)),
         "metrics" => done(cmd_metrics(rest)),
         "runs" => cmd_runs(rest),
         "perf-report" => cmd_perf_report(rest),
@@ -81,6 +82,8 @@ USAGE:
   juggler trace <WORKLOAD> [--machines N] [--width N] [--out FILE]
                  [--jsonl FILE] [--no-pipeline] [--threads N]
   juggler doctor <WORKLOAD> [--threads N] [--timings] [--format text|json]
+  juggler chaos <WORKLOAD> [--plan loss|slow|flaky|pressure|combo|drill]
+                 [--machines N] [--seed S]
   juggler metrics <WORKLOAD> [--format prom|json] [--output FILE]
                  [--timings] [--threads N]
   juggler runs record <WORKLOAD> [--threads N] [--store DIR]
@@ -99,6 +102,13 @@ and exports the registry (Prometheus text by default); --timings includes
 host wall-clock gauges, which makes the output non-deterministic.
 `doctor --format json` emits the run's provenance manifest instead of the
 human report; `metrics --output FILE` writes the export to a file.
+
+`chaos` runs a fault-injection drill: a fault-free baseline, then the
+same run with a named fault plan (executor loss, slow node, flaky tasks,
+memory pressure, or combinations) injected at fractions of the measured
+baseline, reporting retry/speculation/blacklist activity and whether
+lineage restored the cache. Both runs are noise-free, so the report is
+deterministic.
 
 `runs record` performs the doctor flow and files the resulting manifest
 (content-addressed by SHA-256) in the run ledger (default store:
@@ -523,6 +533,36 @@ fn cmd_doctor(args: &[String]) -> Result<(), String> {
         println!("\nhost stage timings (wall clock, non-deterministic)");
         print!("{}", report.timings.summary());
     }
+    Ok(())
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("chaos needs a workload name")?;
+    let w = find_workload(name)?;
+    let mut cfg = juggler_suite::juggler::ChaosConfig::default();
+    if let Some(plan) = flag(args, "--plan") {
+        cfg.kind = juggler_suite::juggler::PlanKind::from_name(&plan).ok_or_else(|| {
+            format!(
+                "unknown plan `{plan}` (expected loss | slow | flaky | pressure | combo | drill)"
+            )
+        })?;
+    }
+    if let Some(m) = flag(args, "--machines") {
+        cfg.machines = parse_num(&m, "--machines")?;
+        if cfg.machines == 0 {
+            return Err("--machines must be at least 1".into());
+        }
+    }
+    if let Some(s) = flag(args, "--seed") {
+        cfg.seed = parse_num(&s, "--seed")?;
+    }
+    eprintln!(
+        "chaos: running {} fault-free, then with plan `{}`...",
+        w.name(),
+        cfg.kind.name()
+    );
+    let outcome = juggler_suite::juggler::run_chaos(w.as_ref(), &cfg).map_err(|e| e.to_string())?;
+    print!("{}", outcome.render());
     Ok(())
 }
 

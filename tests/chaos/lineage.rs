@@ -1,0 +1,203 @@
+//! The failure-injection suite, promoted into the chaos matrix: lineage
+//! recovery of lost cached blocks, bounded recovery cost, honest
+//! reporting of faults that never fire, and determinism of fault-injected
+//! runs — now across all five paper workloads, not just LOR.
+
+use juggler_suite::cluster_sim::{FaultPlan, RetryPolicy};
+use juggler_suite::dagflow::{DatasetId, Schedule};
+use juggler_suite::workloads::{all_workloads, LogisticRegression};
+
+use crate::support::{drill_app, drill_run};
+
+/// Losing an executor mid-run destroys its cached blocks; lineage
+/// recomputes them, so every workload ends the chaos run with the same
+/// per-dataset residency as the fault-free run.
+#[test]
+fn lineage_recovers_lost_blocks_on_every_workload() {
+    for w in all_workloads() {
+        let w = w.as_ref();
+        let app = drill_app(w);
+        let schedule = app.default_schedule().clone();
+        let healthy = drill_run(
+            w,
+            &app,
+            &schedule,
+            FaultPlan::none(),
+            RetryPolicy::default(),
+        );
+        let failed = drill_run(
+            w,
+            &app,
+            &schedule,
+            FaultPlan::executor_loss(1, healthy.total_time_s * 0.6),
+            RetryPolicy::default(),
+        );
+
+        assert!(
+            failed.total_time_s >= healthy.total_time_s,
+            "{}: recovery cannot be free ({:.2}s vs {:.2}s)",
+            w.name(),
+            failed.total_time_s,
+            healthy.total_time_s
+        );
+        for (d, h) in &healthy.cache.per_dataset {
+            let f = &failed.cache.per_dataset[d];
+            assert_eq!(
+                f.resident_partitions,
+                h.resident_partitions,
+                "{}: {d} residency not restored after executor loss",
+                w.name()
+            );
+            assert!(
+                f.misses >= h.misses,
+                "{}: {d} cannot have fewer misses after losing blocks",
+                w.name()
+            );
+        }
+        // Lineage recovery is recomputation: any wall-clock cost the loss
+        // inflicted must be explained by extra cache misses somewhere.
+        // (The loss can also be free — the machine happened to hold no
+        // cached blocks — in which case nothing needs recomputing.)
+        if failed.total_time_s > healthy.total_time_s {
+            let misses = |r: &juggler_suite::cluster_sim::RunReport| {
+                r.cache.per_dataset.values().map(|s| s.misses).sum::<u64>()
+            };
+            assert!(
+                misses(&failed) > misses(&healthy),
+                "{}: a costly executor loss must show recomputation misses",
+                w.name()
+            );
+        }
+    }
+}
+
+/// The price of an executor loss is one recomputation wave over the lost
+/// partitions — a bounded slowdown, not a rerun from scratch.
+#[test]
+fn failure_cost_is_one_recomputation_wave() {
+    let w = LogisticRegression;
+    let app = drill_app(&w);
+    let schedule = Schedule::persist_all([DatasetId(2)]);
+    let healthy = drill_run(
+        &w,
+        &app,
+        &schedule,
+        FaultPlan::none(),
+        RetryPolicy::default(),
+    );
+    let failed = drill_run(
+        &w,
+        &app,
+        &schedule,
+        FaultPlan::executor_loss(1, healthy.total_time_s * 0.6),
+        RetryPolicy::default(),
+    );
+    assert!(
+        failed.total_time_s > healthy.total_time_s,
+        "losing a machine that holds cached blocks cannot be free"
+    );
+    assert!(
+        failed.total_time_s < healthy.total_time_s * 1.6,
+        "recovery should cost one wave, not a rerun: {:.2}s vs {:.2}s",
+        failed.total_time_s,
+        healthy.total_time_s
+    );
+    let d = DatasetId(2);
+    assert!(
+        failed.cache.per_dataset[&d].misses > healthy.cache.per_dataset[&d].misses,
+        "the lost D2 blocks must be recomputed"
+    );
+}
+
+/// A fault scheduled after the run ends must not change the run — and it
+/// must be *reported* as never having fired, not silently dropped.
+#[test]
+fn late_failures_are_noops_and_reported_not_fired() {
+    let w = LogisticRegression;
+    let app = drill_app(&w);
+    let schedule = app.default_schedule().clone();
+    let healthy = drill_run(
+        &w,
+        &app,
+        &schedule,
+        FaultPlan::none(),
+        RetryPolicy::default(),
+    );
+    let late = drill_run(
+        &w,
+        &app,
+        &schedule,
+        FaultPlan::executor_loss(1, healthy.total_time_s * 10.0),
+        RetryPolicy::default(),
+    );
+
+    assert_eq!(late.total_time_s, healthy.total_time_s);
+    assert_eq!(late.total_tasks, healthy.total_tasks);
+    assert_eq!(late.task_attempts, late.total_tasks);
+    assert_eq!(late.faults.outcomes.len(), 1);
+    let outcome = &late.faults.outcomes[0];
+    assert!(!outcome.fired, "a post-run fault cannot fire");
+    assert_eq!(outcome.fired_at_s, None);
+    assert!(
+        outcome.detail.contains("not fired"),
+        "unfired faults must be explained, got: {}",
+        outcome.detail
+    );
+}
+
+/// Losing a machine the cluster does not have is harmless — and the
+/// report says why the event never fired.
+#[test]
+fn failing_a_nonexistent_machine_is_harmless() {
+    let w = LogisticRegression;
+    let app = drill_app(&w);
+    let schedule = app.default_schedule().clone();
+    let healthy = drill_run(
+        &w,
+        &app,
+        &schedule,
+        FaultPlan::none(),
+        RetryPolicy::default(),
+    );
+    let ghost = drill_run(
+        &w,
+        &app,
+        &schedule,
+        FaultPlan::executor_loss(17, healthy.total_time_s * 0.5),
+        RetryPolicy::default(),
+    );
+    assert_eq!(ghost.total_time_s, healthy.total_time_s);
+    let outcome = &ghost.faults.outcomes[0];
+    assert!(!outcome.fired);
+    assert!(
+        outcome.detail.contains("does not exist"),
+        "ghost machines must be explained, got: {}",
+        outcome.detail
+    );
+}
+
+/// Fault-injected runs obey the same determinism contract as clean runs:
+/// identical plan, seed, and schedule produce bit-identical reports.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let w = LogisticRegression;
+    let app = drill_app(&w);
+    let schedule = app.default_schedule().clone();
+    let healthy = drill_run(
+        &w,
+        &app,
+        &schedule,
+        FaultPlan::none(),
+        RetryPolicy::default(),
+    );
+    let plan = FaultPlan::executor_loss(1, healthy.total_time_s * 0.6);
+    let a = drill_run(&w, &app, &schedule, plan.clone(), RetryPolicy::default());
+    let b = drill_run(&w, &app, &schedule, plan, RetryPolicy::default());
+    assert_eq!(a.total_time_s, b.total_time_s);
+    assert_eq!(a.digest(), b.digest(), "chaos digests must be stable");
+    assert_ne!(
+        a.digest(),
+        healthy.digest(),
+        "a fired fault must be visible in the digest"
+    );
+}

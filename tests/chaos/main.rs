@@ -1,0 +1,75 @@
+//! The chaos test harness: a deterministic matrix of fault-injected runs
+//! through the whole stack.
+//!
+//! The matrix sweeps (workload × fault plan × seed) through the engine's
+//! chaos drill and asserts the recovery invariants every cell must hold:
+//! the run terminates, cache residency is restored through lineage, and
+//! task-attempt accounting explains every retry and speculative copy.
+//! Full-pipeline cells (train → recommend → simulate under faults) pin
+//! the prediction-error band, `lineage` carries the promoted
+//! failure-injection suite across all five workloads, `determinism`
+//! proves chaos runs are bit-identical across worker-pool sizes, and
+//! `degradation` drives the training pipeline's retry-then-skip path.
+//!
+//! Everything here runs `NoiseParams::NONE` with zero cluster jitter:
+//! the injected fault plan is the *only* difference between a baseline
+//! and a chaos run, so every assertion is exact, not statistical.
+
+#[path = "../common/mod.rs"]
+mod common;
+
+mod degradation;
+mod determinism;
+mod lineage;
+mod matrix;
+
+/// Shared fixtures: quiet (noise-free) sim parameters and a drill-scale
+/// engine run, mirroring `juggler::chaos::run_chaos` for tests that need
+/// to drive the engine directly.
+mod support {
+    use juggler_suite::cluster_sim::{
+        ClusterConfig, Engine, FaultPlan, MachineSpec, NoiseParams, RetryPolicy, RunOptions,
+        RunReport, SimParams,
+    };
+    use juggler_suite::dagflow::{Application, Schedule};
+    use juggler_suite::juggler::chaos::drill_params;
+    use juggler_suite::workloads::Workload;
+
+    /// Cluster size used by the direct-engine fixtures.
+    pub const MACHINES: u32 = 3;
+
+    /// Noise-free sim parameters with the given fault plan armed.
+    pub fn quiet_sim(
+        w: &dyn Workload,
+        seed: u64,
+        faults: FaultPlan,
+        retry: RetryPolicy,
+    ) -> SimParams {
+        let mut sim = w.sim_params();
+        sim.noise = NoiseParams::NONE;
+        sim.cluster_jitter_s = 0.0;
+        sim.seed = seed;
+        sim.faults = faults;
+        sim.retry = retry;
+        sim
+    }
+
+    /// Builds the drill-scale application for a workload.
+    pub fn drill_app(w: &dyn Workload) -> Application {
+        w.build(&drill_params(w))
+    }
+
+    /// One quiet drill-scale run of `app` under `schedule` with the plan.
+    pub fn drill_run(
+        w: &dyn Workload,
+        app: &Application,
+        schedule: &Schedule,
+        faults: FaultPlan,
+        retry: RetryPolicy,
+    ) -> RunReport {
+        let cluster = ClusterConfig::new(MACHINES, MachineSpec::private_cluster());
+        Engine::new(app, cluster, quiet_sim(w, 0xD01, faults, retry))
+            .run(schedule, RunOptions::default())
+            .expect("drill run succeeds")
+    }
+}

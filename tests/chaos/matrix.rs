@@ -1,0 +1,181 @@
+//! The chaos matrix: every (workload × fault plan × seed) cell runs the
+//! baseline-vs-chaos drill and must satisfy the recovery invariants, and
+//! full-pipeline cells check that a mid-run executor loss keeps the
+//! trained models' predicted-vs-simulated error inside a declared band.
+
+use juggler_suite::cluster_sim::{
+    ClusterConfig, Engine, FaultPlan, NoiseParams, RetryPolicy, RunOptions,
+};
+use juggler_suite::juggler::chaos::{build_plan, run_chaos, ChaosConfig, PlanKind};
+use juggler_suite::juggler::pipeline::{OfflineTraining, TrainingConfig};
+use juggler_suite::juggler::RecommendationMenu;
+use juggler_suite::workloads::{all_workloads, LogisticRegression, SupportVectorMachine, Workload};
+
+/// Every cell of the (workload × plan × seed) matrix terminates, restores
+/// cache residency through lineage, accounts for every task attempt, and
+/// never finishes faster than the fault-free baseline.
+#[test]
+fn every_matrix_cell_terminates_and_recovers() {
+    for w in all_workloads() {
+        for kind in PlanKind::ALL {
+            for seed in [0xC4A05_u64, 0x0DD5EED] {
+                let cfg = ChaosConfig {
+                    kind,
+                    machines: 3,
+                    seed,
+                };
+                let cell = format!("{} × {} × seed {seed:#x}", w.name(), kind.name());
+                let out = run_chaos(w.as_ref(), &cfg)
+                    .unwrap_or_else(|e| panic!("cell {cell} failed to run: {e}"));
+                assert!(
+                    out.chaos.total_time_s.is_finite() && out.chaos.total_time_s > 0.0,
+                    "cell {cell} did not terminate cleanly"
+                );
+                assert!(
+                    out.residency_restored(),
+                    "cell {cell} lost cache residency: {:#?}",
+                    out.residency
+                );
+                assert!(
+                    out.attempts_consistent(),
+                    "cell {cell}: {} attempts for {} tasks (+{} retried, +{} speculative)",
+                    out.chaos.task_attempts,
+                    out.chaos.total_tasks,
+                    out.chaos.faults.retried_attempts,
+                    out.chaos.faults.speculative_launched
+                );
+                assert!(
+                    out.slowdown() >= 1.0 - 1e-9,
+                    "cell {cell}: chaos run faster than fault-free ({:.4})",
+                    out.slowdown()
+                );
+                // Every event either fired or explains why it could not.
+                for o in &out.chaos.faults.outcomes {
+                    assert!(
+                        o.fired || !o.detail.is_empty(),
+                        "cell {cell}: unfired event with no explanation"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An empty fault plan with the default retry policy is byte-identical to
+/// a plain run: same digest, quiet fault summary, attempts == tasks.
+#[test]
+fn zero_fault_plans_are_byte_identical_to_plain_runs() {
+    for w in all_workloads() {
+        let w = w.as_ref();
+        let app = crate::support::drill_app(w);
+        let schedule = app.default_schedule().clone();
+        let plain = crate::support::drill_run(
+            w,
+            &app,
+            &schedule,
+            FaultPlan::none(),
+            RetryPolicy::default(),
+        );
+        let again = crate::support::drill_run(
+            w,
+            &app,
+            &schedule,
+            FaultPlan::none(),
+            RetryPolicy::default(),
+        );
+        assert_eq!(plain.digest(), again.digest(), "{}", w.name());
+        assert!(
+            plain.faults.is_quiet(),
+            "{}: empty plan must leave no chaos trace in the report",
+            w.name()
+        );
+        assert_eq!(plain.task_attempts, plain.total_tasks, "{}", w.name());
+    }
+}
+
+fn assert_pareto(menu: &RecommendationMenu, context: &str) {
+    assert!(!menu.options.is_empty(), "{context}: empty menu");
+    for a in &menu.options {
+        for b in &menu.options {
+            assert!(
+                !(a.predicted_time_s < b.predicted_time_s
+                    && a.predicted_cost_machine_min < b.predicted_cost_machine_min
+                    && a.schedule_index != b.schedule_index),
+                "{context}: menu kept a dominated option"
+            );
+        }
+    }
+}
+
+/// Full-pipeline cells: train, recommend, then simulate each recommended
+/// schedule fault-free and under a mid-run executor loss (with retries).
+///
+/// The declared band: on a cluster of at least four machines — so one
+/// lost executor is at most a quarter of capacity and of the cache — the
+/// loss (i) adds less than 10% wall clock over the fault-free run, and
+/// (ii) moves the prediction-relative error `|predicted − simulated| /
+/// predicted` by less than 10 points. Chaos does not invalidate the
+/// trained models.
+#[test]
+fn executor_loss_keeps_prediction_error_in_band() {
+    for w in [
+        &LogisticRegression as &dyn Workload,
+        &SupportVectorMachine as &dyn Workload,
+    ] {
+        let trained = OfflineTraining::run(w, &TrainingConfig::default()).expect("training");
+        let paper = w.paper_params();
+        let app = w.build(&paper);
+        assert_pareto(&trained.recommend(paper.e(), paper.f()), w.name());
+
+        for (i, rs) in trained.schedules.iter().enumerate() {
+            let machines = trained.machines_for(i, paper.e(), paper.f()).max(4);
+            let cluster = ClusterConfig::new(machines, trained.target_spec);
+            let quiet = |faults: FaultPlan, retry: RetryPolicy| {
+                let mut sim = w.sim_params();
+                sim.noise = NoiseParams::NONE;
+                sim.cluster_jitter_s = 0.0;
+                sim.faults = faults;
+                sim.retry = retry;
+                sim
+            };
+            let run = |sim| {
+                Engine::new(&app, cluster, sim)
+                    .run_shared(&rs.schedule, RunOptions::default())
+                    .expect("paper-scale run")
+            };
+            let base = run(quiet(FaultPlan::none(), RetryPolicy::default()));
+            let (plan, policy) = build_plan(PlanKind::ExecutorLoss, base.total_time_s, machines);
+            let chaos = run(quiet(plan, policy));
+            assert!(
+                chaos.faults.outcomes.iter().any(|o| o.fired),
+                "{} schedule {i}: the executor loss never fired",
+                w.name()
+            );
+
+            let overhead = chaos.total_time_s / base.total_time_s - 1.0;
+            assert!(
+                (0.0..0.10).contains(&overhead),
+                "{} schedule {i}: executor loss cost {:.1}% wall clock \
+                 (base {:.1}s, chaos {:.1}s on {machines} machines)",
+                w.name(),
+                overhead * 100.0,
+                base.total_time_s,
+                chaos.total_time_s
+            );
+
+            let predicted = trained.time_models[i].predict(paper.e(), paper.f());
+            let rel_err = |simulated: f64| ((predicted - simulated) / predicted).abs();
+            let drift = (rel_err(chaos.total_time_s) - rel_err(base.total_time_s)).abs();
+            assert!(
+                drift < 0.10,
+                "{} schedule {i}: executor loss moved prediction error by {:.1} points \
+                 (base {:.1}s, chaos {:.1}s, predicted {:.1}s)",
+                w.name(),
+                drift * 100.0,
+                base.total_time_s,
+                chaos.total_time_s,
+                predicted
+            );
+        }
+    }
+}

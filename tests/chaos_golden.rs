@@ -1,0 +1,57 @@
+//! Golden test for `juggler chaos`'s rendered drill report: the default
+//! LOR drill (a straggler burst followed by an executor loss, speculation
+//! on) is fully deterministic — `NoiseParams::NONE`, zero jitter, fixed
+//! seed — so the render must be byte-for-byte the committed golden file.
+//! Any drift is a real behaviour or formatting change in the chaos
+//! machinery. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test chaos_golden` and review the diff.
+
+use juggler_suite::juggler::chaos::{run_chaos, ChaosConfig};
+use juggler_suite::workloads::LogisticRegression;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chaos_small.txt")
+}
+
+#[test]
+fn chaos_drill_report_matches_golden_file() {
+    let outcome = run_chaos(&LogisticRegression, &ChaosConfig::default()).expect("drill succeeds");
+    let got = outcome.render();
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test chaos_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "chaos drill report drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn chaos_drill_report_covers_the_contract() {
+    let outcome = run_chaos(&LogisticRegression, &ChaosConfig::default()).expect("drill succeeds");
+    let text = outcome.render();
+    // Both injected events, with fire times.
+    assert!(text.contains("slow node"), "{text}");
+    assert!(text.contains("executor loss"), "{text}");
+    assert!(text.contains("fired @"), "{text}");
+    // Fault-tolerance counters, including speculation.
+    assert!(text.contains("speculative"), "{text}");
+    assert!(text.contains("failed attempts"), "{text}");
+    // Residency restoration and the invariant verdicts.
+    assert!(text.contains("restored"), "{text}");
+    assert!(!text.contains("LOST"), "{text}");
+    assert!(!text.contains("FAIL"), "{text}");
+    // The drill exercised speculation and won at least one race.
+    assert!(outcome.chaos.faults.speculative_wins > 0, "{text}");
+}
