@@ -12,6 +12,7 @@ pub trait RngCore {
     fn next_u64(&mut self) -> u64;
 
     /// Next 32 random bits.
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
@@ -24,6 +25,7 @@ pub trait StandardSample {
 }
 
 impl StandardSample for f64 {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         // 53 significant bits, uniform in [0, 1).
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -31,24 +33,28 @@ impl StandardSample for f64 {
 }
 
 impl StandardSample for f32 {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 }
 
 impl StandardSample for u64 {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         rng.next_u64()
     }
 }
 
 impl StandardSample for u32 {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         rng.next_u32()
     }
 }
 
 impl StandardSample for bool {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         rng.next_u64() & 1 == 1
     }
@@ -57,6 +63,7 @@ impl StandardSample for bool {
 /// High-level sampling methods, blanket-implemented for every [`RngCore`].
 pub trait Rng: RngCore {
     /// Draws a uniformly-distributed value.
+    #[inline]
     fn gen<T: StandardSample>(&mut self) -> T
     where
         Self: Sized,
@@ -65,6 +72,7 @@ pub trait Rng: RngCore {
     }
 
     /// Returns `true` with probability `p`.
+    #[inline]
     fn gen_bool(&mut self, p: f64) -> bool
     where
         Self: Sized,
@@ -112,6 +120,11 @@ pub mod rngs {
     }
 
     impl RngCore for SmallRng {
+        // `#[inline]` matters: generic callers (`gen::<f64>` etc.)
+        // monomorphize in *their* crate and would otherwise pay a real
+        // cross-crate call per draw — the simulator makes ~150k draws per
+        // paper-scale run.
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
                 .wrapping_add(self.s[3])

@@ -58,15 +58,25 @@ pub fn sweep(
 ) -> Vec<RunReport> {
     let app = w.build(params);
     let sim_base = w.sim_params();
+    // One prep and one schedule clone for the whole sweep: the engine
+    // derives both from the app alone, so the 12 configurations differ
+    // only in their cluster (which `with_prep` takes per engine).
+    let prep = std::sync::Arc::new(cluster_sim::EnginePrep::new(&app));
+    let shared = std::sync::Arc::new(schedule.clone());
     let machines: Vec<u32> = MACHINE_RANGE.collect();
     juggler::parallel::run_indexed(machines.len(), 0, |i| {
         let m = machines[i];
         let mut sim = sim_base.clone();
         sim.seed = RUN_SEED ^ (u64::from(m) << 8);
-        let engine = Engine::new(&app, ClusterConfig::new(m, spec), sim);
+        let engine = Engine::with_prep(
+            &app,
+            ClusterConfig::new(m, spec),
+            sim,
+            std::sync::Arc::clone(&prep),
+        );
         engine
-            .run(
-                schedule,
+            .run_shared(
+                &shared,
                 RunOptions {
                     collect_traces: false,
                     partition_skew: 0.15,

@@ -16,7 +16,7 @@ use crate::fault::ChaosState;
 use crate::memory::BlockStore;
 use crate::report::TaskTrace;
 use crate::rng::TaskNoise;
-use crate::task::{walk_task, TaskEnv};
+use crate::task::{walk_task, ConsumerCost, TaskEnv};
 use crate::trace::TraceRecorder;
 
 /// How long a task will wait for its preferred (cache-local) machine before
@@ -95,10 +95,23 @@ pub fn total_slots(machines: u32, cores: u32) -> usize {
 /// Mutable per-run scheduling state shared across stages.
 pub struct ExecutorState {
     /// Next free time of each core, indexed `machine * cores + core`.
-    pub core_free: Vec<f64>,
+    /// Private so every write goes through [`ExecutorState::set_core_free`],
+    /// which keeps `machine_best` coherent.
+    core_free: Vec<f64>,
+    /// Cached earliest core per machine: `(slot, free_at)` of the *first*
+    /// minimum among the machine's cores — the same element a left-to-right
+    /// `min_by` scan over `core_free` would pick, so slot choice (and with
+    /// it every digest) is unchanged. Turns the per-attempt
+    /// `machines × cores` scan into a `machines` scan plus an O(cores)
+    /// refresh per core write.
+    machine_best: Vec<(usize, f64)>,
+    /// Cores per machine (the `machine_best` refresh stride).
+    cores: usize,
     /// Outstanding execution-memory claims per machine: `(release_at,
-    /// bytes)`.
-    pub exec_claims: Vec<Vec<(f64, u64)>>,
+    /// bytes)`, kept sorted ascending by release time (insert via
+    /// [`ExecutorState::add_claim`]) so expiry pops an already-sorted
+    /// prefix instead of scanning — and mispredicting on — a mixed list.
+    pub exec_claims: Vec<std::collections::VecDeque<(f64, u64)>>,
     /// Noise source.
     pub noise: TaskNoise,
     /// Tasks that had to spill.
@@ -116,6 +129,16 @@ pub struct ExecutorState {
     /// `run_stage`) so heap capacity is reused across the hundreds of
     /// stages of an iterative run instead of reallocated per stage.
     spec_durations: RunningMedian,
+    /// Scratch wave bookkeeping for the structured trace, cleared at every
+    /// stage start (reused for the same reason as `spec_durations`).
+    waves: Vec<(f64, f64, u32)>,
+    /// Per-stage hoisted shuffle-write costs, taken out of the state for
+    /// the duration of a stage (`mem::take`) and put back afterwards so
+    /// the allocation is reused across the hundreds of stages of a run.
+    consumer_costs: Vec<ConsumerCost>,
+    /// Per-stage persisted-dataset preference list, reused like
+    /// `consumer_costs`.
+    pref_datasets: Vec<DatasetId>,
 }
 
 impl ExecutorState {
@@ -124,85 +147,154 @@ impl ExecutorState {
     pub fn new(machines: u32, cores: u32, noise: TaskNoise) -> Self {
         ExecutorState {
             core_free: vec![0.0; total_slots(machines, cores)],
-            exec_claims: (0..machines).map(|_| Vec::new()).collect(),
+            machine_best: (0..machines as usize)
+                .map(|m| (m * cores as usize, 0.0))
+                .collect(),
+            cores: (cores as usize).max(1),
+            exec_claims: (0..machines)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
             noise,
             spilled_tasks: 0,
             total_tasks: 0,
             task_attempts: 0,
             locality_fallbacks: 0,
             spec_durations: RunningMedian::default(),
+            waves: Vec::new(),
+            consumer_costs: Vec::new(),
+            pref_datasets: Vec::new(),
         }
     }
 
+    /// Restores the state to exactly what [`ExecutorState::new`] would
+    /// build for the given cluster shape and noise source, reusing the
+    /// existing allocations (claim deques, median heaps, stage scratch).
+    pub fn reset(&mut self, machines: u32, cores: u32, noise: TaskNoise) {
+        self.core_free.clear();
+        self.core_free.resize(total_slots(machines, cores), 0.0);
+        self.machine_best.clear();
+        self.machine_best
+            .extend((0..machines as usize).map(|m| (m * cores as usize, 0.0)));
+        self.cores = (cores as usize).max(1);
+        self.exec_claims.iter_mut().for_each(|q| q.clear());
+        self.exec_claims
+            .resize_with(machines as usize, Default::default);
+        self.noise = noise;
+        self.spilled_tasks = 0;
+        self.total_tasks = 0;
+        self.task_attempts = 0;
+        self.locality_fallbacks = 0;
+        self.spec_durations.clear();
+        self.waves.clear();
+    }
+
+    /// Updates a core's next-free time and refreshes the owning machine's
+    /// cached earliest core. The refresh is a left-to-right first-min scan,
+    /// replicating the tie-breaking of the scan it replaces.
+    #[inline]
+    fn set_core_free(&mut self, machine: usize, slot: usize, t: f64) {
+        debug_assert_eq!(machine, slot / self.cores);
+        self.core_free[slot] = t;
+        let m = machine;
+        let base = m * self.cores;
+        // Manual first-min scan with strict `<`: same element as
+        // `min_by(partial_cmp)`, but compiled to conditional moves — noisy
+        // runs produce randomly-ordered times, and a branching scan pays a
+        // misprediction on most comparisons.
+        let mut bs = base;
+        let mut bv = self.core_free[base];
+        for s in base + 1..base + self.cores {
+            let v = self.core_free[s];
+            let better = v < bv;
+            bs = if better { s } else { bs };
+            bv = if better { v } else { bv };
+        }
+        self.machine_best[m] = (bs, bv);
+    }
+
+    /// Records an execution-memory claim on `machine`, keeping the list
+    /// sorted by release time. Claims are recorded in task-completion order,
+    /// so the new claim almost always belongs at the back.
+    pub fn add_claim(&mut self, machine: usize, release_at: f64, bytes: u64) {
+        let claims = &mut self.exec_claims[machine];
+        let mut i = claims.len();
+        while i > 0 && claims[i - 1].0 > release_at {
+            i -= 1;
+        }
+        claims.insert(i, (release_at, bytes));
+    }
+
     /// Releases every claim that expires at or before `now` on `machine`.
+    /// Same set of claims as an unordered scan would release (the predicate
+    /// is per-claim), and `release_exec` is a plain byte-count subtraction,
+    /// so release order does not affect any observable state.
     fn expire_claims(&mut self, store: &mut BlockStore, machine: usize, now: f64) {
         let claims = &mut self.exec_claims[machine];
-        let mut i = 0;
-        while i < claims.len() {
-            if claims[i].0 <= now {
-                store.release_exec(machine, claims[i].1);
-                claims.swap_remove(i);
-            } else {
-                i += 1;
+        while let Some(&(t, bytes)) = claims.front() {
+            if t > now {
+                break;
             }
+            store.release_exec(machine, bytes);
+            claims.pop_front();
         }
     }
 }
 
 /// Picks the core for a task attempt:
-/// `(slot, free_at, locality_fallback)`. The fast path (no blacklist, no
-/// machine to avoid) is the pre-chaos locality logic unchanged; the
-/// constrained path excludes blacklisted machines and — when an
-/// alternative exists — the machine a previous attempt just failed on.
-/// If the constraints exclude everything, they are ignored: the run must
-/// terminate.
+/// `(machine, slot, free_at, locality_fallback)`. The fast path (no
+/// blacklist, no machine to avoid) is the pre-chaos locality logic
+/// unchanged; the constrained path excludes blacklisted machines and —
+/// when an alternative exists — the machine a previous attempt just failed
+/// on. If the constraints exclude everything, they are ignored: the run
+/// must terminate. Returning the machine index (instead of leaving callers
+/// to divide `slot / cores`) keeps integer division out of the per-task
+/// path.
 fn choose_slot(
     state: &ExecutorState,
     chaos: &ChaosState,
     machines: usize,
-    cores: usize,
     preferred: Option<usize>,
     avoid: Option<usize>,
-) -> (usize, f64, bool) {
-    let earliest_core = |m: usize| -> (usize, f64) {
-        let base = m * cores;
-        (0..cores)
-            .map(|c| (base + c, state.core_free[base + c]))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
-            .expect("cores >= 1")
-    };
+) -> (usize, usize, f64, bool) {
+    // `machine_best[m]` is maintained as exactly the first-min core scan
+    // the old code did per call.
     let constrained = avoid.is_some() || chaos.constrained();
     let allowed =
         |m: usize| -> bool { !chaos.is_excluded(m) && (avoid != Some(m) || machines == 1) };
     let global_best = if constrained {
         (0..machines)
             .filter(|&m| allowed(m))
-            .map(earliest_core)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .map(|m| (m, state.machine_best[m]))
+            .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite times"))
     } else {
         None
     }
     .unwrap_or_else(|| {
-        (0..machines)
-            .map(earliest_core)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
-            .expect("machines >= 1")
+        // Branchless first-min over the per-machine cached bests (see
+        // `set_core_free` for why not `min_by`).
+        let mut bm = 0;
+        let mut best = state.machine_best[0];
+        for m in 1..machines {
+            let c = state.machine_best[m];
+            let better = c.1 < best.1;
+            bm = if better { m } else { bm };
+            best = if better { c } else { best };
+        }
+        (bm, best)
     });
+    let (gm, (gslot, gfree)) = global_best;
     match preferred {
         Some(m) if !constrained || allowed(m) => {
-            let local = earliest_core(m);
-            if local.1 <= global_best.1 + LOCALITY_WAIT_S {
-                (local.0, local.1, m != local.0 / cores)
+            let (lslot, lfree) = state.machine_best[m];
+            if lfree <= gfree + LOCALITY_WAIT_S {
+                // The local best is one of m's own cores: never a fallback.
+                (m, lslot, lfree, false)
             } else {
-                (global_best.0, global_best.1, m != global_best.0 / cores)
+                (gm, gslot, gfree, m != gm)
             }
         }
-        Some(m) => (
-            global_best.0,
-            global_best.1,
-            m != global_best.0 / cores, // preferred machine excluded
-        ),
-        None => (global_best.0, global_best.1, false),
+        Some(m) => (gm, gslot, gfree, m != gm), // preferred machine excluded
+        None => (gm, gslot, gfree, false),
     }
 }
 
@@ -239,7 +331,7 @@ pub fn run_stage(
     // Wave bookkeeping for the structured trace: wave `w` holds the tasks
     // dispatched onto the `w`-th round of cluster slots.
     let slots = total_slots(env.cluster.machines, env.cluster.spec.cores).max(1);
-    let mut waves: Vec<(f64, f64, u32)> = Vec::new();
+    state.waves.clear();
     // Execution memory a task claims: its fair share of the execution
     // pool (Spark's UnifiedMemoryManager grants each of N concurrent
     // tasks up to 1/N of the pool). The workload-specific factor says how
@@ -247,6 +339,30 @@ pub fn run_stage(
     let exec_bytes = (env.cluster.spec.unified_memory() as f64
         * env.params.exec_mem_per_task_factor
         / f64::from(env.cluster.spec.cores.max(1))) as u64;
+
+    // Hoist the partition-independent work out of the task loop: the
+    // shuffle-write cost terms and the stage's persisted datasets
+    // (deepest-first, the locality-preference scan order). The buffers
+    // live in `ExecutorState` and are taken for the stage's duration so
+    // their allocations survive across stages; they are restored before
+    // returning.
+    let mut consumer_costs = std::mem::take(&mut state.consumer_costs);
+    consumer_costs.clear();
+    consumer_costs.extend(
+        shuffle_consumers
+            .iter()
+            .map(|&w| ConsumerCost::build(env, stage.output, w)),
+    );
+    let mut pref_datasets = std::mem::take(&mut state.pref_datasets);
+    pref_datasets.clear();
+    pref_datasets.extend(
+        stage
+            .datasets
+            .iter()
+            .rev()
+            .copied()
+            .filter(|&d| env.persisted[d.index()]),
+    );
 
     let mut stage_finish = stage_start;
     for task_idx in 0..stage.num_tasks {
@@ -256,11 +372,8 @@ pub fn run_stage(
 
         // Preferred machine: holder of the deepest cached block for this
         // partition (closest to the stage output).
-        let preferred = stage
-            .datasets
+        let preferred = pref_datasets
             .iter()
-            .rev()
-            .filter(|&&d| env.persisted[d.index()])
             .find_map(|&d| store.residency(d, task_idx));
 
         // Attempt loop: a transient failure kills the attempt halfway
@@ -273,12 +386,9 @@ pub fn run_stage(
         let mut avoid: Option<usize> = None;
         let mut retry_ready = 0.0f64;
         let (slot, machine, start, claimed, mut walk, duration, spilled, fell_back) = loop {
-            let (slot, slot_free, locality_fallback) =
-                choose_slot(state, chaos, machines, cores, preferred, avoid);
-            let machine = slot / cores;
-            if locality_fallback {
-                state.locality_fallbacks += 1;
-            }
+            let (machine, slot, slot_free, locality_fallback) =
+                choose_slot(state, chaos, machines, preferred, avoid);
+            state.locality_fallbacks += u64::from(locality_fallback);
             let start = slot_free
                 .max(dispatch_ready)
                 .max(stage_start)
@@ -288,22 +398,20 @@ pub fn run_stage(
             state.expire_claims(store, machine, start);
             let claimed = store.claim_exec(machine, exec_bytes);
 
-            let walk = walk_task(
-                env,
-                store,
-                machine,
-                stage.output,
-                task_idx,
-                shuffle_consumers,
-            );
+            let walk = walk_task(env, store, machine, stage.output, task_idx, &consumer_costs);
             let (noise_factor, is_straggler) = state.noise.sample();
-            let mut duration = walk.duration * noise_factor;
-            if is_straggler {
-                // GC pauses and slow containers have an absolute
-                // magnitude: a straggler never finishes faster than the
-                // floor, no matter how tiny its partition is.
-                duration = duration.max(state.noise.straggler_floor_s());
-            }
+            // GC pauses and slow containers have an absolute magnitude: a
+            // straggler never finishes faster than the floor, no matter how
+            // tiny its partition is. Selecting the floor (0 for normal
+            // tasks; `max(d, 0.0)` is the identity for the non-negative
+            // durations here) keeps the rare-straggler branch out of the
+            // hot loop.
+            let floor = if is_straggler {
+                state.noise.straggler_floor_s()
+            } else {
+                0.0
+            };
+            let mut duration = (walk.duration * noise_factor).max(floor);
             let spilled = claimed < exec_bytes;
             if spilled {
                 duration *= env.params.spill_penalty;
@@ -317,7 +425,7 @@ pub fn run_stage(
             if chaos.take_failure(start) {
                 if attempt + 1 < policy.max_attempts {
                     let fail_at = start + duration * 0.5;
-                    state.core_free[slot] = fail_at;
+                    state.set_core_free(machine, slot, fail_at);
                     store.release_exec(machine, claimed);
                     chaos.record_retry(machine, fail_at);
                     attempt += 1;
@@ -356,16 +464,9 @@ pub fn run_stage(
                 let detect_at = start + policy.speculation_multiplier * median;
                 let copy_best = (0..machines)
                     .filter(|&m| m != machine && !chaos.is_excluded(m))
-                    .map(|m| {
-                        let base = m * cores;
-                        (0..cores)
-                            .map(|c| (base + c, state.core_free[base + c]))
-                            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
-                            .expect("cores >= 1")
-                    })
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
-                if let Some((cslot, cfree)) = copy_best {
-                    let cmachine = cslot / cores;
+                    .map(|m| (m, state.machine_best[m]))
+                    .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite times"));
+                if let Some((cmachine, (cslot, cfree))) = copy_best {
                     let cstart = cfree.max(detect_at);
                     state.expire_claims(store, cmachine, cstart);
                     let cclaimed = store.claim_exec(cmachine, exec_bytes);
@@ -375,7 +476,7 @@ pub fn run_stage(
                         cmachine,
                         stage.output,
                         task_idx,
-                        shuffle_consumers,
+                        &consumer_costs,
                     );
                     let (cnoise, cstraggler) = state.noise.sample();
                     let mut cduration = cwalk.duration * cnoise;
@@ -395,10 +496,10 @@ pub fn run_stage(
                     let won = cfinish < finish;
                     chaos.note_speculative(won);
                     let effective = cfinish.min(finish);
-                    state.core_free[cslot] = effective.max(cstart);
-                    state.exec_claims[cmachine].push((effective.max(cstart), cclaimed));
-                    state.core_free[slot] = effective;
-                    state.exec_claims[machine].push((effective, claimed));
+                    state.set_core_free(cmachine, cslot, effective.max(cstart));
+                    state.add_claim(cmachine, effective.max(cstart), cclaimed);
+                    state.set_core_free(machine, slot, effective);
+                    state.add_claim(machine, effective, claimed);
                     if won {
                         finish = cfinish;
                         winner = (cmachine, cslot, cstart);
@@ -410,8 +511,8 @@ pub fn run_stage(
             }
         }
         if !speculated {
-            state.core_free[slot] = finish;
-            state.exec_claims[machine].push((finish, claimed));
+            state.set_core_free(machine, slot, finish);
+            state.add_claim(machine, finish, claimed);
         }
         let (run_machine, run_slot, run_start) = winner;
         state.total_tasks += 1;
@@ -434,10 +535,12 @@ pub fn run_stage(
                 fell_back,
             );
             let wave = task_idx as usize / slots;
-            if waves.len() <= wave {
-                waves.resize(wave + 1, (f64::INFINITY, f64::NEG_INFINITY, 0));
+            if state.waves.len() <= wave {
+                state
+                    .waves
+                    .resize(wave + 1, (f64::INFINITY, f64::NEG_INFINITY, 0));
             }
-            let w = &mut waves[wave];
+            let w = &mut state.waves[wave];
             w.0 = w.0.min(start);
             w.1 = w.1.max(finish);
             w.2 += 1;
@@ -466,7 +569,7 @@ pub fn run_stage(
             });
         }
     }
-    for (wi, &(start, finish, tasks)) in waves.iter().enumerate() {
+    for (wi, &(start, finish, tasks)) in state.waves.iter().enumerate() {
         recorder.wave_span(job.0, stage.id.0, wi as u32, start, finish, tasks);
     }
     // Release claims that expire at stage end so the next stage starts
@@ -474,6 +577,9 @@ pub fn run_stage(
     for m in 0..machines {
         state.expire_claims(store, m, stage_finish);
     }
+    // Hand the hoisted-scratch allocations back for the next stage.
+    state.consumer_costs = consumer_costs;
+    state.pref_datasets = pref_datasets;
     stage_finish
 }
 
@@ -487,7 +593,12 @@ mod tests {
 
     use crate::config::{ClusterConfig, MachineSpec, NoiseParams, SimParams};
     use crate::fault::{FaultPlan, RetryPolicy};
+    use crate::memory::BlockLayout;
     use crate::task::Sizing;
+
+    fn store_for(app: &Application, cluster: &ClusterConfig) -> BlockStore {
+        BlockStore::new(cluster, std::sync::Arc::new(BlockLayout::from_app(app)))
+    }
 
     fn inert_chaos(machines: u32) -> ChaosState {
         ChaosState::new(
@@ -543,10 +654,10 @@ mod tests {
                 params: &params,
                 persisted: &persisted,
                 swap: &swap,
-                sizing: Sizing { skew: 0.0 },
+                sizing: Sizing::new(&app, 0.0),
                 trace: false,
             };
-            let mut store = crate::memory::BlockStore::new(&cluster);
+            let mut store = store_for(&app, &cluster);
             let mut state = ExecutorState::new(
                 machines,
                 cluster.spec.cores,
@@ -590,10 +701,10 @@ mod tests {
             params: &params,
             persisted: &persisted,
             swap: &swap,
-            sizing: Sizing { skew: 0.0 },
+            sizing: Sizing::new(&app, 0.0),
             trace: true,
         };
-        let mut store = crate::memory::BlockStore::new(&cluster);
+        let mut store = store_for(&app, &cluster);
         let mut state = ExecutorState::new(2, 4, TaskNoise::new(0, NoiseParams::NONE));
         let plan = StagePlan::build(&app, dagflow::JobId(0));
         let mut traces = Vec::new();
@@ -659,10 +770,10 @@ mod tests {
             params: &params,
             persisted: &persisted,
             swap: &swap,
-            sizing: Sizing { skew: 0.3 },
+            sizing: Sizing::new(&app, 0.3),
             trace: true,
         };
-        let mut store = crate::memory::BlockStore::new(&cluster);
+        let mut store = store_for(&app, &cluster);
         let mut state = ExecutorState::new(2, 4, TaskNoise::new(7, params.noise));
         let plan = StagePlan::build(&app, dagflow::JobId(0));
         let mut traces = Vec::new();
@@ -708,10 +819,10 @@ mod tests {
             params: &params,
             persisted: &persisted,
             swap: &swap,
-            sizing: Sizing { skew: 0.0 },
+            sizing: Sizing::new(&app, 0.0),
             trace: false,
         };
-        let mut store = crate::memory::BlockStore::new(&cluster);
+        let mut store = store_for(&app, &cluster);
         let mut state = ExecutorState::new(1, 4, TaskNoise::new(0, NoiseParams::NONE));
         let plan = StagePlan::build(&app, dagflow::JobId(0));
         let mut traces = Vec::new();

@@ -430,7 +430,7 @@ impl ChaosState {
                 } => {
                     let m = machine as usize;
                     let claimed = store.claim_exec(m, bytes);
-                    state.exec_claims[m].push((now + duration_s, claimed));
+                    state.add_claim(m, now + duration_s, claimed);
                     self.outcomes[oi].detail = format!(
                         "claimed {} of execution memory for {duration_s:.1} s",
                         obs::fmt_bytes(claimed)
@@ -624,7 +624,8 @@ mod tests {
 
     fn harness(machines: u32) -> (BlockStore, ExecutorState) {
         let cluster = ClusterConfig::new(machines, MachineSpec::paper_example());
-        let store = BlockStore::new(&cluster);
+        let layout = std::sync::Arc::new(crate::memory::BlockLayout::from_partitions([4]));
+        let store = BlockStore::new(&cluster, layout);
         let state = ExecutorState::new(machines, 4, TaskNoise::new(0, NoiseParams::NONE));
         (store, state)
     }

@@ -43,11 +43,12 @@ pub mod trace;
 pub mod trace_view;
 
 pub use config::{ClusterConfig, MachineSpec, MemoryLayout, NoiseParams, SimParams};
-pub use engine::{Engine, RunOptions};
+pub use engine::{Engine, EnginePrep, RunOptions};
 pub use eviction::EvictionPolicyKind;
 pub use fault::{
     BlacklistEvent, FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultSummary, RetryPolicy,
 };
+pub use memory::{BlockLayout, BlockStore};
 pub use report::{
     CacheStats, DatasetCacheStats, PipelineStep, RunReport, StageTiming, StepKind, TaskTrace,
 };

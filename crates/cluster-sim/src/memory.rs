@@ -11,160 +11,318 @@
 //! * execution claims may evict storage blocks, but only down to the
 //!   protected floor R;
 //! * unpersist drops all of a dataset's blocks immediately.
+//!
+//! # Dense interning
+//!
+//! `(dataset, partition)` pairs are interned to dense block indices via a
+//! [`BlockLayout`] (a prefix sum over per-dataset partition counts), so the
+//! cache-residency hot path — `residency`, `touch`/`read`, `try_insert` —
+//! is straight array indexing instead of hashing. Eviction outcomes are
+//! unchanged: every access and insert stamp comes from a strictly
+//! monotonic clock, so victim selection has a unique minimum and is
+//! independent of candidate enumeration order (this is also why the old
+//! `HashMap`-iteration enumeration was deterministic across processes).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use dagflow::DatasetId;
+use dagflow::{Application, DatasetId};
 
 use crate::config::ClusterConfig;
 use crate::eviction::{select_victim, DatasetHints, EvictionPolicyKind, VictimCandidate};
 use crate::report::DatasetCacheStats;
 
-/// Identifies one cached partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct BlockKey {
-    /// The persisted dataset.
-    pub dataset: DatasetId,
-    /// Partition index within the dataset.
-    pub partition: u32,
-}
+/// Sentinel machine index meaning "not resident".
+const NO_MACHINE: u32 = u32::MAX;
 
+/// Per-block residency state. `loc == NO_MACHINE` means not resident; the
+/// other fields are only meaningful while resident.
 #[derive(Debug, Clone, Copy)]
-struct Block {
+struct BlockMeta {
+    /// Holding machine, or [`NO_MACHINE`].
+    loc: u32,
+    /// Position inside `resident[loc]`.
+    pos: u32,
     bytes: u64,
     last_access: u64,
     inserted: u64,
 }
 
-/// Memory state of one machine.
-#[derive(Debug)]
-struct MachineMemory {
-    unified: u64,
-    min_storage: u64,
-    storage_used: u64,
-    exec_used: u64,
-    blocks: HashMap<BlockKey, Block>,
-}
-
-impl MachineMemory {
-    fn free(&self) -> u64 {
-        self.unified
-            .saturating_sub(self.storage_used)
-            .saturating_sub(self.exec_used)
-    }
-
-    /// Victim block under the given policy, excluding the `protect`ed
-    /// dataset (the one currently being cached — Spark never evicts an
-    /// RDD's blocks to admit more blocks of the same RDD).
-    fn victim(
-        &self,
-        policy: EvictionPolicyKind,
-        hints: &HashMap<DatasetId, DatasetHints>,
-        protect: Option<DatasetId>,
-    ) -> Option<BlockKey> {
-        let mut keys: Vec<BlockKey> = Vec::with_capacity(self.blocks.len());
-        let mut candidates: Vec<VictimCandidate> = Vec::with_capacity(self.blocks.len());
-        for (k, b) in &self.blocks {
-            if Some(k.dataset) == protect {
-                continue;
-            }
-            keys.push(*k);
-            candidates.push(VictimCandidate {
-                dataset: k.dataset,
-                bytes: b.bytes,
-                last_access: b.last_access,
-                inserted: b.inserted,
-                hints: hints.get(&k.dataset).copied().unwrap_or_default(),
-            });
+impl Default for BlockMeta {
+    fn default() -> Self {
+        BlockMeta {
+            loc: NO_MACHINE,
+            pos: 0,
+            bytes: 0,
+            last_access: 0,
+            inserted: 0,
         }
-        select_victim(policy, &candidates).map(|i| keys[i])
     }
 }
 
-/// Cluster-wide cache: per-machine memory plus a global block index and
+/// Interns `(dataset, partition)` pairs to dense block indices: block
+/// `offsets[d] + p` for partition `p` of dataset `d`. Built once per
+/// application and shared (via `Arc`) by every run's [`BlockStore`].
+#[derive(Debug)]
+pub struct BlockLayout {
+    /// `offsets[d]..offsets[d + 1]` is dataset `d`'s block range.
+    offsets: Vec<usize>,
+    /// Owning dataset of each block (the inverse mapping).
+    block_dataset: Vec<DatasetId>,
+}
+
+impl BlockLayout {
+    /// Layout for an application: one block slot per `(dataset, partition)`.
+    #[must_use]
+    pub fn from_app(app: &Application) -> Self {
+        Self::from_partitions(app.datasets().iter().map(|d| d.partitions))
+    }
+
+    /// Layout from explicit per-dataset partition counts (dataset `i` has
+    /// `partitions[i]` partitions).
+    #[must_use]
+    pub fn from_partitions(partitions: impl IntoIterator<Item = u32>) -> Self {
+        let mut offsets = vec![0usize];
+        let mut block_dataset = Vec::new();
+        for (i, parts) in partitions.into_iter().enumerate() {
+            let d = DatasetId(u32::try_from(i).expect("dataset count fits u32"));
+            block_dataset.extend(std::iter::repeat_n(d, parts as usize));
+            offsets.push(block_dataset.len());
+        }
+        BlockLayout {
+            offsets,
+            block_dataset,
+        }
+    }
+
+    /// Number of datasets covered.
+    #[must_use]
+    pub fn dataset_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total block slots.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.block_dataset.len()
+    }
+
+    /// Partition count of a dataset.
+    #[must_use]
+    pub fn partitions(&self, d: DatasetId) -> u32 {
+        (self.offsets[d.index() + 1] - self.offsets[d.index()]) as u32
+    }
+
+    /// Dense index of `(d, p)`, or `None` when `p` is out of the dataset's
+    /// range (such a block can never be resident — the map-keyed store
+    /// simply never found it).
+    #[inline]
+    #[must_use]
+    pub fn block_of(&self, d: DatasetId, p: u32) -> Option<usize> {
+        let start = self.offsets[d.index()];
+        let end = self.offsets[d.index() + 1];
+        let b = start + p as usize;
+        (b < end).then_some(b)
+    }
+
+    /// Owning dataset of a block index.
+    #[inline]
+    #[must_use]
+    pub fn dataset_of(&self, block: usize) -> DatasetId {
+        self.block_dataset[block]
+    }
+
+    /// Partition index of a block within its dataset.
+    #[inline]
+    #[must_use]
+    pub fn partition_of(&self, block: usize) -> u32 {
+        (block - self.offsets[self.dataset_of(block).index()]) as u32
+    }
+}
+
+/// Cluster-wide cache: per-machine memory plus a dense block index and
 /// per-dataset statistics.
 #[derive(Debug)]
 pub struct BlockStore {
-    machines: Vec<MachineMemory>,
-    locations: HashMap<BlockKey, usize>,
+    layout: Arc<BlockLayout>,
+    policy: EvictionPolicyKind,
+    /// Monotonic access/insert clock; every stamp is unique.
     clock: u64,
-    stats: HashMap<DatasetId, DatasetCacheStats>,
+    /// Unified region M and protected storage floor R (same machine spec
+    /// cluster-wide).
+    unified: u64,
+    min_storage: u64,
+    /// Per-machine usage.
+    storage_used: Vec<u64>,
+    exec_used: Vec<u64>,
+    /// Blocks resident on each machine (for victim enumeration).
+    resident: Vec<Vec<u32>>,
+    /// Per-block state, one struct per block so a read or insert touches
+    /// one cache line instead of five parallel arrays.
+    blocks: Vec<BlockMeta>,
+    /// Per-dataset statistics; `touched[d]` marks datasets that ever got a
+    /// stat update, reproducing the exact key set of the map-keyed store.
+    stats: Vec<DatasetCacheStats>,
+    touched: Vec<bool>,
+    /// Per-dataset hints for the DAG-aware policies (default when unset).
+    hints: Vec<DatasetHints>,
+    /// Cluster-wide running totals, so peaks are O(1) instead of a
+    /// per-insert sum over machines.
+    total_storage: u64,
+    total_exec: u64,
     peak_storage: u64,
     peak_exec: u64,
-    policy: EvictionPolicyKind,
-    hints: HashMap<DatasetId, DatasetHints>,
+    /// Victim-selection scratch, reused across calls within a run.
+    victim_keys: Vec<u32>,
+    victim_cands: Vec<VictimCandidate>,
 }
 
 impl BlockStore {
     /// Creates an empty store for a cluster, evicting with LRU (Spark's
     /// default).
     #[must_use]
-    pub fn new(cluster: &ClusterConfig) -> Self {
-        BlockStore::with_policy(cluster, EvictionPolicyKind::Lru)
+    pub fn new(cluster: &ClusterConfig, layout: Arc<BlockLayout>) -> Self {
+        BlockStore::with_policy(cluster, layout, EvictionPolicyKind::Lru)
     }
 
     /// Creates an empty store with an explicit eviction policy.
     #[must_use]
-    pub fn with_policy(cluster: &ClusterConfig, policy: EvictionPolicyKind) -> Self {
-        let m = cluster.spec.unified_memory();
-        let r = cluster.spec.min_storage();
+    pub fn with_policy(
+        cluster: &ClusterConfig,
+        layout: Arc<BlockLayout>,
+        policy: EvictionPolicyKind,
+    ) -> Self {
+        let machines = cluster.machines as usize;
+        let blocks = layout.block_count();
+        let datasets = layout.dataset_count();
         BlockStore {
-            machines: (0..cluster.machines)
-                .map(|_| MachineMemory {
-                    unified: m,
-                    min_storage: r,
-                    storage_used: 0,
-                    exec_used: 0,
-                    blocks: HashMap::new(),
-                })
-                .collect(),
-            locations: HashMap::new(),
+            policy,
             clock: 0,
-            stats: HashMap::new(),
+            unified: cluster.spec.unified_memory(),
+            min_storage: cluster.spec.min_storage(),
+            storage_used: vec![0; machines],
+            exec_used: vec![0; machines],
+            resident: vec![Vec::new(); machines],
+            blocks: vec![BlockMeta::default(); blocks],
+            stats: (0..datasets)
+                .map(|_| DatasetCacheStats::default())
+                .collect(),
+            touched: vec![false; datasets],
+            hints: vec![DatasetHints::default(); datasets],
+            total_storage: 0,
+            total_exec: 0,
             peak_storage: 0,
             peak_exec: 0,
-            policy,
-            hints: HashMap::new(),
+            victim_keys: Vec::new(),
+            victim_cands: Vec::new(),
+            layout,
         }
     }
 
-    /// Refreshes the DAG-aware per-dataset hints (used by the LRC and MRD
-    /// policies). The engine calls this at job boundaries.
-    pub fn set_hints(&mut self, hints: HashMap<DatasetId, DatasetHints>) {
-        self.hints = hints;
+    /// The layout this store indexes blocks with.
+    #[must_use]
+    pub fn layout(&self) -> &Arc<BlockLayout> {
+        &self.layout
     }
 
-    fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+    /// Sets one dataset's DAG-aware hint (used by the LRC and MRD
+    /// policies). The engine refreshes the hints of every persisted
+    /// dataset at job boundaries; unset datasets keep the default hint,
+    /// exactly like the old map's `unwrap_or_default` lookup.
+    pub fn set_hint(&mut self, d: DatasetId, hint: DatasetHints) {
+        self.hints[d.index()] = hint;
     }
 
+    #[inline]
     fn stat(&mut self, d: DatasetId) -> &mut DatasetCacheStats {
-        self.stats.entry(d).or_default()
+        self.touched[d.index()] = true;
+        &mut self.stats[d.index()]
+    }
+
+    fn free(&self, machine: usize) -> u64 {
+        self.unified
+            .saturating_sub(self.storage_used[machine])
+            .saturating_sub(self.exec_used[machine])
     }
 
     /// Which machine holds the block, if resident.
+    #[inline]
     #[must_use]
     pub fn residency(&self, dataset: DatasetId, partition: u32) -> Option<usize> {
-        self.locations
-            .get(&BlockKey { dataset, partition })
-            .copied()
+        let b = self.layout.block_of(dataset, partition)?;
+        let m = self.blocks[b].loc;
+        (m != NO_MACHINE).then_some(m as usize)
     }
 
     /// Records a cache read: refreshes the block's LRU stamp and counts a
     /// hit. No-op (counts a miss) if absent.
     pub fn touch(&mut self, dataset: DatasetId, partition: u32) -> bool {
-        let key = BlockKey { dataset, partition };
-        let now = self.tick();
-        if let Some(&mi) = self.locations.get(&key) {
-            if let Some(b) = self.machines[mi].blocks.get_mut(&key) {
-                b.last_access = now;
+        self.read(dataset, partition).is_some()
+    }
+
+    /// [`BlockStore::touch`] fused with [`BlockStore::residency`]: one
+    /// lookup returning the holding machine on a hit. The clock ticks
+    /// exactly once per call, hit or miss, like `touch` always did.
+    #[inline]
+    pub fn read(&mut self, dataset: DatasetId, partition: u32) -> Option<usize> {
+        self.clock += 1;
+        let now = self.clock;
+        if let Some(b) = self.layout.block_of(dataset, partition) {
+            let meta = &mut self.blocks[b];
+            if meta.loc != NO_MACHINE {
+                let m = meta.loc;
+                meta.last_access = now;
                 self.stat(dataset).hits += 1;
-                return true;
+                return Some(m as usize);
             }
         }
         self.stat(dataset).misses += 1;
-        false
+        None
+    }
+
+    /// Victim block on `machine` under the store's policy, excluding the
+    /// `protect`ed dataset. Candidate order does not affect the outcome
+    /// (unique clock stamps), only which scratch slots get filled.
+    fn victim(&mut self, machine: usize, protect: Option<DatasetId>) -> Option<usize> {
+        let mut keys = std::mem::take(&mut self.victim_keys);
+        let mut cands = std::mem::take(&mut self.victim_cands);
+        keys.clear();
+        cands.clear();
+        for &b in &self.resident[machine] {
+            let d = self.layout.dataset_of(b as usize);
+            if Some(d) == protect {
+                continue;
+            }
+            let meta = &self.blocks[b as usize];
+            keys.push(b);
+            cands.push(VictimCandidate {
+                dataset: d,
+                bytes: meta.bytes,
+                last_access: meta.last_access,
+                inserted: meta.inserted,
+                hints: self.hints[d.index()],
+            });
+        }
+        let chosen = select_victim(self.policy, &cands).map(|i| keys[i] as usize);
+        self.victim_keys = keys;
+        self.victim_cands = cands;
+        chosen
+    }
+
+    /// Structural removal of a resident block (no stat updates); returns
+    /// its size.
+    fn remove_block(&mut self, machine: usize, block: usize) -> u64 {
+        let bytes = self.blocks[block].bytes;
+        let list = &mut self.resident[machine];
+        let i = self.blocks[block].pos as usize;
+        list.swap_remove(i);
+        if let Some(&moved) = list.get(i) {
+            self.blocks[moved as usize].pos = i as u32;
+        }
+        self.blocks[block].loc = NO_MACHINE;
+        self.storage_used[machine] -= bytes;
+        self.total_storage -= bytes;
+        bytes
     }
 
     /// Attempts to cache a freshly computed partition on `machine`,
@@ -177,55 +335,54 @@ impl BlockStore {
         partition: u32,
         bytes: u64,
     ) -> bool {
-        let key = BlockKey { dataset, partition };
-        if self.locations.contains_key(&key) {
+        let block = self
+            .layout
+            .block_of(dataset, partition)
+            .expect("partition within the dataset's layout");
+        if self.blocks[block].loc != NO_MACHINE {
             return true; // already resident (e.g. recomputed concurrently)
         }
         self.stat(dataset).insert_attempts += 1;
         // Evict other datasets' LRU blocks until the block fits.
-        while self.machines[machine].free() < bytes {
-            let Some(victim) =
-                self.machines[machine].victim(self.policy, &self.hints, Some(dataset))
-            else {
+        while self.free(machine) < bytes {
+            let Some(victim) = self.victim(machine, Some(dataset)) else {
                 break;
             };
             self.evict_block(machine, victim);
         }
-        if self.machines[machine].free() < bytes {
+        if self.free(machine) < bytes {
             self.stat(dataset).insert_failures += 1;
             return false;
         }
-        let now = self.tick();
-        self.machines[machine].blocks.insert(
-            key,
-            Block {
-                bytes,
-                last_access: now,
-                inserted: now,
-            },
-        );
-        self.machines[machine].storage_used += bytes;
-        self.locations.insert(key, machine);
+        self.clock += 1;
+        let now = self.clock;
+        self.blocks[block] = BlockMeta {
+            loc: machine as u32,
+            pos: self.resident[machine].len() as u32,
+            bytes,
+            last_access: now,
+            inserted: now,
+        };
+        self.resident[machine].push(block as u32);
+        self.storage_used[machine] += bytes;
+        self.total_storage += bytes;
         let s = self.stat(dataset);
         s.resident_partitions += 1;
         s.resident_bytes += bytes;
         s.peak_resident_bytes = s.peak_resident_bytes.max(s.resident_bytes);
-        self.peak_storage = self
-            .peak_storage
-            .max(self.machines.iter().map(|m| m.storage_used).sum());
+        self.peak_storage = self.peak_storage.max(self.total_storage);
         true
     }
 
-    fn evict_block(&mut self, machine: usize, key: BlockKey) {
-        if let Some(block) = self.machines[machine].blocks.remove(&key) {
-            self.machines[machine].storage_used -= block.bytes;
-            self.locations.remove(&key);
-            let s = self.stat(key.dataset);
-            s.resident_partitions -= 1;
-            s.resident_bytes -= block.bytes;
-            s.evictions += 1;
-            s.evicted_partition_ids.insert(key.partition);
-        }
+    fn evict_block(&mut self, machine: usize, block: usize) {
+        let dataset = self.layout.dataset_of(block);
+        let partition = self.layout.partition_of(block);
+        let bytes = self.remove_block(machine, block);
+        let s = self.stat(dataset);
+        s.resident_partitions -= 1;
+        s.resident_bytes -= bytes;
+        s.evictions += 1;
+        s.evicted_partition_ids.insert(partition);
     }
 
     /// Claims execution memory for a task on `machine`. Storage above the
@@ -234,93 +391,77 @@ impl BlockStore {
     /// it asked for must spill. Pass the returned value to
     /// [`BlockStore::release_exec`] when the task finishes.
     pub fn claim_exec(&mut self, machine: usize, bytes: u64) -> u64 {
-        while self.machines[machine].free() < bytes
-            && self.machines[machine].storage_used > self.machines[machine].min_storage
-        {
-            let Some(victim) = self.machines[machine].victim(self.policy, &self.hints, None) else {
+        while self.free(machine) < bytes && self.storage_used[machine] > self.min_storage {
+            let Some(victim) = self.victim(machine, None) else {
                 break;
             };
             self.evict_block(machine, victim);
         }
-        let claim = bytes.min(self.machines[machine].free());
-        self.machines[machine].exec_used += claim;
-        self.peak_exec = self
-            .peak_exec
-            .max(self.machines.iter().map(|m| m.exec_used).sum());
+        let claim = bytes.min(self.free(machine));
+        self.exec_used[machine] += claim;
+        self.total_exec += claim;
+        self.peak_exec = self.peak_exec.max(self.total_exec);
         claim
     }
 
     /// Releases execution memory previously claimed on `machine`.
     pub fn release_exec(&mut self, machine: usize, bytes: u64) {
-        let m = &mut self.machines[machine];
-        m.exec_used = m.exec_used.saturating_sub(bytes);
+        let delta = bytes.min(self.exec_used[machine]);
+        self.exec_used[machine] -= delta;
+        self.total_exec -= delta;
     }
 
     /// Drops every block a machine holds (executor loss). The blocks
     /// count as evictions — downstream reads miss and recompute through
     /// lineage, and re-insertion may land on any machine.
     pub fn lose_machine(&mut self, machine: usize) {
-        let keys: Vec<BlockKey> = self.machines[machine].blocks.keys().copied().collect();
-        for key in keys {
-            self.evict_block(machine, key);
+        while let Some(&b) = self.resident[machine].last() {
+            self.evict_block(machine, b as usize);
         }
-        self.machines[machine].exec_used = 0;
+        self.total_exec -= self.exec_used[machine];
+        self.exec_used[machine] = 0;
     }
 
     /// Unpersists a dataset: drops all of its blocks everywhere.
     pub fn drop_dataset(&mut self, dataset: DatasetId) {
-        let keys: Vec<(BlockKey, usize)> = self
-            .locations
-            .iter()
-            .filter(|(k, _)| k.dataset == dataset)
-            .map(|(k, &m)| (*k, m))
-            .collect();
-        for (key, machine) in keys {
-            if let Some(block) = self.machines[machine].blocks.remove(&key) {
-                self.machines[machine].storage_used -= block.bytes;
-                self.locations.remove(&key);
-                let s = self.stat(dataset);
-                s.resident_partitions -= 1;
-                s.resident_bytes -= block.bytes;
-                s.unpersisted += 1;
-            }
+        for p in 0..self.layout.partitions(dataset) {
+            self.drop_partition(dataset, p);
         }
     }
 
     /// Drops a single partition (the `u(X) … p(Y)` partition-by-partition
     /// swap). Does not count as an eviction.
     pub fn drop_partition(&mut self, dataset: DatasetId, partition: u32) {
-        let key = BlockKey { dataset, partition };
-        if let Some(&machine) = self.locations.get(&key) {
-            if let Some(block) = self.machines[machine].blocks.remove(&key) {
-                self.machines[machine].storage_used -= block.bytes;
-                self.locations.remove(&key);
-                let s = self.stat(dataset);
-                s.resident_partitions -= 1;
-                s.resident_bytes -= block.bytes;
-                s.unpersisted += 1;
-            }
+        let Some(block) = self.layout.block_of(dataset, partition) else {
+            return;
+        };
+        let machine = self.blocks[block].loc;
+        if machine != NO_MACHINE {
+            let bytes = self.remove_block(machine as usize, block);
+            let s = self.stat(dataset);
+            s.resident_partitions -= 1;
+            s.resident_bytes -= bytes;
+            s.unpersisted += 1;
         }
     }
 
     /// Currently resident partition count of a dataset.
+    #[inline]
     #[must_use]
     pub fn resident_count(&self, dataset: DatasetId) -> u32 {
-        self.stats
-            .get(&dataset)
-            .map_or(0, |s| s.resident_partitions)
+        self.stats[dataset.index()].resident_partitions
     }
 
     /// Bytes of storage used on one machine.
     #[must_use]
     pub fn storage_used(&self, machine: usize) -> u64 {
-        self.machines[machine].storage_used
+        self.storage_used[machine]
     }
 
     /// Bytes of execution memory in use on one machine.
     #[must_use]
     pub fn exec_used(&self, machine: usize) -> u64 {
-        self.machines[machine].exec_used
+        self.exec_used[machine]
     }
 
     /// Peak cluster-wide storage bytes observed.
@@ -335,22 +476,82 @@ impl BlockStore {
         self.peak_exec
     }
 
-    /// Final per-dataset statistics (drained).
+    /// Statistics of one dataset, `None` if the dataset was never touched
+    /// (the map-keyed store had no entry for it).
     #[must_use]
-    pub fn into_stats(self) -> HashMap<DatasetId, DatasetCacheStats> {
-        self.stats
+    pub fn dataset_stats(&self, dataset: DatasetId) -> Option<&DatasetCacheStats> {
+        self.touched[dataset.index()].then(|| &self.stats[dataset.index()])
     }
 
-    /// Per-dataset statistics (borrowed).
+    /// Iterates the statistics of every touched dataset, in dataset-id
+    /// order.
+    pub fn touched_stats(&self) -> impl Iterator<Item = (DatasetId, &DatasetCacheStats)> {
+        self.stats
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.touched[i])
+            .map(|(i, s)| (DatasetId(i as u32), s))
+    }
+
+    /// Final per-dataset statistics (drained): exactly the datasets that
+    /// were ever touched, as the map-keyed store reported.
     #[must_use]
-    pub fn stats(&self) -> &HashMap<DatasetId, DatasetCacheStats> {
-        &self.stats
+    pub fn into_stats(mut self) -> HashMap<DatasetId, DatasetCacheStats> {
+        self.take_stats()
+    }
+
+    /// Moves the touched-dataset statistics out without consuming the
+    /// store, leaving `stats` empty. Used by the engine's run-scratch
+    /// pool: the store goes back to the pool and [`BlockStore::reset_for`]
+    /// rebuilds the vector on next use.
+    pub fn take_stats(&mut self) -> HashMap<DatasetId, DatasetCacheStats> {
+        std::mem::take(&mut self.stats)
+            .into_iter()
+            .enumerate()
+            .filter(|&(i, _)| self.touched[i])
+            .map(|(i, s)| (DatasetId(i as u32), s))
+            .collect()
+    }
+
+    /// Restores the store to the exact state a fresh
+    /// [`BlockStore::with_policy`] call for `cluster`/`policy` would
+    /// produce, reusing every allocation. The layout (and with it the
+    /// application) must match the one the store was built with; cluster
+    /// size and memory spec may differ, as they do across grid points.
+    pub fn reset_for(&mut self, cluster: &ClusterConfig, policy: EvictionPolicyKind) {
+        let machines = cluster.machines as usize;
+        let blocks = self.layout.block_count();
+        let datasets = self.layout.dataset_count();
+        self.policy = policy;
+        self.clock = 0;
+        self.unified = cluster.spec.unified_memory();
+        self.min_storage = cluster.spec.min_storage();
+        self.storage_used.clear();
+        self.storage_used.resize(machines, 0);
+        self.exec_used.clear();
+        self.exec_used.resize(machines, 0);
+        self.resident.iter_mut().for_each(Vec::clear);
+        self.resident.resize_with(machines, Vec::new);
+        self.blocks.clear();
+        self.blocks.resize(blocks, BlockMeta::default());
+        self.stats.clear();
+        self.stats.resize(datasets, DatasetCacheStats::default());
+        self.touched.clear();
+        self.touched.resize(datasets, false);
+        self.hints.clear();
+        self.hints.resize(datasets, DatasetHints::default());
+        self.total_storage = 0;
+        self.total_exec = 0;
+        self.peak_storage = 0;
+        self.peak_exec = 0;
+        self.victim_keys.clear();
+        self.victim_cands.clear();
     }
 
     /// Number of machines in the store.
     #[must_use]
     pub fn machine_count(&self) -> usize {
-        self.machines.len()
+        self.storage_used.len()
     }
 }
 
@@ -359,16 +560,36 @@ mod tests {
     use super::*;
     use crate::config::MachineSpec;
 
+    /// Store over a toy layout: dataset 0 is a 1-partition dummy, datasets
+    /// 1 and 2 (`D_A`, `D_B`) have 10 partitions each.
     fn store(machines: u32, ram: u64) -> BlockStore {
         let spec = MachineSpec {
             ram_bytes: ram,
             ..MachineSpec::paper_example()
         };
-        BlockStore::new(&ClusterConfig::new(machines, spec))
+        let layout = Arc::new(BlockLayout::from_partitions([1, 10, 10]));
+        BlockStore::new(&ClusterConfig::new(machines, spec), layout)
     }
 
     const D_A: DatasetId = DatasetId(1);
     const D_B: DatasetId = DatasetId(2);
+
+    #[test]
+    fn layout_interning_round_trips() {
+        let layout = BlockLayout::from_partitions([3, 0, 5, 1]);
+        assert_eq!(layout.dataset_count(), 4);
+        assert_eq!(layout.block_count(), 9);
+        for d in 0..4u32 {
+            for p in 0..layout.partitions(DatasetId(d)) {
+                let b = layout.block_of(DatasetId(d), p).unwrap();
+                assert_eq!(layout.dataset_of(b), DatasetId(d));
+                assert_eq!(layout.partition_of(b), p);
+            }
+            // One past the end resolves to no block.
+            let past = layout.partitions(DatasetId(d));
+            assert_eq!(layout.block_of(DatasetId(d), past), None);
+        }
+    }
 
     #[test]
     fn insert_and_residency() {
@@ -378,7 +599,7 @@ mod tests {
         assert_eq!(s.residency(D_A, 1), None);
         assert!(s.touch(D_A, 0));
         assert!(!s.touch(D_A, 1));
-        let stats = s.stats().get(&D_A).unwrap();
+        let stats = s.dataset_stats(D_A).unwrap();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.resident_partitions, 1);
@@ -399,7 +620,7 @@ mod tests {
         }
         assert_eq!(cached, 4);
         assert_eq!(s.resident_count(D_A), 4);
-        let st = s.stats().get(&D_A).unwrap();
+        let st = s.dataset_stats(D_A).unwrap();
         assert_eq!(st.insert_failures, 6);
         assert_eq!(st.evictions, 0, "no self-eviction");
     }
@@ -420,7 +641,7 @@ mod tests {
         assert_eq!(s.residency(D_A, 0), None, "LRU victim");
         assert_eq!(s.residency(D_A, 1), None, "LRU victim");
         assert_eq!(s.residency(D_A, 2), Some(0));
-        let st = s.stats().get(&D_A).unwrap();
+        let st = s.dataset_stats(D_A).unwrap();
         assert_eq!(st.evictions, 2);
         assert!(st.evicted_partition_ids.contains(&0));
     }
@@ -456,7 +677,7 @@ mod tests {
         assert_eq!(s.resident_count(D_A), 0);
         assert_eq!(s.resident_count(D_B), 1);
         assert_eq!(s.residency(D_A, 1), None);
-        let st = s.stats().get(&D_A).unwrap();
+        let st = s.dataset_stats(D_A).unwrap();
         assert_eq!(st.unpersisted, 2);
         assert_eq!(st.evictions, 0);
     }
@@ -487,5 +708,32 @@ mod tests {
         s.release_exec(0, 50_000_000);
         assert_eq!(s.peak_storage(), 100_000_000);
         assert_eq!(s.peak_exec(), 50_000_000);
+    }
+
+    #[test]
+    fn lose_machine_evicts_and_clears_exec() {
+        let mut s = store(2, 12_000_000_000);
+        s.try_insert(0, D_A, 0, 1000);
+        s.try_insert(0, D_A, 1, 1000);
+        s.try_insert(1, D_A, 2, 1000);
+        s.claim_exec(0, 500);
+        s.lose_machine(0);
+        assert_eq!(s.resident_count(D_A), 1);
+        assert_eq!(s.storage_used(0), 0);
+        assert_eq!(s.exec_used(0), 0);
+        assert_eq!(s.residency(D_A, 2), Some(1));
+        let st = s.dataset_stats(D_A).unwrap();
+        assert_eq!(st.evictions, 2);
+    }
+
+    #[test]
+    fn untouched_datasets_stay_out_of_stats() {
+        let mut s = store(1, 12_000_000_000);
+        s.try_insert(0, D_A, 0, 1000);
+        assert!(s.dataset_stats(D_B).is_none());
+        assert_eq!(s.touched_stats().count(), 1);
+        let map = s.into_stats();
+        assert_eq!(map.len(), 1);
+        assert!(map.contains_key(&D_A));
     }
 }

@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use dagflow::{Application, Bytes, DatasetId, OpKind};
+use dagflow::{Application, Bytes, ComputeCost, Dataset, DatasetId, OpKind};
 
 use crate::config::{ClusterConfig, SimParams};
 use crate::memory::BlockStore;
@@ -29,6 +29,11 @@ use crate::report::{PipelineStep, StepKind};
 /// than others (§7.5); `s = 0.33` reproduces that ratio.
 #[must_use]
 pub fn skew_factor(dataset: DatasetId, partition: u32, skew: f64) -> f64 {
+    if skew == 0.0 {
+        // 1.0 + 0.0 * (2u − 1) is exactly 1.0 for every finite u, so the
+        // fast path is bit-identical to the full computation.
+        return 1.0;
+    }
     // SplitMix64 over the pair for well-mixed bits.
     let mut z =
         (u64::from(dataset.0) << 32 | u64::from(partition)).wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -40,25 +45,53 @@ pub fn skew_factor(dataset: DatasetId, partition: u32, skew: f64) -> f64 {
 }
 
 /// Sizing helper: per-partition bytes and records with skew applied.
-#[derive(Debug, Clone, Copy)]
+///
+/// The per-dataset average sizes (`bytes / partitions`) are precomputed at
+/// construction — they are partition-independent, and the divisions were a
+/// measurable slice of the task walk's per-call cost. The skew factor is
+/// applied exactly as before (`average * skew_factor`), so results are
+/// bit-identical to the on-the-fly computation.
+#[derive(Debug, Clone)]
 pub struct Sizing {
     /// Skew amplitude `s`.
     pub skew: f64,
+    /// `base_bytes[d]` — average partition bytes of dataset `d`.
+    base_bytes: Vec<f64>,
+    /// `base_records[d]` — average partition records of dataset `d`.
+    base_records: Vec<f64>,
 }
 
 impl Sizing {
-    /// Bytes of one partition of a dataset.
+    /// Precomputes per-dataset average partition sizes for an application.
     #[must_use]
-    pub fn partition_bytes(&self, app: &Application, d: DatasetId, p: u32) -> f64 {
-        let ds = app.dataset(d);
-        ds.partition_bytes() * skew_factor(d, p, self.skew)
+    pub fn new(app: &Application, skew: f64) -> Self {
+        Sizing {
+            skew,
+            base_bytes: app
+                .datasets()
+                .iter()
+                .map(Dataset::partition_bytes)
+                .collect(),
+            base_records: app
+                .datasets()
+                .iter()
+                .map(Dataset::partition_records)
+                .collect(),
+        }
+    }
+
+    /// Bytes of one partition of a dataset.
+    #[inline]
+    #[must_use]
+    pub fn partition_bytes(&self, d: DatasetId, p: u32) -> f64 {
+        self.base_bytes[d.index()] * skew_factor(d, p, self.skew)
     }
 
     /// Records of one partition of a dataset.
+    #[inline]
     #[must_use]
-    pub fn partition_records(&self, app: &Application, d: DatasetId, p: u32) -> f64 {
-        let ds = app.dataset(d);
-        ds.partition_records() * skew_factor(d, p, self.skew)
+    pub fn partition_records(&self, d: DatasetId, p: u32) -> f64 {
+        self.base_records[d.index()] * skew_factor(d, p, self.skew)
     }
 }
 
@@ -113,36 +146,70 @@ impl TaskWalk {
     }
 }
 
+/// Partition-independent terms of one shuffle-write step, precomputed once
+/// per stage instead of once per task. Every field holds exactly the value
+/// the per-task computation produced (same expressions, same inputs), so
+/// task durations are bit-identical; only the per-task divisions go away.
+#[derive(Debug, Clone, Copy)]
+pub struct ConsumerCost {
+    /// The consuming wide dataset.
+    wide: DatasetId,
+    /// Bytes this map task writes (`shuffled bytes / map tasks`).
+    written: f64,
+    /// Seconds spent writing (`written / disk_bandwidth`).
+    write_s: f64,
+    /// For combining wide transformations: records per map task and the
+    /// consumer's compute cost (the map-side combine scan). `None` when
+    /// the shuffle does not combine map-side.
+    combine: Option<(f64, ComputeCost)>,
+}
+
+impl ConsumerCost {
+    /// Precomputes the shuffle-write terms for one `(producing stage
+    /// output, consuming wide)` pair.
+    #[must_use]
+    pub fn build(env: &TaskEnv<'_>, output: DatasetId, wide: DatasetId) -> Self {
+        let w = env.app.dataset(wide);
+        let map_tasks = f64::from(env.app.dataset(output).partitions.max(1));
+        let written = shuffled_bytes(env.app, wide) / map_tasks;
+        let combine = wide_combines(w.op).then(|| (w.records as f64 / map_tasks, w.compute));
+        ConsumerCost {
+            wide,
+            written,
+            write_s: written / env.cluster.spec.disk_bandwidth,
+            combine,
+        }
+    }
+}
+
 /// Walks the pipeline for partition `p` of `output` on `machine`, mutating
 /// the block store (cache hits, inserts, swaps).
 ///
-/// `shuffle_consumers` lists the wide datasets (of the current job) that
-/// read this stage's output; a `ShuffleWrite` step is appended for each.
+/// `shuffle_consumers` carries the precomputed shuffle-write costs of the
+/// wide datasets (of the current job) that read this stage's output; a
+/// `ShuffleWrite` step is appended for each.
 pub fn walk_task(
     env: &TaskEnv<'_>,
     store: &mut BlockStore,
     machine: usize,
     output: DatasetId,
     p: u32,
-    shuffle_consumers: &[DatasetId],
+    shuffle_consumers: &[ConsumerCost],
 ) -> TaskWalk {
     let mut walk = TaskWalk::default();
     materialize(env, store, machine, output, p, &mut walk);
-    for &wide in shuffle_consumers {
-        let w = env.app.dataset(wide);
-        let map_tasks = f64::from(env.app.dataset(output).partitions.max(1));
-        let written = shuffled_bytes(env.app, wide) / map_tasks;
+    for c in shuffle_consumers {
         // Map-side combine work (the scan producing partial aggregates) is
         // part of the Shuffle Write half of a combining wide transformation.
-        let combine = if wide_combines(w.op) {
-            let input = env.sizing.partition_bytes(env.app, output, p);
-            let records = w.records as f64 / map_tasks;
-            w.compute.task_seconds(records, input) / env.cluster.spec.cpu_speed
-        } else {
-            0.0
+        let combine = match c.combine {
+            Some((records, compute)) => {
+                let input = env.sizing.partition_bytes(output, p);
+                compute.task_seconds(records, input) / env.cluster.spec.cpu_speed
+            }
+            None => 0.0,
         };
-        let dur = combine + written / env.cluster.spec.disk_bandwidth;
-        walk.push_step(env.trace, wide, StepKind::ShuffleWrite, dur, written);
+        let dur = combine + c.write_s;
+        walk.push_step(env.trace, c.wide, StepKind::ShuffleWrite, dur, c.written);
     }
     walk
 }
@@ -182,7 +249,7 @@ fn shuffle_read_seconds(env: &TaskEnv<'_>, wide: DatasetId, p: u32) -> f64 {
         // The scan work was charged map-side; merging partials is cheap.
         (w.compute.fixed_s + w.compute.per_input_byte_s * fetched) / spec.cpu_speed
     } else {
-        let records = env.sizing.partition_records(env.app, wide, p);
+        let records = env.sizing.partition_records(wide, p);
         w.compute.task_seconds(records, fetched) / spec.cpu_speed
     };
     fetch + compute
@@ -198,12 +265,12 @@ fn materialize(
     walk: &mut TaskWalk,
 ) {
     let spec = &env.cluster.spec;
-    let bytes = env.sizing.partition_bytes(env.app, d, p);
+    let bytes = env.sizing.partition_bytes(d, p);
     let is_persisted = env.persisted[d.index()];
 
     if is_persisted {
-        if let Some(holder) = store.residency(d, p) {
-            store.touch(d, p);
+        // One fused lookup: counts the hit/miss and returns the holder.
+        if let Some(holder) = store.read(d, p) {
             // Local read from storage memory, or a remote fetch if locality
             // scheduling could not place us on the holder.
             let bw = if holder == machine {
@@ -214,8 +281,7 @@ fn materialize(
             walk.push_step(env.trace, d, StepKind::CacheRead, bytes / bw, bytes);
             return;
         }
-        // Persisted but not resident: record the miss, then recompute below.
-        store.touch(d, p);
+        // Persisted but not resident: the miss is recorded; recompute below.
     }
 
     let ds = env.app.dataset(d);
@@ -236,10 +302,10 @@ fn materialize(
         OpKind::Narrow(_) => {
             let mut input_bytes = 0.0;
             for &par in &ds.parents {
-                input_bytes += env.sizing.partition_bytes(env.app, par, p);
+                input_bytes += env.sizing.partition_bytes(par, p);
                 materialize(env, store, machine, par, p, walk);
             }
-            let records = env.sizing.partition_records(env.app, d, p);
+            let records = env.sizing.partition_records(d, p);
             let compute = ds.compute.task_seconds(records, input_bytes) / spec.cpu_speed;
             walk.push_step(env.trace, d, StepKind::Compute, compute, bytes);
         }
@@ -279,6 +345,11 @@ mod tests {
     use dagflow::{AppBuilder, ComputeCost, NarrowKind, SourceFormat, WideKind};
 
     use crate::config::MachineSpec;
+    use crate::memory::BlockLayout;
+
+    fn store_for(app: &Application, cluster: &ClusterConfig) -> BlockStore {
+        BlockStore::new(cluster, std::sync::Arc::new(BlockLayout::from_app(app)))
+    }
 
     fn env_fixture() -> (Application, ClusterConfig, SimParams) {
         let mut b = AppBuilder::new("taskfix");
@@ -322,9 +393,16 @@ mod tests {
             params,
             persisted,
             swap,
-            sizing: Sizing { skew: 0.0 },
+            sizing: Sizing::new(app, 0.0),
             trace: true,
         }
+    }
+
+    fn costs(env: &TaskEnv<'_>, output: DatasetId, wides: &[DatasetId]) -> Vec<ConsumerCost> {
+        wides
+            .iter()
+            .map(|&w| ConsumerCost::build(env, output, w))
+            .collect()
     }
 
     #[test]
@@ -348,8 +426,9 @@ mod tests {
         let persisted = vec![false; app.dataset_count()];
         let swap = HashMap::new();
         let env = make_env(&app, &cluster, &params, &persisted, &swap);
-        let mut store = BlockStore::new(&cluster);
-        let walk = walk_task(&env, &mut store, 0, DatasetId(1), 0, &[DatasetId(2)]);
+        let mut store = store_for(&app, &cluster);
+        let cc = costs(&env, DatasetId(1), &[DatasetId(2)]);
+        let walk = walk_task(&env, &mut store, 0, DatasetId(1), 0, &cc);
         // Steps: SourceRead(in), Compute(parsed), ShuffleWrite(agg).
         assert_eq!(walk.steps.len(), 3);
         assert_eq!(walk.steps[0].kind, StepKind::SourceRead);
@@ -383,7 +462,7 @@ mod tests {
         persisted[1] = true; // persist "parsed"
         let swap = HashMap::new();
         let env = make_env(&app, &cluster, &params, &persisted, &swap);
-        let mut store = BlockStore::new(&cluster);
+        let mut store = store_for(&app, &cluster);
         let first = walk_task(&env, &mut store, 0, DatasetId(1), 0, &[]);
         assert_eq!(store.resident_count(DatasetId(1)), 1);
         let second = walk_task(&env, &mut store, 0, DatasetId(1), 0, &[]);
@@ -395,7 +474,7 @@ mod tests {
             second.duration,
             first.duration
         );
-        let stats = store.stats().get(&DatasetId(1)).unwrap();
+        let stats = store.dataset_stats(DatasetId(1)).unwrap();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1, "the first walk missed before computing");
     }
@@ -407,7 +486,7 @@ mod tests {
         persisted[1] = true;
         let swap = HashMap::new();
         let env = make_env(&app, &cluster, &params, &persisted, &swap);
-        let mut store = BlockStore::new(&cluster);
+        let mut store = store_for(&app, &cluster);
         walk_task(&env, &mut store, 0, DatasetId(1), 0, &[]);
         let local = walk_task(&env, &mut store, 0, DatasetId(1), 0, &[]);
         let remote = walk_task(&env, &mut store, 1, DatasetId(1), 0, &[]);
@@ -420,7 +499,7 @@ mod tests {
         let persisted = vec![false; app.dataset_count()];
         let swap = HashMap::new();
         let env = make_env(&app, &cluster, &params, &persisted, &swap);
-        let mut store = BlockStore::new(&cluster);
+        let mut store = store_for(&app, &cluster);
         let walk = walk_task(&env, &mut store, 0, DatasetId(2), 0, &[]);
         assert_eq!(walk.steps.len(), 1);
         assert_eq!(walk.steps[0].kind, StepKind::ShuffleRead);
@@ -466,7 +545,7 @@ mod tests {
         let mut swap = HashMap::new();
         swap.insert(y, x);
         let env = make_env(&app, &cluster, &params, &persisted, &swap);
-        let mut store = BlockStore::new(&cluster);
+        let mut store = store_for(&app, &cluster);
         // Materialize and cache all of X first.
         for p in 0..4 {
             walk_task(&env, &mut store, 0, x, p, &[]);
@@ -485,7 +564,7 @@ mod tests {
         }
         assert_eq!(store.resident_count(y), 4);
         assert_eq!(store.resident_count(x), 0, "fully swapped out");
-        let sx = store.stats().get(&x).unwrap();
+        let sx = store.dataset_stats(x).unwrap();
         assert_eq!(sx.evictions, 0, "swap is unpersist, not eviction");
         assert_eq!(sx.unpersisted, 4);
     }
@@ -497,7 +576,7 @@ mod tests {
         let swap = HashMap::new();
         let mut env = make_env(&app, &cluster, &params, &persisted, &swap);
         env.trace = false;
-        let mut store = BlockStore::new(&cluster);
+        let mut store = store_for(&app, &cluster);
         let walk = walk_task(&env, &mut store, 0, DatasetId(1), 0, &[]);
         assert!(walk.steps.is_empty());
         assert!(walk.duration > 0.0);

@@ -76,8 +76,14 @@ where
         return (0..len).map(f).collect();
     }
 
+    // Gather directly into pre-sized index-order slots — no intermediate
+    // arrival-order vector. `fetch_add` hands out each index exactly once,
+    // so every slot is written exactly once (asserted in debug builds);
+    // the result can never be a worker-arrival-order artifact.
     let next = AtomicUsize::new(0);
-    let gathered: Vec<(usize, Result<T, E>)> = std::thread::scope(|scope| {
+    let mut slots: Vec<Option<Result<T, E>>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
@@ -95,18 +101,18 @@ where
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("experiment worker panicked"))
-            .collect()
+        for h in handles {
+            for (i, r) in h.join().expect("experiment worker panicked") {
+                debug_assert!(
+                    slots[i].is_none(),
+                    "fetch_add handed out index {i} more than once"
+                );
+                slots[i] = Some(r);
+            }
+        }
     });
 
-    // Gather into index order, then surface the first error (by index) or
-    // the full result vector — never a worker-arrival-order artifact.
-    let mut slots: Vec<Option<Result<T, E>>> = (0..len).map(|_| None).collect();
-    for (i, r) in gathered {
-        slots[i] = Some(r);
-    }
+    // Surface the first error (by index) or the full result vector.
     let mut results = Vec::with_capacity(len);
     for slot in slots {
         results.push(slot.expect("work-stealing covered every index")?);

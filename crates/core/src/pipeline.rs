@@ -10,15 +10,17 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions, RunReport, TraceConfig};
-use dagflow::{DagError, DatasetId};
+use cluster_sim::{
+    ClusterConfig, Engine, EnginePrep, MachineSpec, RunOptions, RunReport, TraceConfig,
+};
+use dagflow::{Application, DagError, DatasetId};
 use instrument::profile_run;
 use workloads::{Workload, WorkloadParams};
 
 use crate::diagnostics::TrainingDiagnostics;
 use crate::hotspot::{detect_hotspots_audited, DatasetMetricsView, HotspotConfig, RankedSchedule};
 use crate::memory_calibration::{MemoryCalibration, MemoryFactor};
-use crate::parallel::try_run_indexed;
+use crate::parallel::{resolve_threads, try_run_indexed};
 use crate::param_calibration::ParamCalibration;
 use crate::recommend::{CostModel, MachineMinutes, Recommendation, RecommendationMenu};
 use crate::time_model::TimeModel;
@@ -438,6 +440,13 @@ impl OfflineTraining {
             p.seed = config.seed.wrapping_add(seed_off);
             p
         };
+        // Resolve the worker count once for the whole pipeline.
+        // `resolve_threads` consults the `JUGGLER_THREADS` environment
+        // variable; resolving per fan-out (worse: per `run_indexed` call)
+        // re-reads the environment mid-training, so a variable change
+        // while the pipeline runs would give different stages different
+        // pools. One read, one answer, every stage.
+        let threads = resolve_threads(config.threads);
 
         // ── Stage 1: hotspot detection (one instrumented sample run). ──
         let clock = std::time::Instant::now();
@@ -471,13 +480,22 @@ impl OfflineTraining {
         let grid = ParamCalibration::training_grid(&e_axis, &f_axis);
         let wanted: BTreeSet<DatasetId> =
             ParamCalibration::datasets_of(schedules.iter().map(|s| s.schedule.as_ref()));
-        let grid_runs = crate::parallel::run_indexed(grid.len(), config.threads, |gi| {
-            let (e, f) = grid[gi];
-            let params = WorkloadParams::auto(e as u64, f as u64, sample.iterations);
+        // One application per grid point, built up front and shared into
+        // the fan-out: the DAG is a pure function of the parameters, so a
+        // retry (or a worker) re-deriving it can only waste time, never
+        // change a result.
+        let grid_apps: Vec<Arc<Application>> = grid
+            .iter()
+            .map(|&(e, f)| {
+                let params = WorkloadParams::auto(e as u64, f as u64, sample.iterations);
+                Arc::new(workload.build(&params))
+            })
+            .collect();
+        let grid_runs = crate::parallel::run_indexed(grid.len(), threads, |gi| {
+            let app = &grid_apps[gi];
             let attempt_run = |attempt: u32| {
-                let app = workload.build(&params);
                 profile_run(
-                    &app,
+                    app.as_ref(),
                     app.default_schedule(),
                     calib_cluster,
                     sim(2 + gi as u64 + u64::from(attempt) * RETRY_SEED_SALT),
@@ -550,11 +568,15 @@ impl OfflineTraining {
             }
             let params = WorkloadParams::auto(scaled.e as u64, scaled.f as u64, sample.iterations);
             let app = workload.build(&params);
+            // Plan the app once; retries only need a fresh seed, not a
+            // fresh `EnginePrep`.
+            let prep = Arc::new(EnginePrep::new(&app));
             let (report, attempt) = crate::parallel::with_retry(TRAINING_RETRIES, |attempt| {
-                let engine = Engine::new(
+                let engine = Engine::with_prep(
                     &app,
                     calib_cluster,
                     sim(20 + u64::from(attempt) * RETRY_SEED_SALT),
+                    Arc::clone(&prep),
                 );
                 engine.run_shared(
                     &first.schedule,
@@ -591,7 +613,23 @@ impl OfflineTraining {
         let clock = std::time::Instant::now();
         let paper = workload.paper_params();
         let cells = schedules.len() * grid.len();
-        let matrix = crate::parallel::run_indexed(cells, config.threads, |k| {
+        // The cell application depends only on the grid point — every
+        // schedule (and every retry attempt) of the same `(e, f)` runs the
+        // same DAG. Build it once per grid point, plan it once
+        // (`EnginePrep`), and share both into the fan-out: per cell only
+        // the cheap `Engine::with_prep` handle remains. Clusters still
+        // differ per cell (the recommended machine count depends on the
+        // schedule), which `with_prep` is built for.
+        let cell_shared: Vec<(Arc<Application>, Arc<EnginePrep>)> = grid
+            .iter()
+            .map(|&(e, f)| {
+                let params = WorkloadParams::auto(e as u64, f as u64, paper.iterations);
+                let app = Arc::new(workload.build(&params));
+                let prep = Arc::new(EnginePrep::new(&app));
+                (app, prep)
+            })
+            .collect();
+        let matrix = crate::parallel::run_indexed(cells, threads, |k| {
             let (si, gi) = (k / grid.len(), k % grid.len());
             let rs = &schedules[si];
             let (e, f) = grid[gi];
@@ -599,14 +637,14 @@ impl OfflineTraining {
             let machines = memory_factor
                 .recommend_machines(size, &config.target_spec)
                 .min(config.max_machines);
-            let params = WorkloadParams::auto(e as u64, f as u64, paper.iterations);
             let cluster = ClusterConfig::new(machines, config.target_spec);
+            let (app, prep) = &cell_shared[gi];
             let attempt_run = |attempt: u32| {
-                let app = workload.build(&params);
-                let engine = Engine::new(
-                    &app,
+                let engine = Engine::with_prep(
+                    app.as_ref(),
                     cluster,
                     sim(40 + k as u64 + u64::from(attempt) * RETRY_SEED_SALT),
+                    Arc::clone(prep),
                 );
                 engine.run_shared(&rs.schedule, RunOptions::default())
             };
@@ -704,7 +742,21 @@ impl OfflineTraining {
         // pool; the seed offset `900 + k` matches the sequential loop.
         let per_schedule = grid.len() * iteration_axis.len();
         let cells = trained.schedules.len() * per_schedule;
-        let runs = try_run_indexed::<_, TrainingError, _>(cells, config.threads, |k| {
+        // As in stage 4: the application depends only on `(e, f, iters)`,
+        // never on the schedule, so one app + prep per (grid point,
+        // iteration level) is shared across every schedule's cells.
+        let cube_shared: Vec<(Arc<Application>, Arc<EnginePrep>)> = grid
+            .iter()
+            .flat_map(|&(e, f)| iteration_axis.iter().map(move |&iters| (e, f, iters)))
+            .map(|(e, f, iters)| {
+                let params = WorkloadParams::auto(e as u64, f as u64, iters);
+                let app = Arc::new(workload.build(&params));
+                let prep = Arc::new(EnginePrep::new(&app));
+                (app, prep)
+            })
+            .collect();
+        let threads = resolve_threads(config.threads);
+        let runs = try_run_indexed::<_, TrainingError, _>(cells, threads, |k| {
             let si = k / per_schedule;
             let (gi, ii) = (
                 (k % per_schedule) / iteration_axis.len(),
@@ -718,12 +770,11 @@ impl OfflineTraining {
                 .memory_factor
                 .recommend_machines(size, &config.target_spec)
                 .min(config.max_machines);
-            let params = WorkloadParams::auto(e as u64, f as u64, iters);
-            let app = workload.build(&params);
             let mut sim = workload.sim_params();
             sim.seed = config.seed.wrapping_add(900 + k as u64);
             let cluster = ClusterConfig::new(machines, config.target_spec);
-            let report = Engine::new(&app, cluster, sim)
+            let (app, prep) = &cube_shared[gi * iteration_axis.len() + ii];
+            let report = Engine::with_prep(app.as_ref(), cluster, sim, Arc::clone(prep))
                 .run_shared(&rs.schedule, RunOptions::default())
                 .map_err(TrainingError::from)?;
             Ok((e, f, f64::from(iters), report.total_time_s))

@@ -157,7 +157,7 @@ mod tests {
                 ClusterConfig::new(2, MachineSpec::private_cluster()),
                 sim,
             )
-            .run(&app.default_schedule().clone(), RunOptions::default())
+            .run(app.default_schedule(), RunOptions::default())
             .unwrap()
             .total_time_s
         };

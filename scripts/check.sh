@@ -44,6 +44,9 @@ cargo test -q --offline --test chaos_golden
 echo "== chaos overhead (<5% armed-idle budget; records results/BENCH_chaos_overhead.json) =="
 cargo bench --offline -p bench --bench chaos_overhead
 
+echo "== sim throughput (hot-path speedup vs frozen pre-rework constants; records results/BENCH_sim_throughput.json) =="
+cargo bench --offline -p bench --bench sim_throughput
+
 echo "== perf report (fresh BENCH_*.json vs results/baselines/) =="
 cargo run -q --release --offline --bin juggler -- perf-report
 

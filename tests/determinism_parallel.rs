@@ -54,6 +54,70 @@ fn iteration_models_are_bit_identical_to_sequential() {
     assert_eq!(seq_json, par_json);
 }
 
+/// Forwards to an inner workload while counting `build` calls — the DAG
+/// constructions the pipeline actually performs.
+struct CountingWorkload<'a> {
+    inner: &'a dyn Workload,
+    builds: std::sync::atomic::AtomicU32,
+}
+
+impl Workload for CountingWorkload<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn build(
+        &self,
+        params: &juggler_suite::workloads::WorkloadParams,
+    ) -> juggler_suite::dagflow::Application {
+        self.builds
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.build(params)
+    }
+    fn paper_params(&self) -> juggler_suite::workloads::WorkloadParams {
+        self.inner.paper_params()
+    }
+    fn sim_params(&self) -> juggler_suite::cluster_sim::SimParams {
+        self.inner.sim_params()
+    }
+    fn sample_params(&self) -> juggler_suite::workloads::WorkloadParams {
+        self.inner.sample_params()
+    }
+    fn training_axes(&self) -> (Vec<f64>, Vec<f64>) {
+        self.inner.training_axes()
+    }
+}
+
+/// Pins the stage-4 sharing contract: per-grid-point runs share one
+/// application (and with it one `EnginePrep`) across schedules and retry
+/// attempts instead of cloning it per cell. LOR trains 2 schedules over a
+/// 9-point grid, so builds are 1 (stage-1 sample) + 9 (stage-2 grid) +
+/// 1 (stage-3 memory calibration) + 9 (stage-4, one per grid point — NOT
+/// one per cell, of which there are 18). A regression that moves the
+/// build back inside the per-cell or per-attempt closures breaks this
+/// count immediately.
+#[test]
+fn grid_point_runs_share_the_app_dag() {
+    let w = LogisticRegression;
+    let counting = CountingWorkload {
+        inner: &w,
+        builds: std::sync::atomic::AtomicU32::new(0),
+    };
+    let trained =
+        OfflineTraining::run(&counting, &config_with_threads(1)).expect("training succeeds");
+    assert_eq!(trained.costs.time_models.runs, 18, "2 schedules x 9 cells");
+    assert_eq!(
+        counting.builds.load(std::sync::atomic::Ordering::Relaxed),
+        1 + 9 + 1 + 9,
+        "stage 4 must build one app per grid point, shared across schedules"
+    );
+
+    // Sharing must not change the artifact: the counting wrapper trains
+    // to the same bytes as the plain workload.
+    let plain = artifact_bytes(&w, 1);
+    let wrapped = serde_json::to_string_pretty(&trained).expect("artifact serializes");
+    assert_eq!(plain, wrapped);
+}
+
 #[test]
 fn threads_one_takes_the_sequential_fallback() {
     // With one worker the runner never spawns: the closure observes the
