@@ -18,6 +18,12 @@
 //!
 //! Determinism is asserted on the way: every timed run must reproduce the
 //! digest of the warm-up run exactly.
+//!
+//! The artifact also embeds a phase profile of one (untimed) run under a
+//! `"profile"` key. `juggler perf-report` diffs it against the baseline's
+//! embedded profile when a `Min` speedup check trips, so a regression
+//! report names the phases that slowed down instead of just the headline
+//! number.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -81,6 +87,18 @@ fn main() {
         assert_eq!(r.digest(), digest, "cell run must be bit-identical");
     }
 
+    // One profiled (untimed) run for the embedded phase attribution.
+    let prof = obs::prof::profiler();
+    prof.set_enabled(false);
+    prof.reset();
+    prof.enable();
+    let r = engine
+        .run_shared(&schedule, RunOptions::default())
+        .expect("default schedule validates");
+    assert_eq!(r.digest(), digest, "profiled run must be bit-identical");
+    let profile = prof.take_profile();
+    prof.set_enabled(false);
+
     let speedup_run = if PRE_PR_RUN_ONLY_S > 0.0 {
         PRE_PR_RUN_ONLY_S / best_run
     } else {
@@ -134,6 +152,7 @@ fn main() {
                 "pre_pr_seconds": PRE_PR_GRID_CELL_S,
                 "speedup_vs_pre_pr": speedup_cell,
             },
+            "profile": profile.to_json_value(),
         }),
     );
 }

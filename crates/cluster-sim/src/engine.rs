@@ -336,6 +336,11 @@ impl<'a> Engine<'a> {
         options: RunOptions,
     ) -> Result<RunReport, DagError> {
         self.app.check_schedule(schedule)?;
+        // Phase profiling: one `sim` span per run, with coarse sub-phases
+        // (fault boundary, stage execution). Deliberately not per-task —
+        // the per-run granularity keeps armed-idle overhead inside the
+        // profiler's <5% budget even on thousand-cell training grids.
+        let _prof = obs::prof::scope("sim");
         let machines = self.cluster.machines.max(1);
 
         // Unpack the schedule: active persist set plus u(X)-before-p(Y)
@@ -425,7 +430,10 @@ impl<'a> Engine<'a> {
             // at this job start take effect now; events scheduled after
             // the last boundary are reported as "not fired" in the
             // summary instead of being silently dropped.
-            chaos.fire_due(now, &mut store, &mut state);
+            {
+                let _prof = obs::prof::scope("faults");
+                chaos.fire_due(now, &mut store, &mut state);
+            }
             // Refresh DAG-aware eviction hints: remaining references and
             // next-use distance from this job onward. Every persisted
             // dataset (the only possible victims) gets rewritten each job,
@@ -478,6 +486,7 @@ impl<'a> Engine<'a> {
                         .map(|&(_, w)| w),
                 );
                 let stage_start = now;
+                let stage_prof = obs::prof::scope("stages");
                 now = run_stage(
                     &env,
                     &mut store,
@@ -490,6 +499,7 @@ impl<'a> Engine<'a> {
                     &mut traces,
                     &mut recorder,
                 );
+                drop(stage_prof);
                 stage_times.push(StageTiming {
                     job,
                     stage: stage.id,
@@ -527,6 +537,23 @@ impl<'a> Engine<'a> {
         }
 
         let final_counters = gather_counters(&store, &state, &chaos);
+        // Per-run counter deltas attributed to the `sim` node — applied
+        // once per run from the aggregate snapshot (never per task), and
+        // zero-gated so fault-free profiles show only the counters that
+        // actually moved. Every value is seed-deterministic, so profile
+        // structure digests stay thread-count-invariant.
+        for (value, name) in [
+            (final_counters.cache_hits, "cache_hits"),
+            (final_counters.cache_misses, "cache_misses"),
+            (final_counters.evictions, "evictions"),
+            (final_counters.spills, "spills"),
+            (final_counters.task_retries, "retries"),
+            (final_counters.speculative_tasks, "speculative"),
+        ] {
+            if value > 0 {
+                obs::prof::count(name, value);
+            }
+        }
         let faults = chaos.finish(now);
         record_run_metrics(&final_counters, state.total_tasks, &faults);
         let trace = recorder.finish(final_counters);

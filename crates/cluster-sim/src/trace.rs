@@ -471,6 +471,35 @@ impl RunTrace {
         out
     }
 
+    /// Exports the trace in collapsed-stack format (`job;stage;machine
+    /// weight` lines, weights in simulated microseconds of task time) —
+    /// loadable by inferno and speedscope. Routed through
+    /// [`obs::prof::fold_stacks`], the same folder the phase profiler's
+    /// flamegraph export uses, so both artifact families are produced by
+    /// one exporter. Timestamps come from the deterministic simulator
+    /// clock, so the output is byte-stable for a fixed seed.
+    #[must_use]
+    pub fn to_collapsed(&self) -> String {
+        obs::prof::fold_stacks(self.events.iter().filter_map(|e| match *e {
+            TraceEvent::TaskSpan {
+                job,
+                stage,
+                machine,
+                start_us,
+                end_us,
+                ..
+            } => Some((
+                vec![
+                    format!("job {job}"),
+                    format!("stage {job}.{stage}"),
+                    format!("machine {machine}"),
+                ],
+                end_us.saturating_sub(start_us),
+            )),
+            _ => None,
+        }))
+    }
+
     /// Exports the trace as JSONL: one serde-serialized event per line,
     /// preceded by no header — grep/jq-friendly.
     #[must_use]
@@ -747,6 +776,26 @@ mod tests {
             let back: TraceEvent = serde_json::from_str(line).expect("parses back");
             assert_eq!(&back, original);
         }
+    }
+
+    #[test]
+    fn collapsed_export_folds_task_spans() {
+        let mut r = TraceRecorder::new(TraceConfig::enabled());
+        // Two tasks of the same stage on machine 0 fold into one line.
+        r.task_span(0, 0, 0, 0, 0, 0.0, 0.001, false, false);
+        r.task_span(0, 0, 1, 0, 1, 0.0, 0.002, false, false);
+        r.task_span(1, 0, 0, 1, 0, 0.0, 0.004, false, false);
+        r.job_span(0, 0.0, 0.002); // non-task events are ignored
+        let trace = r.finish(TraceCounters::default()).unwrap();
+        let collapsed = trace.to_collapsed();
+        let lines: Vec<&str> = collapsed.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "job 0;stage 0.0;machine 0 3000",
+                "job 1;stage 1.0;machine 1 4000",
+            ]
+        );
     }
 
     #[test]

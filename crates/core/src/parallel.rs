@@ -76,6 +76,12 @@ where
         return (0..len).map(f).collect();
     }
 
+    // Profiler phase context: workers re-establish the caller's active
+    // phase so spans opened inside `f` nest identically whether the work
+    // ran inline (1 thread) or on the pool — part of the profile
+    // structure-determinism contract. Free when profiling is off.
+    let prof_ctx = obs::prof::fork();
+
     // Gather directly into pre-sized index-order slots — no intermediate
     // arrival-order vector. `fetch_add` hands out each index exactly once,
     // so every slot is written exactly once (asserted in debug builds);
@@ -88,7 +94,9 @@ where
             .map(|_| {
                 let next = &next;
                 let f = &f;
+                let prof_ctx = &prof_ctx;
                 scope.spawn(move || {
+                    let _phase = prof_ctx.attach();
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

@@ -285,6 +285,7 @@ impl TrainedJuggler {
         features: f64,
         pricing: &dyn CostModel,
     ) -> RecommendationMenu {
+        let _prof = obs::prof::scope("menu");
         let candidates: Vec<Recommendation> = self
             .schedules
             .iter()
@@ -433,6 +434,7 @@ impl OfflineTraining {
         workload: &dyn Workload,
         config: &TrainingConfig,
     ) -> Result<(TrainedJuggler, PipelineTimings, TrainingDiagnostics), TrainingError> {
+        let _prof = obs::prof::scope("training");
         let mut timings = PipelineTimings::default();
         let mut costs = TrainingCosts::default();
         let sim = |seed_off: u64| {
@@ -449,6 +451,7 @@ impl OfflineTraining {
         let threads = resolve_threads(config.threads);
 
         // ── Stage 1: hotspot detection (one instrumented sample run). ──
+        let stage_prof = obs::prof::scope("stage1_hotspot");
         let clock = std::time::Instant::now();
         let sample = workload.sample_params();
         let sample_app = workload.build(&sample);
@@ -469,12 +472,20 @@ impl OfflineTraining {
         }
         costs.hotspot.add(&out.report);
         let metrics = DatasetMetricsView::from_metrics(&out.metrics, sample_app.dataset_count());
-        let (schedules, hotspot_audit) =
-            detect_hotspots_audited(&sample_app, &metrics, &config.hotspot);
+        let (schedules, hotspot_audit) = {
+            let _detect = obs::prof::scope("detect");
+            detect_hotspots_audited(&sample_app, &metrics, &config.hotspot)
+        };
         timings.push("1: hotspot detection", clock, costs.hotspot.runs);
+        obs::log_info!(
+            "stage 1 done: {} candidate schedules from the sample run",
+            schedules.len()
+        );
+        drop(stage_prof);
 
         // ── Stage 2: parameter calibration (3×3 instrumented runs, one
         //    grid point per worker; each point owns its seed). ──
+        let stage_prof = obs::prof::scope("stage2_calibration");
         let clock = std::time::Instant::now();
         let (e_axis, f_axis) = workload.training_axes();
         let grid = ParamCalibration::training_grid(&e_axis, &f_axis);
@@ -535,24 +546,39 @@ impl OfflineTraining {
                             .push((e, f, size_bytes));
                     }
                 }
-                Err(msg) => timings.notes.push(format!(
-                    "stage-2 run at (e={e:.0}, f={f:.0}) failed after \
-                     {TRAINING_RETRIES} attempts; grid point skipped: {msg}"
-                )),
+                Err(msg) => {
+                    obs::log_warn!(
+                        "stage-2 grid point (e={e:.0}, f={f:.0}) skipped after \
+                         {TRAINING_RETRIES} attempts: {msg}"
+                    );
+                    timings.notes.push(format!(
+                        "stage-2 run at (e={e:.0}, f={f:.0}) failed after \
+                         {TRAINING_RETRIES} attempts; grid point skipped: {msg}"
+                    ));
+                }
             }
         }
+        let fit_prof = obs::prof::scope("fit_sizes");
         let (sizes, size_fits) = match ParamCalibration::fit_with_reports(&observations) {
             Ok(pair) => pair,
             Err(_) if observations.is_empty() => (ParamCalibration::default(), Vec::new()),
             Err(e) => return Err(e.into()),
         };
+        drop(fit_prof);
         timings.push(
             "2: parameter calibration",
             clock,
             costs.param_calibration.runs,
         );
+        obs::log_info!(
+            "stage 2 done: {} calibration runs, {} dataset size models",
+            costs.param_calibration.runs,
+            size_fits.len()
+        );
+        drop(stage_prof);
 
         // ── Stage 3: memory calibration (one run filling M). ──
+        let stage_prof = obs::prof::scope("stage3_memory");
         let clock = std::time::Instant::now();
         let memory_factor = if let Some(first) = schedules.first() {
             let m_bytes = config.calibration_spec.unified_memory() as f64;
@@ -605,11 +631,14 @@ impl OfflineTraining {
             clock,
             costs.memory_calibration.runs,
         );
+        obs::log_info!("stage 3 done: memory factor {:.3}", memory_factor.factor);
+        drop(stage_prof);
 
         // ── Stage 4: execution-time models (9 runs per schedule on the
         //    recommended configuration, full iteration counts). The
         //    (schedule × grid-point) matrix is flattened onto the worker
         //    pool; the seed offset `40 + k` matches the sequential loop. ──
+        let stage_prof = obs::prof::scope("stage4_time_models");
         let clock = std::time::Instant::now();
         let paper = workload.paper_params();
         let cells = schedules.len() * grid.len();
@@ -679,17 +708,31 @@ impl OfflineTraining {
                     // A cell whose run died on every attempt loses one of
                     // the schedule's nine fit points; the model fits on
                     // the rest (and fitting fails loudly if none survive).
-                    Err(msg) => timings.notes.push(format!(
-                        "stage-4 run (schedule {si}, e={e:.0}, f={f:.0}) failed after \
-                         {TRAINING_RETRIES} attempts; point skipped: {msg}"
-                    )),
+                    Err(msg) => {
+                        obs::log_warn!(
+                            "stage-4 cell (schedule {si}, e={e:.0}, f={f:.0}) skipped \
+                             after {TRAINING_RETRIES} attempts: {msg}"
+                        );
+                        timings.notes.push(format!(
+                            "stage-4 run (schedule {si}, e={e:.0}, f={f:.0}) failed after \
+                             {TRAINING_RETRIES} attempts; point skipped: {msg}"
+                        ));
+                    }
                 }
             }
+            let fit_prof = obs::prof::scope("fit_times");
             let (model, report) = TimeModel::fit_with_report(si, &points)?;
+            drop(fit_prof);
             time_models.push(model);
             time_fits.push(report);
         }
         timings.push("4: execution-time models", clock, costs.time_models.runs);
+        obs::log_info!(
+            "stage 4 done: {} matrix runs, {} time models",
+            costs.time_models.runs,
+            time_models.len()
+        );
+        drop(stage_prof);
 
         let reg = obs::global();
         if reg.enabled() {

@@ -194,6 +194,7 @@ pub fn loocv_residuals(spec: &ModelSpec, samples: &[Sample]) -> Vec<f64> {
 /// samples are penalized with infinite error.
 #[must_use]
 pub fn loocv_error(spec: &ModelSpec, samples: &[Sample]) -> f64 {
+    let _prof = obs::prof::scope("loocv");
     let reg = obs::global();
     if reg.enabled() {
         reg.counter(
@@ -284,6 +285,7 @@ pub fn fit_best_with_report(
     if samples.is_empty() {
         return Err(FitError::NoSamples);
     }
+    let _prof = obs::prof::scope("fit");
     let mut scores = Vec::with_capacity(candidates.len());
     let mut best: Option<(f64, usize)> = None;
     for (k, spec) in candidates.iter().enumerate() {

@@ -31,6 +31,7 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Vec<f64> {
 #[must_use]
 pub fn nnls_with_stats(a: &Matrix, b: &[f64]) -> (Vec<f64>, u64) {
     assert_eq!(b.len(), a.rows(), "shape mismatch in nnls");
+    let _prof = obs::prof::scope("nnls");
     // Columns of calibration design matrices span many orders of magnitude
     // (a constant term next to e·f ~ 1e10). Normalize each column to unit
     // norm so the Gram matrix stays well conditioned, then unscale the
@@ -55,6 +56,7 @@ pub fn nnls_with_stats(a: &Matrix, b: &[f64]) -> (Vec<f64>, u64) {
     for j in 0..n {
         x[j] /= scales[j];
     }
+    obs::prof::count("nnls_iterations", iterations);
     let reg = obs::global();
     if reg.enabled() {
         reg.counter("modeling_nnls_solves_total", "NNLS solves performed")

@@ -125,6 +125,46 @@ pub fn fmt_bytes(bytes: u64) -> String {
     }
 }
 
+/// Formats a fraction as a percentage with 3 significant figures:
+/// `fmt_percent(0.117)` is `"11.7%"`, `fmt_percent(1.5)` is `"150%"`.
+/// Values above 100% are legitimate (parallel fan-outs, regressions) and
+/// render plainly; `-0.0` renders unsigned as `"0%"`; non-finite inputs
+/// stay labelled (`"inf%"`, `"NaN%"`) rather than panicking — profile
+/// share columns feed this directly.
+#[must_use]
+pub fn fmt_percent(fraction: f64) -> String {
+    if fraction == 0.0 {
+        // Includes -0.0: a zero share renders unsigned.
+        return "0%".to_string();
+    }
+    format!("{}%", fmt_sig(fraction * 100.0, 3))
+}
+
+/// Formats an events-per-second rate with 3 significant figures and
+/// decimal tiers: `"875/s"`, `"12.3k/s"`, `"4.6M/s"`, `"1.2G/s"`.
+/// Negative rates keep their sign; non-finite inputs stay labelled.
+#[must_use]
+pub fn fmt_rate(per_second: f64) -> String {
+    if !per_second.is_finite() {
+        return format!("{per_second}/s");
+    }
+    if per_second < 0.0 {
+        return format!("-{}", fmt_rate(-per_second));
+    }
+    if per_second == 0.0 {
+        return "0/s".to_string();
+    }
+    if per_second < 1e3 {
+        format!("{}/s", fmt_sig(per_second, 3))
+    } else if per_second < 1e6 {
+        format!("{}k/s", fmt_sig(per_second / 1e3, 3))
+    } else if per_second < 1e9 {
+        format!("{}M/s", fmt_sig(per_second / 1e6, 3))
+    } else {
+        format!("{}G/s", fmt_sig(per_second / 1e9, 3))
+    }
+}
+
 /// Formats a *signed* byte difference (ledger diffs report deltas that
 /// can exceed `u64` in either direction): `+1.5 kB`, `-46 MB`, `0 B`.
 #[must_use]
@@ -230,6 +270,35 @@ mod tests {
         // 1 EiB = 2^60 bytes.
         assert_eq!(fmt_bytes(1u64 << 60), "1.15 EB");
         assert_eq!(fmt_bytes(u64::MAX), "18.4 EB");
+    }
+
+    #[test]
+    fn percent_edge_cases_are_pinned() {
+        assert_eq!(fmt_percent(0.117), "11.7%");
+        assert_eq!(fmt_percent(0.0), "0%");
+        assert_eq!(fmt_percent(-0.0), "0%", "-0.0 renders unsigned");
+        assert_eq!(fmt_percent(1.0), "100%");
+        assert_eq!(fmt_percent(1.5), "150%", ">100% is legitimate");
+        assert_eq!(fmt_percent(23.456), "2.35e3%");
+        assert_eq!(fmt_percent(-0.05), "-5%");
+        assert_eq!(fmt_percent(f64::INFINITY), "inf%");
+        assert_eq!(fmt_percent(f64::NEG_INFINITY), "-inf%");
+        assert_eq!(fmt_percent(f64::NAN), "NaN%");
+        assert_eq!(fmt_percent(0.00001234), "0.00123%");
+    }
+
+    #[test]
+    fn rate_tiers_and_edge_cases_are_pinned() {
+        assert_eq!(fmt_rate(0.0), "0/s");
+        assert_eq!(fmt_rate(-0.0), "0/s", "-0.0 renders unsigned");
+        assert_eq!(fmt_rate(875.0), "875/s");
+        assert_eq!(fmt_rate(12_345.0), "12.3k/s");
+        assert_eq!(fmt_rate(4_600_000.0), "4.6M/s");
+        assert_eq!(fmt_rate(1.2e9), "1.2G/s");
+        assert_eq!(fmt_rate(-875.0), "-875/s");
+        assert_eq!(fmt_rate(f64::INFINITY), "inf/s");
+        assert_eq!(fmt_rate(f64::NAN), "NaN/s");
+        assert_eq!(fmt_rate(0.25), "0.25/s");
     }
 
     #[test]

@@ -28,20 +28,30 @@
 //! schema lives in `juggler-core::provenance` (core depends on obs, not
 //! the other way round); obs deliberately only knows how to hash, store,
 //! and gate JSON documents.
+//!
+//! Two further observability surfaces round the crate out: the
+//! hierarchical phase profiler ([`prof`]) — scoped spans merged into a
+//! deterministic call tree with tree/flamegraph/JSON exports and
+//! node-by-node diffing — and leveled stderr diagnostics ([`log`],
+//! `JUGGLER_LOG=warn|info|debug`, off by default so golden-tested
+//! output stays byte-stable).
 
 #![warn(missing_docs)]
 
 mod format;
 mod hash;
 mod ledger;
+pub mod log;
 mod perf;
+pub mod prof;
 mod registry;
 
-pub use format::{fmt_bytes, fmt_bytes_delta, fmt_duration_s, fmt_sig};
+pub use format::{fmt_bytes, fmt_bytes_delta, fmt_duration_s, fmt_percent, fmt_rate, fmt_sig};
 pub use hash::{sha256, sha256_hex, to_hex, Sha256};
 pub use ledger::{LedgerStore, StoredRun, RUN_ID_LEN};
 pub use perf::{
-    default_checks, lookup, BaselineSpec, BenchReport, Check, CheckOp, CheckOutcome, PerfReport,
+    default_checks, lookup, regression_attribution, BaselineSpec, BenchReport, Check, CheckOp,
+    CheckOutcome, PerfReport,
 };
 pub use registry::{
     global, Counter, Gauge, Histogram, Metric, MetricClass, MetricKind, MetricValue, Registry,

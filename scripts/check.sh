@@ -47,6 +47,15 @@ cargo bench --offline -p bench --bench chaos_overhead
 echo "== sim throughput (hot-path speedup vs frozen pre-rework constants; records results/BENCH_sim_throughput.json) =="
 cargo bench --offline -p bench --bench sim_throughput
 
+echo "== profile determinism (call-tree structure digest is thread-count-stable) =="
+cargo test -q --offline --test profile_determinism
+
+echo "== profile golden (structure-only phase tree is byte-stable) =="
+cargo test -q --offline --test profile_golden
+
+echo "== profile overhead (<5% enabled budget; records results/BENCH_profile_overhead.json) =="
+cargo bench --offline -p bench --bench profile_overhead
+
 echo "== perf report (fresh BENCH_*.json vs results/baselines/) =="
 cargo run -q --release --offline --bin juggler -- perf-report
 

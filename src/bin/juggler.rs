@@ -8,6 +8,7 @@
 //! juggler sweep SVM --schedule 1             # cost on 1..12 machines
 //! juggler dot LOR > lor.dot                  # Graphviz DAG export
 //! juggler trace SVM --machines 4             # Gantt + Chrome trace JSON + stage timings
+//! juggler profile LOR --format tree          # hierarchical phase profile -> ledger
 //! juggler doctor KMEANS                      # model-quality & decision diagnostics
 //! juggler metrics LOR --format prom          # framework metrics export
 //! juggler runs record LOR                    # run -> provenance manifest in results/runs/
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
         "sweep" => done(cmd_sweep(rest)),
         "dot" => done(cmd_dot(rest)),
         "trace" => done(cmd_trace(rest)),
+        "profile" => done(cmd_profile(rest)),
         "doctor" => done(cmd_doctor(rest)),
         "chaos" => done(cmd_chaos(rest)),
         "metrics" => done(cmd_metrics(rest)),
@@ -79,8 +81,10 @@ USAGE:
   juggler schedules <WORKLOAD>
   juggler sweep <WORKLOAD> [--schedule N | --ops \"p(1) u(1) p(2)\"]
   juggler dot <WORKLOAD> [--schedule N]
-  juggler trace <WORKLOAD> [--machines N] [--width N] [--out FILE]
-                 [--jsonl FILE] [--no-pipeline] [--threads N]
+  juggler trace <WORKLOAD> [--machines N] [--width N] [--format gantt|collapsed]
+                 [--out FILE] [--jsonl FILE] [--no-pipeline] [--threads N]
+  juggler profile <WORKLOAD> [--format tree|collapsed|json] [--diff <RUN>]
+                 [--store DIR] [--threads N]
   juggler doctor <WORKLOAD> [--threads N] [--timings] [--format text|json]
   juggler chaos <WORKLOAD> [--plan loss|slow|flaky|pressure|combo|drill]
                  [--machines N] [--seed S]
@@ -93,6 +97,20 @@ USAGE:
   juggler perf-report [--results DIR] [--baselines DIR] [--write-baselines]
 
 WORKLOAD: KMEANS | LIR | LOR | PCA | RFC | SVM
+
+`profile` trains the workload with the hierarchical phase profiler
+enabled and prints the merged self/total-time call tree (--format tree),
+collapsed stacks loadable in inferno/speedscope (--format collapsed), or
+the canonical JSON document (--format json). Every invocation also files
+the canonical JSON, content-addressed by SHA-256, in the profile ledger
+(default store: results/profiles/). --diff RUN compares the fresh
+profile against a stored one (id, unambiguous prefix, or path) and
+reports per-phase time deltas plus the largest regressions. The tree
+structure — phase names, call counts, counters — is deterministic at any
+--threads setting; timings are host wall clock. `trace --format
+collapsed` folds the simulated task spans of one run through the same
+stack folder. Progress chatter on stderr is off by default; set
+JUGGLER_LOG=info (or debug) to enable it.
 
 `doctor` trains the workload with the metrics registry enabled, validates
 every Pareto option's predicted time/size against a simulated run, and
@@ -185,7 +203,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         threads: threads_flag(args)?,
         ..TrainingConfig::default()
     };
-    eprintln!("training Juggler for {} (four offline stages)...", w.name());
+    obs::log_info!("training Juggler for {} (four offline stages)...", w.name());
     let trained = OfflineTraining::run(w.as_ref(), &config).map_err(|e| e.to_string())?;
     let json = serde_json::to_string_pretty(&trained).map_err(|e| e.to_string())?;
     match flag(args, "--out") {
@@ -207,7 +225,7 @@ fn cmd_train_all(args: &[String]) -> Result<(), String> {
     let threads = threads_flag(args)?;
     let out_dir = flag(args, "--out-dir");
     let ws = all_workloads();
-    eprintln!(
+    obs::log_info!(
         "training {} workloads on {} worker(s)...",
         ws.len(),
         juggler_suite::juggler::resolve_threads(threads)
@@ -433,6 +451,12 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         Some(v) => parse_num(&v, "--width")?,
         None => 100,
     };
+    let format = flag(args, "--format").unwrap_or_else(|| "gantt".to_owned());
+    if format != "gantt" && format != "collapsed" {
+        return Err(format!(
+            "unknown --format `{format}` (expected gantt or collapsed)"
+        ));
+    }
     // Sample scale keeps the trace readable.
     let app = w.build(&w.sample_params());
     let report = Engine::new(
@@ -449,6 +473,24 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         },
     )
     .map_err(|e| e.to_string())?;
+
+    // Collapsed-stack export: the simulated task spans folded through the
+    // same stack folder the phase profiler uses (`obs::prof::fold_stacks`),
+    // so `juggler trace` and `juggler profile` flamegraphs share one
+    // exporter. Weights are simulated task microseconds.
+    if format == "collapsed" {
+        let trace = report.trace.as_ref().expect("trace was enabled");
+        let collapsed = trace.to_collapsed();
+        match flag(args, "--out") {
+            Some(path) => {
+                std::fs::write(&path, &collapsed).map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("wrote collapsed stacks to {path} (inferno/speedscope format)");
+            }
+            None => print!("{collapsed}"),
+        }
+        return Ok(());
+    }
+
     print!(
         "{}",
         juggler_suite::cluster_sim::render_gantt(&report, width)
@@ -481,7 +523,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             threads: threads_flag(args)?,
             ..TrainingConfig::default()
         };
-        eprintln!("timing the offline pipeline for {}...", w.name());
+        obs::log_info!("timing the offline pipeline for {}...", w.name());
         let (trained, timings) =
             OfflineTraining::run_traced(w.as_ref(), &config).map_err(|e| e.to_string())?;
         let paper = w.paper_params();
@@ -502,6 +544,113 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+// ───────────────────────── phase profiling ─────────────────────────
+
+/// The profile ledger: content-addressed canonical profile documents
+/// under `results/profiles/`, kept apart from the run-manifest ledger so
+/// `juggler runs list` (which parses manifests) never trips over them.
+fn profile_store(args: &[String]) -> obs::LedgerStore {
+    match flag(args, "--store") {
+        Some(dir) => obs::LedgerStore::new(dir),
+        None => obs::LedgerStore::new(
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("results")
+                .join("profiles"),
+        ),
+    }
+}
+
+/// Loads the profile tree out of a stored profile document (or a bare
+/// profile JSON file, for hand-fed paths).
+fn load_profile(store: &obs::LedgerStore, reference: &str) -> Result<obs::prof::Profile, String> {
+    let (path, raw) = store.load(reference)?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&raw).map_err(|e| format!("{}: {e}", path.display()))?;
+    let tree = doc.get("profile").unwrap_or(&doc);
+    obs::prof::Profile::from_json_value(tree).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("profile needs a workload name")?;
+    let w = find_workload(name)?;
+    let format = flag(args, "--format").unwrap_or_else(|| "tree".to_owned());
+    if !matches!(format.as_str(), "tree" | "collapsed" | "json") {
+        return Err(format!(
+            "unknown --format `{format}` (expected tree, collapsed, or json)"
+        ));
+    }
+    let config = TrainingConfig {
+        threads: threads_flag(args)?,
+        ..TrainingConfig::default()
+    };
+    obs::log_info!(
+        "profile: training {} with the phase profiler enabled...",
+        w.name()
+    );
+    let prof = obs::prof::profiler();
+    prof.reset();
+    prof.enable();
+    let trained = OfflineTraining::run(w.as_ref(), &config).map_err(|e| e.to_string())?;
+    // Stage 5 (menu construction) profiles too, so the tree covers the
+    // whole paper pipeline, not just offline training.
+    let paper = w.paper_params();
+    let menu = trained.recommend(paper.e(), paper.f());
+    let profile = prof.take_profile();
+    prof.set_enabled(false);
+    obs::log_info!(
+        "profile: {} options on the menu; recorded {} of phase time",
+        menu.options.len(),
+        obs::fmt_duration_s(profile.total_ns() as f64 / 1e9)
+    );
+
+    // File the canonical document in the profile ledger before rendering,
+    // so every profile a human looks at is also diffable later.
+    let doc = serde_json::Value::Object(vec![
+        ("version".to_owned(), serde_json::Value::Int(1)),
+        (
+            "workload".to_owned(),
+            serde_json::Value::Str(w.name().to_owned()),
+        ),
+        (
+            "structure_digest".to_owned(),
+            serde_json::Value::Str(profile.structure_digest()),
+        ),
+        ("profile".to_owned(), profile.to_json_value()),
+    ]);
+    let doc_json = serde_json::to_string(&doc).map_err(|e| e.to_string())?;
+    let hash = obs::sha256_hex(doc_json.as_bytes());
+    let store = profile_store(args);
+    let stored = store
+        .record(&hash, &doc_json)
+        .map_err(|e| format!("recording profile: {e}"))?;
+
+    match format.as_str() {
+        "tree" => print!("{}", profile.render_tree()),
+        "collapsed" => print!("{}", profile.to_collapsed()),
+        _ => println!("{doc_json}"),
+    }
+    eprintln!(
+        "recorded profile {} ({})",
+        obs::LedgerStore::id_of(&hash),
+        stored.display()
+    );
+
+    if let Some(reference) = flag(args, "--diff") {
+        let base = load_profile(&store, &reference)?;
+        let diff = obs::prof::ProfileDiff::between(&base, &profile);
+        println!("\nphase deltas vs {reference} (base -> new):");
+        print!("{}", diff.render());
+        let top = diff.top_regressed(3);
+        if !top.is_empty() {
+            println!("top regressed phases:");
+            for line in &top {
+                println!("  {line}");
+            }
+        }
+    }
+    Ok(())
+}
+
 fn cmd_doctor(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("doctor needs a workload name")?;
     let w = find_workload(name)?;
@@ -515,7 +664,7 @@ fn cmd_doctor(args: &[String]) -> Result<(), String> {
             "unknown --format `{format}` (expected text or json)"
         ));
     }
-    eprintln!(
+    obs::log_info!(
         "doctor: training {} with the metrics registry enabled...",
         w.name()
     );
@@ -556,7 +705,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     if let Some(s) = flag(args, "--seed") {
         cfg.seed = parse_num(&s, "--seed")?;
     }
-    eprintln!(
+    obs::log_info!(
         "chaos: running {} fault-free, then with plan `{}`...",
         w.name(),
         cfg.kind.name()
@@ -579,7 +728,7 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
             "unknown --format `{format}` (expected prom or json)"
         ));
     }
-    eprintln!(
+    obs::log_info!(
         "metrics: training {} with the metrics registry enabled...",
         w.name()
     );
@@ -638,7 +787,7 @@ fn cmd_runs_record(args: &[String]) -> Result<(), String> {
         threads: threads_flag(args)?,
         ..TrainingConfig::default()
     };
-    eprintln!("runs record: training {} (doctor flow)...", w.name());
+    obs::log_info!("runs record: training {} (doctor flow)...", w.name());
     let report = juggler_suite::juggler::doctor(w.as_ref(), &config).map_err(|e| e.to_string())?;
     let manifest = RunManifest::from_doctor(&report, &config, &w.paper_params());
     let store = ledger_store(args);
@@ -856,13 +1005,21 @@ fn cmd_perf_report(args: &[String]) -> Result<ExitCode, String> {
     }
 
     let mut report = obs::PerfReport::default();
+    // When a throughput (Min) check trips and both the frozen baseline
+    // and the fresh artifact embed a phase profile, name the phases that
+    // slowed down — the "what regressed" half of the red report.
+    let mut attributions: Vec<(String, Vec<String>)> = Vec::new();
     for spec in &specs {
         let fresh_path = results.join(&spec.source);
         let bench = match std::fs::read_to_string(&fresh_path) {
             Ok(raw) => {
                 let fresh: serde_json::Value = serde_json::from_str(&raw)
                     .map_err(|e| format!("{}: {e}", fresh_path.display()))?;
-                spec.evaluate(&fresh)
+                let bench = spec.evaluate(&fresh);
+                if let Some(lines) = obs::regression_attribution(spec, &fresh, &bench, 3) {
+                    attributions.push((spec.source.clone(), lines));
+                }
+                bench
             }
             Err(e) => obs::BenchReport {
                 source: spec.source.clone(),
@@ -876,6 +1033,12 @@ fn cmd_perf_report(args: &[String]) -> Result<ExitCode, String> {
         report.benches.push(bench);
     }
     print!("{}", report.render());
+    for (source, lines) in &attributions {
+        println!("{source}: slowest regressed phases (baseline -> fresh)");
+        for line in lines {
+            println!("  {line}");
+        }
+    }
     Ok(if report.has_regressions() {
         ExitCode::from(1)
     } else {
@@ -905,7 +1068,7 @@ fn write_baselines(results: &Path, baselines: &Path) -> Result<(), String> {
     for file_name in &names {
         let name = bench_name(file_name).expect("filtered above");
         let Some(checks) = obs::default_checks(name) else {
-            eprintln!("skipping {file_name}: no gate policy for `{name}`");
+            obs::log_warn!("skipping {file_name}: no gate policy for `{name}`");
             continue;
         };
         let raw = std::fs::read_to_string(results.join(file_name))

@@ -1,0 +1,71 @@
+//! The phase profiler's determinism contract: the *structure* of the
+//! merged call tree — phase names, nesting, call counts, and counter
+//! deltas — is a pure function of the work performed, so it must be
+//! bit-identical no matter how many worker threads executed the
+//! pipeline. Timings are host wall-clock and are deliberately excluded
+//! from the structure digest.
+
+use std::sync::Mutex;
+
+use juggler_suite::juggler::pipeline::{OfflineTraining, TrainingConfig};
+use juggler_suite::obs::prof::{profiler, Profile};
+use juggler_suite::workloads::{LogisticRegression, Workload};
+
+/// The global profiler is process-wide; tests in this binary run on
+/// parallel threads, so each takes this lock before touching it.
+static PROF_LOCK: Mutex<()> = Mutex::new(());
+
+/// Trains LOR end to end (stages 1-4 plus the stage-5 menu) with the
+/// profiler recording, and returns the merged profile.
+fn profiled_training(threads: usize) -> Profile {
+    let w = LogisticRegression;
+    let config = TrainingConfig {
+        threads,
+        ..TrainingConfig::default()
+    };
+    let prof = profiler();
+    prof.set_enabled(false);
+    prof.reset();
+    prof.enable();
+    let trained = OfflineTraining::run(&w, &config).expect("training succeeds");
+    let paper = w.paper_params();
+    let menu = trained.recommend(paper.e(), paper.f());
+    let profile = prof.take_profile();
+    prof.set_enabled(false);
+    assert!(!menu.options.is_empty(), "menu must not be empty");
+    profile
+}
+
+#[test]
+fn structure_digest_is_identical_across_thread_counts() {
+    let _guard = PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sequential = profiled_training(1);
+    let base_digest = sequential.structure_digest();
+    let base_structure = sequential.render_structure();
+    assert!(!sequential.is_empty(), "profiled training records phases");
+    for threads in [2, 8] {
+        let parallel = profiled_training(threads);
+        assert_eq!(
+            base_digest,
+            parallel.structure_digest(),
+            "structure digest differs between threads=1 and threads={threads}"
+        );
+        assert_eq!(
+            base_structure,
+            parallel.render_structure(),
+            "structure render differs between threads=1 and threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_reproduce_digest_and_counters() {
+    let _guard = PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let first = profiled_training(2);
+    let second = profiled_training(2);
+    // The digest covers counter *values* too (cache hits, NNLS
+    // iterations, ...): they are seed-deterministic, so two identical
+    // runs must agree exactly.
+    assert_eq!(first.structure_digest(), second.structure_digest());
+    assert_eq!(first.render_structure(), second.render_structure());
+}
