@@ -269,9 +269,32 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Advances past a run of plain (non-quote, non-backslash) bytes and
+    /// returns it validated as UTF-8. Scanning whole segments — instead
+    /// of decoding one character at a time with a fresh `from_utf8` of
+    /// the entire remaining input per character — is what keeps string
+    /// parsing linear; the old per-char probe made document parsing
+    /// quadratic and dominated every ledger fold.
+    fn plain_segment(&mut self) -> Result<&'a str, Error> {
+        let start = self.pos;
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b'"' | b'\\') {
+                break;
+            }
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("invalid UTF-8"))
+    }
+
     fn parse_string(&mut self) -> Result<String, Error> {
         self.expect(b'"')?;
-        let mut s = String::new();
+        // Fast path: an escape-free string is a single borrowed segment.
+        let head = self.plain_segment()?;
+        if self.peek() == Some(b'"') {
+            self.pos += 1;
+            return Ok(head.to_owned());
+        }
+        let mut s = head.to_owned();
         loop {
             match self.peek() {
                 Some(b'"') => {
@@ -310,15 +333,8 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest
-                        .chars()
-                        .next()
-                        .ok_or_else(|| self.err("unexpected end"))?;
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    let segment = self.plain_segment()?;
+                    s.push_str(segment);
                 }
                 None => return Err(self.err("unterminated string")),
             }

@@ -20,7 +20,9 @@ use crate::diagnostics::{LedgerEntry, PredictionLedger, TrainingDiagnostics};
 use crate::pipeline::{
     OfflineTraining, PipelineTimings, TrainedJuggler, TrainingConfig, TrainingError,
 };
+use crate::provenance::RunManifest;
 use crate::recommend::RecommendationMenu;
+use crate::watchtower::{HealthReport, ResidualSeed, Watchtower};
 
 /// Everything `juggler doctor` reports about one workload.
 #[derive(Debug)]
@@ -37,6 +39,12 @@ pub struct DoctorReport {
     pub ledger: PredictionLedger,
     /// Deterministic counter snapshot taken after the validations.
     pub snapshot: obs::Snapshot,
+    /// Single-run health baseline: this run's own manifest folded
+    /// through the watchtower against the default SLO, with EWMA bands
+    /// seeded from the training holdout residuals. Deliberately ignores
+    /// the on-disk ledger so the render stays a pure function of
+    /// (workload, config) — `juggler health` is the history view.
+    pub health: HealthReport,
     /// Host-side stage timings (never part of [`Self::render`]).
     pub timings: PipelineTimings,
 }
@@ -98,15 +106,39 @@ fn doctor_inner(
     }
 
     let snapshot = obs::global().snapshot(false);
-    Ok(DoctorReport {
+    let mut report = DoctorReport {
         trained,
         diagnostics,
         menu,
         params: (e, f),
         ledger,
         snapshot,
+        health: Watchtower::default().fold(&[]),
         timings,
-    })
+    };
+    let manifest = RunManifest::from_doctor(&report, config, &paper);
+    let seeds = residual_seeds(&report.diagnostics);
+    report.health = Watchtower::default().fold_seeded(&[manifest], &seeds);
+    Ok(report)
+}
+
+/// Training holdout residuals keyed by manifest model name — the EWMA
+/// warm-start for the health baseline.
+fn residual_seeds(diagnostics: &TrainingDiagnostics) -> Vec<ResidualSeed> {
+    let mut seeds = Vec::new();
+    for (i, fit) in diagnostics.time_fits.iter().enumerate() {
+        seeds.push(ResidualSeed {
+            model: format!("time [{i}]"),
+            residuals_micro: fit.residual_micro_series(),
+        });
+    }
+    for (dataset, fit) in &diagnostics.size_fits {
+        seeds.push(ResidualSeed {
+            model: format!("size {dataset}"),
+            residuals_micro: fit.residual_micro_series(),
+        });
+    }
+    seeds
 }
 
 /// `fraction` as a percentage with three significant figures (`4.56%`).
@@ -267,6 +299,29 @@ impl DoctorReport {
                 push(&mut out, format!("  {:<36} {}\n", m.name, v));
             }
         }
+
+        // ── Health baseline. ──
+        push(
+            &mut out,
+            format!(
+                "\nhealth (this run vs default SLO; `juggler health {}` folds history)\n",
+                self.trained.workload
+            ),
+        );
+        for m in &self.health.models {
+            push(
+                &mut out,
+                format!("  {:<9} {}\n", m.name, m.verdict.detail()),
+            );
+        }
+        push(
+            &mut out,
+            format!("  budget: {}\n", self.health.budget.verdict.detail()),
+        );
+        push(
+            &mut out,
+            format!("  verdict: {}\n", self.health.verdict.detail()),
+        );
         out
     }
 }

@@ -50,6 +50,7 @@ pub mod recommend;
 pub mod summary;
 pub mod time_model;
 pub mod transfer;
+pub mod watchtower;
 
 pub use chaos::{build_plan, run_chaos, ChaosConfig, ChaosOutcome, PlanKind, ResidencyCheck};
 pub use diagnostics::{LedgerEntry, PredictionLedger, TrainingDiagnostics};
@@ -72,3 +73,7 @@ pub use recommend::{CostModel, MachineMinutes, Recommendation, RecommendationMen
 pub use summary::model_card;
 pub use time_model::TimeModel;
 pub use transfer::{select_probes, InstanceCatalog, InstanceType, TransferModel};
+pub use watchtower::{
+    load_history, BudgetHealth, DetectorTuning, HealthReport, ModelHealth, ModelSample,
+    RefitAdvice, ResidualSeed, RunSample, Watchtower, SAMPLE_SCHEMA_VERSION,
+};

@@ -263,6 +263,16 @@ impl FitReport {
     pub fn summary(&self) -> ModelSummary {
         ModelSummary::of(&self.winner, self.cv_error)
     }
+
+    /// The holdout residual series in fixed-point micro-units
+    /// (`obs::health::MICRO`), in sample order — the seed the health
+    /// watchtower warm-starts its EWMA residual bands from, so the first
+    /// production runs are judged against the training-time error
+    /// distribution instead of a cold band.
+    #[must_use]
+    pub fn residual_micro_series(&self) -> Vec<i64> {
+        self.residuals.iter().map(|&r| obs::to_micro(r)).collect()
+    }
 }
 
 /// Full model selection: cross-validate each candidate, pick the least

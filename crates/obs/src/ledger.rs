@@ -49,6 +49,23 @@ pub struct StoredRun {
     pub mean_time_rel_error: Option<f64>,
     /// Full content hash declared by the document (empty if absent).
     pub content_hash: String,
+    /// When the manifest file was recorded (file mtime, nanoseconds since
+    /// the Unix epoch; 0 if the filesystem won't say). Ordering metadata
+    /// only — deliberately *outside* the content hash, like the envelope.
+    pub recorded_unix_ns: u128,
+}
+
+/// One directory entry of a [`LedgerStore`]: identity and ordering
+/// metadata only, no document parse. The cheap spine of [`LedgerStore::list`]
+/// and of bulk readers that bring their own (typed, cached) parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerEntryMeta {
+    /// Run id (file stem).
+    pub id: String,
+    /// Path of the document file.
+    pub path: PathBuf,
+    /// File mtime, nanoseconds since the Unix epoch (0 if unavailable).
+    pub recorded_unix_ns: u128,
 }
 
 impl LedgerStore {
@@ -88,9 +105,12 @@ impl LedgerStore {
         Ok(path)
     }
 
-    /// All stored runs, sorted by id (parse failures are skipped — the
-    /// ledger must not die on a stray file).
-    pub fn list(&self) -> io::Result<Vec<StoredRun>> {
+    /// The store's directory entries, newest first: recorded timestamp
+    /// descending with the id ascending as tiebreak — a total,
+    /// deterministic order regardless of directory iteration order.
+    /// Never opens a document, so it costs one `readdir` plus one `stat`
+    /// per file.
+    pub fn entries(&self) -> io::Result<Vec<LedgerEntryMeta>> {
         let mut out = Vec::new();
         let entries = match std::fs::read_dir(&self.root) {
             Ok(e) => e,
@@ -105,15 +125,34 @@ impl LedgerStore {
             let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
                 continue;
             };
-            let Ok(raw) = std::fs::read_to_string(&path) else {
+            out.push(LedgerEntryMeta {
+                id: stem.to_owned(),
+                recorded_unix_ns: recorded_ns(&path),
+                path,
+            });
+        }
+        out.sort_by(|a, b| {
+            b.recorded_unix_ns
+                .cmp(&a.recorded_unix_ns)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        Ok(out)
+    }
+
+    /// All stored runs, newest first (same order as [`Self::entries`]),
+    /// with summary fields parsed out of each document. Parse failures
+    /// are skipped — the ledger must not die on a stray file.
+    pub fn list(&self) -> io::Result<Vec<StoredRun>> {
+        let mut out = Vec::new();
+        for meta in self.entries()? {
+            let Ok(raw) = std::fs::read_to_string(&meta.path) else {
                 continue;
             };
             let Ok(doc) = serde_json::from_str::<Value>(&raw) else {
                 continue;
             };
-            out.push(summarize(stem, &path, &doc));
+            out.push(summarize(&meta.id, &meta.path, &doc, meta.recorded_unix_ns));
         }
-        out.sort_by(|a, b| a.id.cmp(&b.id));
         Ok(out)
     }
 
@@ -158,8 +197,17 @@ impl LedgerStore {
     }
 }
 
+/// File mtime as nanoseconds since the Unix epoch (0 when unavailable).
+fn recorded_ns(path: &Path) -> u128 {
+    std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map_or(0, |d| d.as_nanos())
+}
+
 /// Lenient summary extraction from a manifest document.
-fn summarize(id: &str, path: &Path, doc: &Value) -> StoredRun {
+fn summarize(id: &str, path: &Path, doc: &Value, recorded_unix_ns: u128) -> StoredRun {
     let content = doc.get("content").unwrap_or(doc);
     let as_u64 = |v: &Value| match v {
         Value::Int(n) => u64::try_from(*n).unwrap_or(0),
@@ -194,6 +242,7 @@ fn summarize(id: &str, path: &Path, doc: &Value) -> StoredRun {
         schedules,
         mean_time_rel_error: mean_err,
         content_hash: text(doc.get("content_hash")),
+        recorded_unix_ns,
     }
 }
 
@@ -275,6 +324,49 @@ mod tests {
         let err = store.resolve("aa").unwrap_err();
         assert!(err.contains("ambiguous"), "{err}");
         assert!(store.resolve("aa0").is_ok());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn list_orders_newest_first_with_id_tiebreak() {
+        use std::time::{Duration, SystemTime};
+        let store = tmp_store("ordering");
+        let base = SystemTime::UNIX_EPOCH + Duration::from_secs(1_700_000_000);
+        let set_mtime = |path: &Path, offset_s: u64| {
+            let f = std::fs::File::options().write(true).open(path).unwrap();
+            f.set_modified(base + Duration::from_secs(offset_s))
+                .unwrap();
+        };
+        // Record out of id order, then pin mtimes: cc oldest, aa newest.
+        let p_bb = store
+            .record("bb00000000000000ffff", "{\"content\":{}}")
+            .unwrap();
+        let p_aa = store
+            .record("aa00000000000000ffff", "{\"content\":{}}")
+            .unwrap();
+        let p_cc = store
+            .record("cc00000000000000ffff", "{\"content\":{}}")
+            .unwrap();
+        set_mtime(&p_cc, 10);
+        set_mtime(&p_bb, 20);
+        set_mtime(&p_aa, 30);
+        let ids: Vec<String> = store.list().unwrap().into_iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            ["aa00000000000000", "bb00000000000000", "cc00000000000000"],
+            "newest first"
+        );
+        // Equal mtimes fall back to id ascending.
+        set_mtime(&p_aa, 10);
+        set_mtime(&p_bb, 10);
+        set_mtime(&p_cc, 10);
+        let runs = store.list().unwrap();
+        let ids: Vec<&str> = runs.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            ["aa00000000000000", "bb00000000000000", "cc00000000000000"]
+        );
+        assert!(runs.iter().all(|r| r.recorded_unix_ns > 0));
         let _ = std::fs::remove_dir_all(store.root());
     }
 

@@ -35,11 +35,17 @@
 //! node-by-node diffing — and leveled stderr diagnostics ([`log`],
 //! `JUGGLER_LOG=warn|info|debug`, off by default so golden-tested
 //! output stays byte-stable).
+//!
+//! Finally, [`health`] holds the streaming model-quality primitives:
+//! fixed-point drift detectors (Page–Hinkley, CUSUM, EWMA bands) and
+//! declarative error budgets ([`SloSpec`]) that
+//! `juggler-core::watchtower` folds the run ledger through.
 
 #![warn(missing_docs)]
 
 mod format;
 mod hash;
+pub mod health;
 mod ledger;
 pub mod log;
 mod perf;
@@ -48,12 +54,15 @@ mod registry;
 
 pub use format::{fmt_bytes, fmt_bytes_delta, fmt_duration_s, fmt_percent, fmt_rate, fmt_sig};
 pub use hash::{sha256, sha256_hex, to_hex, Sha256};
-pub use ledger::{LedgerStore, StoredRun, RUN_ID_LEN};
+pub use health::{
+    fmt_micro_pct, to_micro, Cusum, EwmaBand, Firing, PageHinkley, SloSpec, Verdict, MICRO,
+};
+pub use ledger::{LedgerEntryMeta, LedgerStore, StoredRun, RUN_ID_LEN};
 pub use perf::{
     default_checks, lookup, regression_attribution, BaselineSpec, BenchReport, Check, CheckOp,
     CheckOutcome, PerfReport,
 };
 pub use registry::{
-    global, Counter, Gauge, Histogram, Metric, MetricClass, MetricKind, MetricValue, Registry,
-    Snapshot, HIST_BUCKETS,
+    global, log2_quantile, Counter, Gauge, Histogram, Metric, MetricClass, MetricKind, MetricValue,
+    Registry, Snapshot, HIST_BUCKETS,
 };

@@ -432,6 +432,17 @@ pub fn default_checks(bench: &str) -> Option<Vec<Check>> {
             Check::new("within_budget", CheckOp::Equals),
             Check::new("enabled.overhead_pct", CheckOp::Max(5.0)),
         ]),
+        // Health-watchtower fold cost over a synthetic 100-manifest
+        // ledger, relative to one offline training run: the fold must
+        // stay under the 5 % budget so `juggler watch` is cheap enough
+        // to run after every training sweep.
+        "health_overhead" => Some(vec![
+            Check::new("workload", CheckOp::Equals),
+            Check::new("manifests", CheckOp::Equals),
+            Check::new("budget_pct", CheckOp::Equals),
+            Check::new("within_budget", CheckOp::Equals),
+            Check::new("fold.overhead_pct", CheckOp::Max(5.0)),
+        ]),
         "training_parallel" => Some(vec![
             Check::new("workload", CheckOp::Equals),
             Check::new("reps", CheckOp::Equals),
@@ -578,6 +589,21 @@ mod tests {
         assert!(
             !checks.iter().any(|c| c.path.starts_with("armed_idle.")),
             "the armed-idle micro row is informational, not gated"
+        );
+    }
+
+    #[test]
+    fn health_overhead_policy_gates_fold_cost() {
+        let checks = default_checks("health_overhead").unwrap();
+        assert!(checks
+            .iter()
+            .any(|c| c.path == "fold.overhead_pct" && c.op == CheckOp::Max(5.0)));
+        assert!(checks
+            .iter()
+            .any(|c| c.path == "manifests" && c.op == CheckOp::Equals));
+        assert!(
+            !checks.iter().any(|c| c.path.contains("seconds")),
+            "raw seconds are never gated"
         );
     }
 

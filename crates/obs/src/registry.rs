@@ -416,6 +416,50 @@ pub struct Metric {
     pub value: MetricValue,
 }
 
+/// Deterministic quantile estimate over log2 histogram buckets: the
+/// *upper bound* of the bucket holding the rank-`ceil(count·q_num/q_den)`
+/// observation (1-based, integer arithmetic — no floats, so the result
+/// is bit-identical everywhere). Bucket 0 holds `{0} ∪ [1, 2)` so its
+/// upper bound is 1; bucket `i > 0` covers `[2^i, 2^(i+1))` with upper
+/// bound `2^(i+1) − 1`, saturating to `u64::MAX` for bucket 63.
+///
+/// `None` when the histogram is empty or `q_num` is zero (an empty
+/// distribution has no quantiles; callers decide the fallback).
+#[must_use]
+pub fn log2_quantile(buckets: &[u64], count: u64, q_num: u64, q_den: u64) -> Option<u64> {
+    assert!(q_den > 0, "quantile denominator must be positive");
+    assert!(q_num <= q_den, "quantile must be <= 1");
+    if count == 0 || q_num == 0 {
+        return None;
+    }
+    // ceil(count * q_num / q_den) in u128 so count near u64::MAX is safe.
+    let rank = (u128::from(count) * u128::from(q_num)).div_ceil(u128::from(q_den));
+    let mut cumulative = 0u128;
+    for (i, &b) in buckets.iter().enumerate() {
+        cumulative += u128::from(b);
+        if cumulative >= rank {
+            return Some(bucket_upper_bound(i));
+        }
+    }
+    // `count` exceeds the bucket total (caller passed inconsistent data);
+    // fall back to the highest non-empty bucket.
+    buckets
+        .iter()
+        .rposition(|&b| b != 0)
+        .map(bucket_upper_bound)
+}
+
+/// Largest value a log2 bucket can hold (see [`log2_quantile`]).
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
 /// The value of one metric in a [`Snapshot`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricValue {
@@ -435,6 +479,21 @@ pub enum MetricValue {
         /// Largest observed value.
         max: u64,
     },
+}
+
+impl MetricValue {
+    /// Upper-bound quantile estimate for a histogram value (see
+    /// [`log2_quantile`]); `None` for non-histograms and empty
+    /// histograms.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q_num: u64, q_den: u64) -> Option<u64> {
+        match self {
+            MetricValue::Histogram { buckets, count, .. } => {
+                log2_quantile(buckets, *count, q_num, q_den)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// A point-in-time, name-sorted view of a [`Registry`]. Both exporters
@@ -543,6 +602,16 @@ impl Snapshot {
                     max,
                 } => {
                     let _ = write!(out, ",\"count\":{count},\"sum\":{sum},\"max\":{max}");
+                    for (label, q_num) in [("p50", 50), ("p95", 95), ("p99", 99)] {
+                        match log2_quantile(buckets, *count, q_num, 100) {
+                            Some(v) => {
+                                let _ = write!(out, ",\"{label}\":{v}");
+                            }
+                            None => {
+                                let _ = write!(out, ",\"{label}\":null");
+                            }
+                        }
+                    }
                     out.push_str(",\"buckets\":[");
                     for (j, b) in buckets.iter().enumerate() {
                         if j > 0 {
@@ -737,6 +806,68 @@ mod tests {
         let (s1, s2) = (build(), build());
         assert_eq!(s1.to_prometheus(), s2.to_prometheus());
         assert_eq!(s1.to_json(), s2.to_json());
+    }
+
+    #[test]
+    fn log2_quantile_edge_cases_are_pinned() {
+        // Empty histogram: no quantiles.
+        assert_eq!(log2_quantile(&[], 0, 95, 100), None);
+        assert_eq!(log2_quantile(&[0, 0], 0, 50, 100), None);
+        // q = 0 never selects a rank.
+        assert_eq!(log2_quantile(&[5], 5, 0, 100), None);
+        // Single observation: every quantile is that bucket's bound.
+        assert_eq!(log2_quantile(&[1], 1, 50, 100), Some(1));
+        assert_eq!(log2_quantile(&[1], 1, 99, 100), Some(1));
+        // Bucket 0 holds zero AND one → upper bound 1.
+        assert_eq!(log2_quantile(&[4], 4, 100, 100), Some(1));
+        // Bucket i > 0 → 2^(i+1) − 1: 10 values in bucket 3 ([8, 16)).
+        let mut b = vec![0u64; 4];
+        b[3] = 10;
+        assert_eq!(log2_quantile(&b, 10, 50, 100), Some(15));
+        // Rank arithmetic: 100 values in bucket 0, 1 straggler in bucket
+        // 10 — p99 rounds up to rank 100 (still bucket 0), p100 reaches
+        // the straggler.
+        let mut b = vec![0u64; 11];
+        b[0] = 100;
+        b[10] = 1;
+        assert_eq!(log2_quantile(&b, 101, 99, 100), Some(1));
+        assert_eq!(log2_quantile(&b, 101, 100, 100), Some(2047));
+        // Bucket 63 saturates to u64::MAX.
+        let mut b = vec![0u64; HIST_BUCKETS];
+        b[63] = 1;
+        assert_eq!(log2_quantile(&b, 1, 50, 100), Some(u64::MAX));
+        // Inconsistent count (larger than bucket total) falls back to the
+        // highest non-empty bucket instead of panicking.
+        assert_eq!(log2_quantile(&[2], 10, 99, 100), Some(1));
+    }
+
+    #[test]
+    fn quantiles_flow_through_snapshot_and_json_export() {
+        let reg = Registry::new(true);
+        let h = reg.histogram("err_micro", "relative error in micro-units");
+        for _ in 0..98 {
+            h.record(80_000); // bucket 16 ([65536, 131072))
+        }
+        h.record(700_000); // bucket 19
+        h.record(900_000); // bucket 19
+        let snap = reg.snapshot(false);
+        let value = &snap.get("err_micro").expect("present").value;
+        assert_eq!(value.quantile_upper_bound(50, 100), Some(131_071));
+        assert_eq!(value.quantile_upper_bound(95, 100), Some(131_071));
+        assert_eq!(value.quantile_upper_bound(99, 100), Some(1_048_575));
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"p50\":131071,\"p95\":131071,\"p99\":1048575"),
+            "{json}"
+        );
+        // Empty histograms export null quantiles.
+        let reg = Registry::new(true);
+        let _ = reg.histogram("empty_micro", "no samples");
+        let json = reg.snapshot(false).to_json();
+        assert!(
+            json.contains("\"p50\":null,\"p95\":null,\"p99\":null"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -56,6 +56,15 @@ cargo test -q --offline --test profile_golden
 echo "== profile overhead (<5% enabled budget; records results/BENCH_profile_overhead.json) =="
 cargo bench --offline -p bench --bench profile_overhead
 
+echo "== health determinism (fold digest is thread-count-stable) =="
+cargo test -q --offline --test health_determinism
+
+echo "== health golden (drift drill names the onset run; tree is byte-stable) =="
+cargo test -q --offline --test health_golden
+
+echo "== health overhead (<5% steady-state fold budget; records results/BENCH_health_overhead.json) =="
+cargo bench --offline -p bench --bench health_overhead
+
 echo "== perf report (fresh BENCH_*.json vs results/baselines/) =="
 cargo run -q --release --offline --bin juggler -- perf-report
 

@@ -13,6 +13,8 @@
 //! juggler metrics LOR --format prom          # framework metrics export
 //! juggler runs record LOR                    # run -> provenance manifest in results/runs/
 //! juggler runs diff <a> <b>                  # cross-run drift report
+//! juggler health LOR                         # fold run history -> drift verdicts + refit advice
+//! juggler watch                              # one-shot health sweep over every workload
 //! juggler perf-report                        # gate BENCH_*.json against results/baselines/
 //! ```
 
@@ -23,7 +25,9 @@ use juggler_suite::cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions,
 use juggler_suite::dagflow::to_dot;
 use juggler_suite::juggler::pipeline::{OfflineTraining, TrainedJuggler, TrainingConfig};
 use juggler_suite::juggler::provenance::{DiffTolerances, ManifestDiff, RunManifest};
+use juggler_suite::juggler::watchtower::{load_history, Watchtower};
 use juggler_suite::obs;
+use juggler_suite::obs::health::{SloSpec, Verdict};
 use juggler_suite::workloads::{all_workloads, KMeans, Workload};
 
 fn main() -> ExitCode {
@@ -50,6 +54,8 @@ fn main() -> ExitCode {
         "chaos" => done(cmd_chaos(rest)),
         "metrics" => done(cmd_metrics(rest)),
         "runs" => cmd_runs(rest),
+        "health" => cmd_health(rest),
+        "watch" => cmd_watch(rest),
         "perf-report" => cmd_perf_report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -91,9 +97,12 @@ USAGE:
   juggler metrics <WORKLOAD> [--format prom|json] [--output FILE]
                  [--timings] [--threads N]
   juggler runs record <WORKLOAD> [--threads N] [--store DIR]
-  juggler runs list [--store DIR]
+  juggler runs list [--store DIR] [--workload W] [--limit N]
   juggler runs show <RUN> [--store DIR]
   juggler runs diff <RUN_A> <RUN_B> [--store DIR] [--tol-coeff X] [--tol-pred X]
+  juggler health <WORKLOAD> [--slo FILE] [--format tree|json|prom]
+                 [--since RUN] [--limit N] [--store DIR] [--report-store DIR]
+  juggler watch [--slo FILE] [--store DIR]
   juggler perf-report [--results DIR] [--baselines DIR] [--write-baselines]
 
 WORKLOAD: KMEANS | LIR | LOR | PCA | RFC | SVM
@@ -134,7 +143,22 @@ results/runs/). `runs diff` compares two manifests' hashed content and
 flags model-winner changes, coefficient drift beyond tolerance,
 prediction-error regressions, and counter drift; it exits 1 when drift is
 found. RUN accepts a run id, an unambiguous id prefix, or a manifest
-path. `perf-report` gates the committed/fresh BENCH_*.json artifacts
+path. `runs list` prints newest-first; --workload and --limit narrow the
+listing.
+
+`health` folds the recorded run history of one workload through the
+deterministic drift detectors (CUSUM on model-coefficient deviation,
+Page–Hinkley on prediction relative error, EWMA bands on residuals) and
+evaluates it against the error-budget SLO (defaults, or a JSON spec via
+--slo — see examples/slo.json). The resulting HealthReport is filed,
+content-addressed, under results/health/ and printed as a tree (default),
+canonical JSON, or Prometheus gauges (--format prom). --since RUN and
+--limit N narrow the fold window; exit status is 1 when any model or the
+error budget is Drifted, so the command doubles as a CI gate. `watch` is
+the one-shot sweep: one verdict line per workload in the run ledger,
+exit 1 if any is Drifted.
+
+`perf-report` gates the committed/fresh BENCH_*.json artifacts
 against the baseline specs in results/baselines/ and exits 1 on any
 regression; --write-baselines regenerates the specs (normally done via
 scripts/refresh_baselines.sh so baseline churn is an explicit commit).
@@ -807,9 +831,16 @@ fn cmd_runs_record(args: &[String]) -> Result<(), String> {
 
 fn cmd_runs_list(args: &[String]) -> Result<(), String> {
     let store = ledger_store(args);
-    let runs = store
+    let mut runs = store
         .list()
         .map_err(|e| format!("reading ledger {}: {e}", store.root().display()))?;
+    if let Some(workload) = flag(args, "--workload") {
+        runs.retain(|r| r.workload.eq_ignore_ascii_case(&workload));
+    }
+    if let Some(limit) = flag(args, "--limit") {
+        let limit: usize = parse_num(&limit, "--limit")?;
+        runs.truncate(limit);
+    }
     if runs.is_empty() {
         println!("no runs recorded in {}", store.root().display());
         return Ok(());
@@ -953,6 +984,118 @@ fn render_manifest(m: &RunManifest) -> String {
         out.push_str(&format!("    {:<36} {}\n", k.name, k.value));
     }
     out
+}
+
+// ───────────────────────── model-health monitor ─────────────────────────
+
+/// The health-report ledger: content-addressed `HealthReport` documents
+/// under `results/health/`, kept apart from the run-manifest ledger so
+/// `juggler runs list` never parses them. `--report-store DIR`
+/// overrides (the run ledger keeps its own `--store DIR` override).
+fn health_store(args: &[String]) -> obs::LedgerStore {
+    match flag(args, "--report-store") {
+        Some(dir) => obs::LedgerStore::new(dir),
+        None => obs::LedgerStore::new(
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("results")
+                .join("health"),
+        ),
+    }
+}
+
+/// Reads the SLO spec from `--slo FILE`, or falls back to the defaults.
+fn slo_spec(args: &[String]) -> Result<SloSpec, String> {
+    match flag(args, "--slo") {
+        Some(path) => {
+            let raw = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            SloSpec::from_json(&raw).map_err(|e| format!("{path}: {e}"))
+        }
+        None => Ok(SloSpec::default()),
+    }
+}
+
+fn verdict_exit(v: &Verdict) -> ExitCode {
+    if v.level() == 2 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_health(args: &[String]) -> Result<ExitCode, String> {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("health needs a workload name")?
+        .to_ascii_uppercase();
+    let format = flag(args, "--format").unwrap_or_else(|| "tree".to_owned());
+    if !matches!(format.as_str(), "tree" | "json" | "prom") {
+        return Err(format!(
+            "unknown --format `{format}` (expected tree, json, or prom)"
+        ));
+    }
+    let slo = slo_spec(args)?;
+    let since = flag(args, "--since");
+    let limit = match flag(args, "--limit") {
+        Some(v) => parse_num(&v, "--limit")?,
+        None => 0usize,
+    };
+    let store = ledger_store(args);
+    let reports = health_store(args);
+    // Samples are cached next to the filed reports: a steady-state
+    // `juggler health` only parses manifests recorded since the last one.
+    let cache = reports.root().join("sample_cache.json");
+    let report =
+        Watchtower::new(slo).fold_ledger(&store, &name, since.as_deref(), limit, Some(&cache))?;
+    if report.window.is_empty() {
+        return Err(format!(
+            "no runs recorded for {name} in {} (try `juggler runs record {name}`)",
+            store.root().display()
+        ));
+    }
+    let stored = reports
+        .record(&report.digest(), &report.to_json())
+        .map_err(|e| format!("recording health report: {e}"))?;
+    match format.as_str() {
+        "json" => print!("{}", report.to_json()),
+        "prom" => {
+            let registry = obs::Registry::new(true);
+            report.register_metrics(&registry);
+            print!("{}", registry.snapshot(false).to_prometheus());
+        }
+        _ => print!("{}", report.render_tree()),
+    }
+    obs::log_info!("health report filed at {}", stored.display());
+    Ok(verdict_exit(&report.verdict))
+}
+
+fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
+    let slo = slo_spec(args)?;
+    let store = ledger_store(args);
+    let runs = store
+        .list()
+        .map_err(|e| format!("reading ledger {}: {e}", store.root().display()))?;
+    if runs.is_empty() {
+        println!("no runs recorded in {}", store.root().display());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let mut workloads: Vec<String> = runs.iter().map(|r| r.workload.clone()).collect();
+    workloads.sort();
+    workloads.dedup();
+    let mut worst = Verdict::Healthy;
+    println!("{:<8} {:>5}  verdict", "name", "runs");
+    for name in workloads {
+        let manifests = load_history(&store, &name, None, 0)?;
+        let report = Watchtower::new(slo.clone()).fold(&manifests);
+        println!(
+            "{:<8} {:>5}  {}",
+            name,
+            manifests.len(),
+            report.verdict.detail()
+        );
+        worst = worst.worst(report.verdict.clone());
+    }
+    Ok(verdict_exit(&worst))
 }
 
 // ───────────────────────── perf-regression gate ─────────────────────────
