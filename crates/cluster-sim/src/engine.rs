@@ -43,7 +43,11 @@ pub struct RunOptions {
 /// of `HashMap` iteration order.
 /// Feeds one finished run's counters into the global metrics registry.
 /// A single branch when the registry is disabled (the default).
-fn record_run_metrics(counters: &TraceCounters, total_tasks: u64, faults: &FaultSummary) {
+pub(crate) fn record_run_metrics(
+    counters: &TraceCounters,
+    total_tasks: u64,
+    faults: &FaultSummary,
+) {
     let reg = obs::global();
     if !reg.enabled() {
         return;
@@ -139,7 +143,11 @@ fn record_run_metrics(counters: &TraceCounters, total_tasks: u64, faults: &Fault
     }
 }
 
-fn gather_counters(store: &BlockStore, state: &ExecutorState, chaos: &ChaosState) -> TraceCounters {
+pub(crate) fn gather_counters(
+    store: &BlockStore,
+    state: &ExecutorState,
+    chaos: &ChaosState,
+) -> TraceCounters {
     let (task_retries, speculative_tasks, blacklisted_machines) = chaos.counter_snapshot();
     let mut c = TraceCounters {
         spills: state.spilled_tasks,
@@ -170,14 +178,14 @@ fn gather_counters(store: &BlockStore, state: &ExecutorState, chaos: &ChaosState
 pub struct EnginePrep {
     /// `job_uses[d]` — jobs whose DAG contains dataset `d`, for the
     /// DAG-aware eviction policies' hints.
-    job_uses: Vec<Vec<usize>>,
+    pub(crate) job_uses: Vec<Vec<usize>>,
     /// One stage plan per job, in job order.
-    plans: Vec<StagePlan>,
+    pub(crate) plans: Vec<StagePlan>,
     /// `consumers[ji][sp]` — for stage position `sp` of job `ji`, the
     /// statically possible shuffle consumers as `(consumer_stage_index,
     /// wide_dataset)` pairs, in the order the per-stage scan used to
     /// produce them. Runs filter by their `needed` set at job time.
-    consumers: Vec<Vec<Vec<(u32, DatasetId)>>>,
+    pub(crate) consumers: Vec<Vec<Vec<(u32, DatasetId)>>>,
     /// Dense `(dataset, partition)` interning for the block store.
     layout: Arc<BlockLayout>,
     /// Pool of per-run scratch (block store + executor state), returned at
@@ -591,6 +599,7 @@ impl<'a> Engine<'a> {
             total_tasks,
             task_attempts,
             faults,
+            contention: crate::report::ContentionSummary::default(),
         })
     }
 }
@@ -599,7 +608,7 @@ impl<'a> Engine<'a> {
 /// residency: the result stage always runs; a map stage is skipped when
 /// every wide dataset consuming it is fully resident (Spark would read the
 /// cached blocks and skip the parent stages entirely).
-fn needed_stages(
+pub(crate) fn needed_stages(
     app: &Application,
     plan: &StagePlan,
     persisted: &[bool],

@@ -124,6 +124,12 @@ pub struct ExecutorState {
     /// Tasks that preferred their cache-local machine but ran elsewhere
     /// because the locality wait was exceeded.
     pub locality_fallbacks: u64,
+    /// Cumulative seconds task attempts spent waiting for a free core
+    /// beyond driver dispatch, stage start, and retry backoff — the
+    /// slot-contention signal the multi-tenant runner folds into
+    /// [`crate::report::ContentionSummary`]. Observation only: nothing in
+    /// the simulation reads it back.
+    pub slot_wait_s: f64,
     /// Scratch running-median of completed task durations for speculation
     /// detection, cleared at every stage start. Lives here (not in
     /// `run_stage`) so heap capacity is reused across the hundreds of
@@ -159,6 +165,7 @@ impl ExecutorState {
             total_tasks: 0,
             task_attempts: 0,
             locality_fallbacks: 0,
+            slot_wait_s: 0.0,
             spec_durations: RunningMedian::default(),
             waves: Vec::new(),
             consumer_costs: Vec::new(),
@@ -184,8 +191,35 @@ impl ExecutorState {
         self.total_tasks = 0;
         self.task_attempts = 0;
         self.locality_fallbacks = 0;
+        self.slot_wait_s = 0.0;
         self.spec_durations.clear();
         self.waves.clear();
+    }
+
+    /// Reshapes the executor to a new core width between jobs — the FAIR
+    /// slot-share lever of the multi-tenant runner. Counters, the noise
+    /// stream, and stage scratch all survive; only the core grid is
+    /// rebuilt, free at time zero. That is exact at a job boundary: every
+    /// core's next-free time is at most the last stage finish (which the
+    /// caller's time cursor has already passed), and task starts clamp to
+    /// the stage start, so a zeroed grid schedules identically to the old
+    /// one. Outstanding execution-memory claims must already be expired —
+    /// [`run_stage`] releases everything it claimed by stage end.
+    pub fn resize_cores(&mut self, machines: u32, cores: u32) {
+        debug_assert!(
+            self.exec_claims
+                .iter()
+                .all(std::collections::VecDeque::is_empty),
+            "core resize requires a job boundary (no outstanding claims)"
+        );
+        self.core_free.clear();
+        self.core_free.resize(total_slots(machines, cores), 0.0);
+        self.machine_best.clear();
+        self.machine_best
+            .extend((0..machines as usize).map(|m| (m * cores as usize, 0.0)));
+        self.cores = (cores as usize).max(1);
+        self.exec_claims
+            .resize_with(machines as usize, Default::default);
     }
 
     /// Updates a core's next-free time and refreshes the owning machine's
@@ -389,10 +423,13 @@ pub fn run_stage(
             let (machine, slot, slot_free, locality_fallback) =
                 choose_slot(state, chaos, machines, preferred, avoid);
             state.locality_fallbacks += u64::from(locality_fallback);
-            let start = slot_free
-                .max(dispatch_ready)
-                .max(stage_start)
-                .max(retry_ready);
+            // `max` over finite values is associative, so grouping the
+            // non-slot terms first leaves `start` bit-identical while
+            // exposing the queueing delay (`start − ready`) for the
+            // slot-wait accumulator.
+            let ready = dispatch_ready.max(stage_start).max(retry_ready);
+            let start = slot_free.max(ready);
+            state.slot_wait_s += start - ready;
 
             // Memory: release expired claims, then claim for this task.
             state.expire_claims(store, machine, start);

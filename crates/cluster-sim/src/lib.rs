@@ -39,6 +39,7 @@ pub mod memory;
 pub mod report;
 pub mod rng;
 pub mod task;
+pub mod tenant;
 pub mod trace;
 pub mod trace_view;
 
@@ -50,8 +51,10 @@ pub use fault::{
 };
 pub use memory::{BlockLayout, BlockStore};
 pub use report::{
-    CacheStats, DatasetCacheStats, PipelineStep, RunReport, StageTiming, StepKind, TaskTrace,
+    CacheStats, ContentionSummary, DatasetCacheStats, PipelineStep, RunReport, StageTiming,
+    StepKind, TaskTrace,
 };
+pub use tenant::{TenancyReport, Tenant, TenantSet};
 pub use trace::{
     DurationHistogram, RunTrace, TraceConfig, TraceCounters, TraceEvent, TraceRecorder,
 };

@@ -140,6 +140,50 @@ impl BlockLayout {
     }
 }
 
+/// Side state of a multi-tenant run: the dataset-id partitioning of the
+/// combined [`BlockLayout`] plus cross-tenant eviction attribution.
+///
+/// The multi-tenant runner concatenates every tenant's datasets into one
+/// layout; tenant `t` owns the dense dataset-id range
+/// `base[t]..base[t + 1]`. While tenant `t` is active, every dataset-id
+/// argument of the store's public API is interpreted in `t`'s local id
+/// space and shifted by `base[t]`, so the single-tenant engine code runs
+/// unmodified against the shared pool. Evictions charged while the victim
+/// belongs to a *different* tenant are counted as cross-tenant, with the
+/// victim block's cache lifetime accumulated for the residency half-life
+/// estimate.
+#[derive(Debug)]
+struct Tenancy {
+    /// `base[t]..base[t + 1]` is tenant `t`'s global dataset-id range.
+    base: Vec<u32>,
+    /// Active tenant (the one whose job body is currently executing).
+    active: usize,
+    /// Cached `base[active]`, the hot-path id shift.
+    active_base: u32,
+    /// Simulation clock of the runner, for block lifetimes.
+    now_s: f64,
+    /// Whether evictions are charged to the active tenant. Fault-driven
+    /// evictions (machine loss) suspend charging: they are accounted by
+    /// the fault summary, not as memory contention.
+    charging: bool,
+    /// Per-block insert time on the runner's clock.
+    inserted_s: Vec<f64>,
+    /// Per-tenant cross-tenant evictions suffered (their block, another
+    /// tenant's insert or claim).
+    suffered: Vec<u64>,
+    /// Per-tenant cross-tenant evictions inflicted on other tenants.
+    inflicted: Vec<u64>,
+    /// Per-tenant sum of cache lifetimes of cross-evicted blocks, seconds.
+    lifetime_sum_s: Vec<f64>,
+}
+
+impl Tenancy {
+    /// Owning tenant of a *global* dataset id.
+    fn tenant_of(&self, dataset: DatasetId) -> usize {
+        self.base.partition_point(|&b| b <= dataset.0) - 1
+    }
+}
+
 /// Cluster-wide cache: per-machine memory plus a dense block index and
 /// per-dataset statistics.
 #[derive(Debug)]
@@ -175,6 +219,9 @@ pub struct BlockStore {
     /// Victim-selection scratch, reused across calls within a run.
     victim_keys: Vec<u32>,
     victim_cands: Vec<VictimCandidate>,
+    /// Multi-tenant side state; `None` (the default) leaves every
+    /// single-run code path untouched.
+    tenancy: Option<Box<Tenancy>>,
 }
 
 impl BlockStore {
@@ -215,7 +262,100 @@ impl BlockStore {
             peak_exec: 0,
             victim_keys: Vec::new(),
             victim_cands: Vec::new(),
+            tenancy: None,
             layout,
+        }
+    }
+
+    /// Switches the store into multi-tenant mode. `base` partitions the
+    /// layout's dataset-id space: tenant `t` owns
+    /// `base[t]..base[t + 1]`, with `base.first() == 0` and
+    /// `base.last() == dataset_count`. Until
+    /// [`BlockStore::set_active_tenant`] changes it, tenant 0 is active.
+    ///
+    /// # Panics
+    /// Panics when `base` does not tile the layout's dataset range.
+    pub fn enable_tenancy(&mut self, base: Vec<u32>) {
+        assert!(
+            base.len() >= 2
+                && base[0] == 0
+                && *base.last().expect("non-empty") as usize == self.layout.dataset_count()
+                && base.windows(2).all(|w| w[0] <= w[1]),
+            "tenant bases must tile the combined dataset range"
+        );
+        let tenants = base.len() - 1;
+        self.tenancy = Some(Box::new(Tenancy {
+            base,
+            active: 0,
+            active_base: 0,
+            now_s: 0.0,
+            charging: true,
+            inserted_s: vec![0.0; self.layout.block_count()],
+            suffered: vec![0; tenants],
+            inflicted: vec![0; tenants],
+            lifetime_sum_s: vec![0.0; tenants],
+        }));
+    }
+
+    /// Selects the tenant whose local dataset ids subsequent calls use and
+    /// to whom charged evictions are attributed. No-op outside tenancy.
+    pub fn set_active_tenant(&mut self, tenant: usize) {
+        if let Some(t) = self.tenancy.as_deref_mut() {
+            t.active = tenant;
+            t.active_base = t.base[tenant];
+        }
+    }
+
+    /// Advances the runner's simulation clock used to stamp block insert
+    /// times and measure cross-evicted lifetimes. No-op outside tenancy.
+    pub fn set_sim_now(&mut self, now_s: f64) {
+        if let Some(t) = self.tenancy.as_deref_mut() {
+            t.now_s = now_s;
+        }
+    }
+
+    /// `(suffered, inflicted, residency_half_life_s)` of one tenant:
+    /// cross-tenant evictions its blocks suffered, cross-tenant evictions
+    /// it inflicted on others, and an exponential-decay half-life estimate
+    /// (`ln 2 ×` mean cache lifetime of its cross-evicted blocks; zero
+    /// when nothing was cross-evicted).
+    #[must_use]
+    pub fn tenant_contention(&self, tenant: usize) -> (u64, u64, f64) {
+        let Some(t) = self.tenancy.as_deref() else {
+            return (0, 0, 0.0);
+        };
+        let suffered = t.suffered[tenant];
+        let half_life = if suffered > 0 {
+            std::f64::consts::LN_2 * t.lifetime_sum_s[tenant] / suffered as f64
+        } else {
+            0.0
+        };
+        (suffered, t.inflicted[tenant], half_life)
+    }
+
+    /// Clones the touched statistics of one tenant's datasets, keyed by
+    /// the tenant's *local* dataset ids — the per-tenant analogue of
+    /// [`BlockStore::take_stats`], taken at the tenant's completion so
+    /// later tenants' activity cannot leak in.
+    #[must_use]
+    pub fn tenant_stats(&self, tenant: usize) -> HashMap<DatasetId, DatasetCacheStats> {
+        let Some(t) = self.tenancy.as_deref() else {
+            return HashMap::new();
+        };
+        let (lo, hi) = (t.base[tenant] as usize, t.base[tenant + 1] as usize);
+        (lo..hi)
+            .filter(|&g| self.touched[g])
+            .map(|g| (DatasetId((g - lo) as u32), self.stats[g].clone()))
+            .collect()
+    }
+
+    /// Shifts a tenant-local dataset id into the combined layout's id
+    /// space; the identity outside tenancy.
+    #[inline]
+    fn tid(&self, d: DatasetId) -> DatasetId {
+        match self.tenancy.as_deref() {
+            Some(t) => DatasetId(d.0 + t.active_base),
+            None => d,
         }
     }
 
@@ -230,6 +370,7 @@ impl BlockStore {
     /// dataset at job boundaries; unset datasets keep the default hint,
     /// exactly like the old map's `unwrap_or_default` lookup.
     pub fn set_hint(&mut self, d: DatasetId, hint: DatasetHints) {
+        let d = self.tid(d);
         self.hints[d.index()] = hint;
     }
 
@@ -249,7 +390,7 @@ impl BlockStore {
     #[inline]
     #[must_use]
     pub fn residency(&self, dataset: DatasetId, partition: u32) -> Option<usize> {
-        let b = self.layout.block_of(dataset, partition)?;
+        let b = self.layout.block_of(self.tid(dataset), partition)?;
         let m = self.blocks[b].loc;
         (m != NO_MACHINE).then_some(m as usize)
     }
@@ -265,6 +406,7 @@ impl BlockStore {
     /// exactly once per call, hit or miss, like `touch` always did.
     #[inline]
     pub fn read(&mut self, dataset: DatasetId, partition: u32) -> Option<usize> {
+        let dataset = self.tid(dataset);
         self.clock += 1;
         let now = self.clock;
         if let Some(b) = self.layout.block_of(dataset, partition) {
@@ -335,6 +477,7 @@ impl BlockStore {
         partition: u32,
         bytes: u64,
     ) -> bool {
+        let dataset = self.tid(dataset);
         let block = self
             .layout
             .block_of(dataset, partition)
@@ -364,6 +507,9 @@ impl BlockStore {
             inserted: now,
         };
         self.resident[machine].push(block as u32);
+        if let Some(t) = self.tenancy.as_deref_mut() {
+            t.inserted_s[block] = t.now_s;
+        }
         self.storage_used[machine] += bytes;
         self.total_storage += bytes;
         let s = self.stat(dataset);
@@ -377,6 +523,19 @@ impl BlockStore {
     fn evict_block(&mut self, machine: usize, block: usize) {
         let dataset = self.layout.dataset_of(block);
         let partition = self.layout.partition_of(block);
+        // Cross-tenant attribution: a charged eviction whose victim block
+        // belongs to another tenant is memory contention — count it on
+        // both sides and accumulate the block's cache lifetime.
+        if let Some(t) = self.tenancy.as_deref_mut() {
+            if t.charging {
+                let victim = t.tenant_of(dataset);
+                if victim != t.active {
+                    t.suffered[victim] += 1;
+                    t.inflicted[t.active] += 1;
+                    t.lifetime_sum_s[victim] += (t.now_s - t.inserted_s[block]).max(0.0);
+                }
+            }
+        }
         let bytes = self.remove_block(machine, block);
         let s = self.stat(dataset);
         s.resident_partitions -= 1;
@@ -415,8 +574,17 @@ impl BlockStore {
     /// count as evictions — downstream reads miss and recompute through
     /// lineage, and re-insertion may land on any machine.
     pub fn lose_machine(&mut self, machine: usize) {
+        // A machine loss is a fault, not memory contention: suspend
+        // cross-tenant charging for its evictions (the fault summary
+        // accounts for them).
+        if let Some(t) = self.tenancy.as_deref_mut() {
+            t.charging = false;
+        }
         while let Some(&b) = self.resident[machine].last() {
             self.evict_block(machine, b as usize);
+        }
+        if let Some(t) = self.tenancy.as_deref_mut() {
+            t.charging = true;
         }
         self.total_exec -= self.exec_used[machine];
         self.exec_used[machine] = 0;
@@ -424,7 +592,8 @@ impl BlockStore {
 
     /// Unpersists a dataset: drops all of its blocks everywhere.
     pub fn drop_dataset(&mut self, dataset: DatasetId) {
-        for p in 0..self.layout.partitions(dataset) {
+        // Local id space: `drop_partition` applies the tenant shift.
+        for p in 0..self.layout.partitions(self.tid(dataset)) {
             self.drop_partition(dataset, p);
         }
     }
@@ -432,6 +601,7 @@ impl BlockStore {
     /// Drops a single partition (the `u(X) … p(Y)` partition-by-partition
     /// swap). Does not count as an eviction.
     pub fn drop_partition(&mut self, dataset: DatasetId, partition: u32) {
+        let dataset = self.tid(dataset);
         let Some(block) = self.layout.block_of(dataset, partition) else {
             return;
         };
@@ -449,7 +619,7 @@ impl BlockStore {
     #[inline]
     #[must_use]
     pub fn resident_count(&self, dataset: DatasetId) -> u32 {
-        self.stats[dataset.index()].resident_partitions
+        self.stats[self.tid(dataset).index()].resident_partitions
     }
 
     /// Bytes of storage used on one machine.
@@ -480,6 +650,7 @@ impl BlockStore {
     /// (the map-keyed store had no entry for it).
     #[must_use]
     pub fn dataset_stats(&self, dataset: DatasetId) -> Option<&DatasetCacheStats> {
+        let dataset = self.tid(dataset);
         self.touched[dataset.index()].then(|| &self.stats[dataset.index()])
     }
 
@@ -546,6 +717,7 @@ impl BlockStore {
         self.peak_exec = 0;
         self.victim_keys.clear();
         self.victim_cands.clear();
+        self.tenancy = None;
     }
 
     /// Number of machines in the store.
@@ -735,5 +907,103 @@ mod tests {
         let map = s.into_stats();
         assert_eq!(map.len(), 1);
         assert!(map.contains_key(&D_A));
+    }
+
+    /// Two-tenant store over the toy layout: tenant 0 owns datasets
+    /// {0, 1} (dummy + 10 partitions), tenant 1 owns dataset {2} seen
+    /// locally as its dataset 0 (10 partitions).
+    fn tenant_store(ram: u64) -> BlockStore {
+        let mut s = store(1, ram);
+        s.enable_tenancy(vec![0, 2, 3]);
+        s
+    }
+
+    #[test]
+    fn tenancy_offsets_local_ids_round_trip() {
+        let mut s = tenant_store(12_000_000_000);
+        // Tenant 0's dataset 1 and tenant 1's dataset 0 are distinct
+        // global blocks even though both are "their" first big dataset.
+        s.set_active_tenant(0);
+        assert!(s.try_insert(0, D_A, 3, 1000));
+        s.set_active_tenant(1);
+        assert_eq!(s.residency(DatasetId(0), 3), None, "other tenant's block");
+        assert!(s.try_insert(0, DatasetId(0), 3, 1000));
+        assert_eq!(s.residency(DatasetId(0), 3), Some(0));
+        assert_eq!(s.resident_count(DatasetId(0)), 1);
+        s.set_active_tenant(0);
+        assert_eq!(s.residency(D_A, 3), Some(0));
+        assert_eq!(s.resident_count(D_A), 1);
+        // Per-tenant stats come back in local id space.
+        let t1 = s.tenant_stats(1);
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t1.get(&DatasetId(0)).unwrap().resident_partitions, 1);
+        let t0 = s.tenant_stats(0);
+        assert!(t0.contains_key(&D_A));
+        assert!(!t0.contains_key(&DatasetId(2)), "local ids only");
+    }
+
+    #[test]
+    fn cross_tenant_eviction_is_attributed_to_both_sides() {
+        // M = 4.2e8: four 1e8 blocks fill the machine.
+        let mut s = tenant_store(1_000_000_000);
+        s.set_active_tenant(0);
+        s.set_sim_now(10.0);
+        for p in 0..4 {
+            assert!(s.try_insert(0, D_A, p, 100_000_000));
+        }
+        // Tenant 1 inserts under pressure at t = 30 s: evicts tenant 0's
+        // two LRU blocks (inserted at t = 10 s → lifetime 20 s each).
+        s.set_active_tenant(1);
+        s.set_sim_now(30.0);
+        assert!(s.try_insert(0, DatasetId(0), 0, 150_000_000));
+        let (suffered0, inflicted0, half_life0) = s.tenant_contention(0);
+        assert_eq!(suffered0, 2);
+        assert_eq!(inflicted0, 0);
+        assert!((half_life0 - std::f64::consts::LN_2 * 20.0).abs() < 1e-12);
+        let (suffered1, inflicted1, _) = s.tenant_contention(1);
+        assert_eq!(suffered1, 0);
+        assert_eq!(inflicted1, 2);
+        // Totals balance: every suffered eviction was inflicted by someone.
+        assert_eq!(suffered0 + suffered1, inflicted0 + inflicted1);
+    }
+
+    #[test]
+    fn same_tenant_evictions_are_not_contention() {
+        let mut s = tenant_store(1_000_000_000);
+        s.set_active_tenant(0);
+        for p in 0..4 {
+            assert!(s.try_insert(0, D_A, p, 100_000_000));
+        }
+        // Tenant 0 evicting its *own* other dataset is plain pressure.
+        assert!(s.try_insert(0, DatasetId(0), 0, 150_000_000));
+        assert_eq!(s.tenant_contention(0), (0, 0, 0.0));
+        assert_eq!(s.tenant_contention(1), (0, 0, 0.0));
+    }
+
+    #[test]
+    fn machine_loss_evictions_are_not_charged_as_contention() {
+        let mut s = tenant_store(12_000_000_000);
+        s.set_active_tenant(0);
+        s.try_insert(0, D_A, 0, 1000);
+        s.set_active_tenant(1);
+        s.lose_machine(0);
+        assert_eq!(s.tenant_contention(0), (0, 0, 0.0), "fault, not contention");
+        // Charging resumes after the loss.
+        assert!(s.tenancy.as_deref().unwrap().charging);
+    }
+
+    #[test]
+    fn reset_clears_tenancy() {
+        let spec = MachineSpec {
+            ram_bytes: 12_000_000_000,
+            ..MachineSpec::paper_example()
+        };
+        let mut s = tenant_store(12_000_000_000);
+        s.set_active_tenant(1);
+        s.reset_for(&ClusterConfig::new(1, spec), EvictionPolicyKind::Lru);
+        // Ids are global again: dataset 1 is D_A, not tenant 1's offset.
+        assert!(s.try_insert(0, D_A, 0, 1000));
+        assert_eq!(s.residency(D_A, 0), Some(0));
+        assert_eq!(s.tenant_contention(0), (0, 0, 0.0));
     }
 }

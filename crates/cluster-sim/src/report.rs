@@ -146,6 +146,48 @@ impl StageTiming {
     }
 }
 
+/// Multi-tenant contention outcome for one tenant of a
+/// [`crate::tenant::TenantSet`] run: how long its tasks queued for FAIR
+/// slots, how often other tenants evicted its cached blocks (and vice
+/// versa), and how long its blocks survived in the shared pool. Quiet
+/// (all-default) for single-app runs, mirroring
+/// [`crate::fault::FaultSummary`]'s quiet-exclusion contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ContentionSummary {
+    /// This tenant's index within the tenant set.
+    pub tenant: u32,
+    /// Number of *active* (weight > 0) tenants that shared the cluster
+    /// (0 = not a tenancy run). Weightless placeholders are excluded so
+    /// admitting one never perturbs the other tenants' digests; a
+    /// placeholder's own summary reports the admitted set size instead,
+    /// as its self-description.
+    pub tenants: u32,
+    /// FAIR scheduling weight of this tenant.
+    pub weight: f64,
+    /// Seconds after cluster start this tenant arrived.
+    pub arrival_offset_s: f64,
+    /// Cumulative seconds task attempts queued for a free slot beyond
+    /// dispatch, stage start, and retry backoff.
+    pub slot_wait_s: f64,
+    /// Cached blocks of this tenant evicted by *other* tenants' inserts.
+    pub cross_evictions_suffered: u64,
+    /// Cached blocks of *other* tenants evicted by this tenant's inserts.
+    pub cross_evictions_inflicted: u64,
+    /// Median cache lifetime (`ln 2 ×` mean) of this tenant's
+    /// cross-evicted blocks, seconds; 0 when nothing was cross-evicted.
+    pub residency_half_life_s: f64,
+}
+
+impl ContentionSummary {
+    /// `true` when the run saw no tenancy at all — every field at its
+    /// default. Quiet summaries are excluded from the digest so
+    /// single-app reports keep their pre-tenancy byte format.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// Result of one simulated application run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -185,6 +227,11 @@ pub struct RunReport {
     /// fired/not-fired accounting, retries, speculation wins, blacklist
     /// events. Quiet (all-empty) for fault-free runs.
     pub faults: crate::fault::FaultSummary,
+    /// Multi-tenant contention outcome: slot waits, cross-tenant
+    /// evictions, residency half-life. Quiet (all-default) for
+    /// single-app runs.
+    #[serde(default)]
+    pub contention: ContentionSummary,
 }
 
 impl RunReport {
@@ -292,6 +339,19 @@ impl RunReport {
                 put_u64(&mut h, u64::from(b.failures));
             }
         }
+        // Contention block: hashed only for tenancy runs, so single-app
+        // digests are byte-identical to the pre-tenancy format.
+        if !self.contention.is_quiet() {
+            let c = &self.contention;
+            put_u64(&mut h, u64::from(c.tenant));
+            put_u64(&mut h, u64::from(c.tenants));
+            put_u64(&mut h, c.weight.to_bits());
+            put_u64(&mut h, c.arrival_offset_s.to_bits());
+            put_u64(&mut h, c.slot_wait_s.to_bits());
+            put_u64(&mut h, c.cross_evictions_suffered);
+            put_u64(&mut h, c.cross_evictions_inflicted);
+            put_u64(&mut h, c.residency_half_life_s.to_bits());
+        }
         obs::to_hex(&h.finalize())
     }
 }
@@ -317,6 +377,7 @@ mod tests {
             total_tasks: 0,
             task_attempts: 0,
             faults: crate::fault::FaultSummary::default(),
+            contention: ContentionSummary::default(),
         };
         assert_eq!(r.cost_machine_seconds(), 840.0);
         assert_eq!(r.cost_machine_minutes(), 14.0);
@@ -339,6 +400,7 @@ mod tests {
             total_tasks: 10,
             task_attempts: 10,
             faults: crate::fault::FaultSummary::default(),
+            contention: ContentionSummary::default(),
         };
         let d1 = r.digest();
         assert_eq!(d1.len(), 64);

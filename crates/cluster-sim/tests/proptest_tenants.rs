@@ -1,0 +1,266 @@
+//! Property-based tests of the multi-tenant scheduler: under *arbitrary*
+//! tenant sets (sizes, weights, arrivals, seeds, cluster shapes) every
+//! run must terminate, account for every task attempt, conserve
+//! cross-tenant eviction attribution, and collapse to the plain engine
+//! whenever only one tenant can actually run.
+//!
+//! The per-tenant applications reuse the chaos property suite's
+//! iterative shape (input → cached parse → k aggregate jobs) so cached
+//! data is large enough for tight pools to force real evictions.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cluster_sim::{
+    ClusterConfig, Engine, MachineSpec, NoiseParams, RunOptions, SimParams, Tenant, TenantSet,
+};
+use dagflow::{
+    AppBuilder, Application, ComputeCost, DatasetId, NarrowKind, Schedule, SourceFormat, WideKind,
+};
+
+#[derive(Debug, Clone)]
+struct TenantShape {
+    iterations: usize,
+    megabytes: u64,
+    weight: f64,
+    arrival_s: f64,
+    seed: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SetShape {
+    tenants: Vec<TenantShape>,
+    machines: u32,
+    ram_gb: u64,
+}
+
+fn tenant_shape() -> impl Strategy<Value = TenantShape> {
+    (
+        1usize..6,
+        1u64..400,
+        (0u32..5, 0.25f64..4.0),
+        0.0f64..40.0,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(iterations, megabytes, (alive, weight), arrival_s, seed)| TenantShape {
+                iterations,
+                megabytes,
+                // One in five tenants is admitted weightless (inactive).
+                weight: if alive == 0 { 0.0 } else { weight },
+                arrival_s,
+                seed,
+            },
+        )
+}
+
+fn set_shape() -> impl Strategy<Value = SetShape> {
+    (
+        proptest::collection::vec(tenant_shape(), 1..4),
+        1u32..4,
+        0usize..3,
+    )
+        .prop_map(|(tenants, machines, ram)| SetShape {
+            tenants,
+            machines,
+            // Starved, tight and ample pools in one sweep.
+            ram_gb: [1, 2, 16][ram],
+        })
+}
+
+fn build_app(name: &str, shape: &TenantShape) -> Application {
+    let bytes = shape.megabytes * 1_000_000;
+    let mut b = AppBuilder::new(name);
+    let src = b.source("in", SourceFormat::DistributedFs, 10_000, bytes, 6);
+    let core = b.narrow(
+        "core",
+        NarrowKind::Map,
+        &[src],
+        10_000,
+        bytes,
+        ComputeCost::new(0.001, 0.0, 1e-9),
+    );
+    for i in 0..shape.iterations {
+        let g = b.wide_with_partitions(
+            format!("g{i}"),
+            WideKind::TreeAggregate,
+            &[core],
+            1,
+            4096,
+            1,
+            ComputeCost::new(0.001, 0.0, 1e-9),
+        );
+        b.job("agg", g);
+    }
+    b.build().unwrap()
+}
+
+fn quiet(seed: u64) -> SimParams {
+    SimParams {
+        noise: NoiseParams::NONE,
+        cluster_jitter_s: 0.0,
+        seed,
+        ..SimParams::default()
+    }
+}
+
+fn cluster(shape: &SetShape) -> ClusterConfig {
+    ClusterConfig::new(
+        shape.machines,
+        MachineSpec {
+            ram_bytes: shape.ram_gb * 1_000_000_000,
+            ..MachineSpec::paper_example()
+        },
+    )
+}
+
+fn cached_parse() -> Arc<Schedule> {
+    Arc::new(Schedule::persist_all([DatasetId(1)]))
+}
+
+fn build_set<'a>(apps: &'a [Application], shape: &SetShape) -> TenantSet<'a> {
+    TenantSet {
+        cluster: cluster(shape),
+        tenants: apps
+            .iter()
+            .zip(&shape.tenants)
+            .map(|(app, t)| Tenant {
+                arrival_offset_s: t.arrival_s,
+                weight: t.weight,
+                ..Tenant::new(app, cached_parse(), quiet(t.seed))
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Any tenant set: the run terminates, every active tenant finishes
+    /// every job with balanced attempt accounting, inactive tenants stay
+    /// empty placeholders, eviction attribution conserves events, and
+    /// the makespan is exactly the last active departure.
+    #[test]
+    fn tenant_sets_terminate_and_account(shape in set_shape()) {
+        let apps: Vec<Application> = shape
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| build_app(&format!("t{i}"), t))
+            .collect();
+        let set = build_set(&apps, &shape);
+        let tr = set.run(RunOptions::default()).unwrap();
+
+        prop_assert_eq!(tr.reports.len(), shape.tenants.len());
+        prop_assert!(tr.cross_evictions_balance());
+        let mut last_departure: f64 = 0.0;
+        for (r, t) in tr.reports.iter().zip(&shape.tenants) {
+            if t.weight > 0.0 {
+                prop_assert!(r.total_time_s.is_finite() && r.total_time_s > 0.0);
+                prop_assert_eq!(r.job_times_s.len(), t.iterations);
+                prop_assert_eq!(
+                    r.task_attempts,
+                    r.total_tasks + r.faults.retried_attempts + r.faults.speculative_launched
+                );
+                last_departure = last_departure.max(t.arrival_s + r.total_time_s);
+                // A tenant can only *suffer* evictions of blocks it
+                // actually cached: cross-tenant evictions are a subset
+                // of its datasets' eviction counts — the pool never
+                // charges a tenant for blocks it never held.
+                let evictions: u64 =
+                    r.cache.per_dataset.values().map(|s| s.evictions).sum();
+                prop_assert!(r.contention.cross_evictions_suffered <= evictions);
+            } else {
+                prop_assert_eq!(r.total_tasks, 0);
+                prop_assert_eq!(r.task_attempts, 0);
+                prop_assert_eq!(r.total_time_s, 0.0);
+                prop_assert_eq!(r.contention.weight, 0.0);
+            }
+        }
+        if shape.tenants.iter().any(|t| t.weight > 0.0) {
+            prop_assert!((tr.makespan_s - last_departure).abs() < 1e-9);
+        }
+    }
+
+    /// Adding a weightless tenant to any set never changes the *active*
+    /// tenants' results: digests are bit-identical with and without the
+    /// placeholder. (Placeholders themselves self-describe the admitted
+    /// set, so their reports are allowed to mention the newcomer.)
+    #[test]
+    fn weightless_tenants_are_invisible(
+        shape in set_shape(),
+        ghost in tenant_shape(),
+    ) {
+        let apps: Vec<Application> = shape
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| build_app(&format!("t{i}"), t))
+            .collect();
+        let set = build_set(&apps, &shape);
+        let base = set.run(RunOptions::default()).unwrap();
+
+        let ghost_app = build_app("ghost", &ghost);
+        let mut with_ghost = build_set(&apps, &shape);
+        with_ghost.tenants.push(Tenant {
+            arrival_offset_s: ghost.arrival_s,
+            weight: 0.0,
+            ..Tenant::new(&ghost_app, cached_parse(), quiet(ghost.seed))
+        });
+        let ghosted = with_ghost.run(RunOptions::default()).unwrap();
+
+        for ((a, b), t) in base.reports.iter().zip(&ghosted.reports).zip(&shape.tenants) {
+            if t.weight > 0.0 {
+                prop_assert_eq!(a.digest(), b.digest());
+            } else {
+                prop_assert_eq!(b.total_tasks, 0);
+            }
+        }
+        prop_assert_eq!(
+            ghosted.reports.last().unwrap().total_tasks, 0,
+            "the ghost must run nothing"
+        );
+        prop_assert!((base.makespan_s - ghosted.makespan_s).abs() < 1e-12);
+    }
+
+    /// A single-tenant set is the plain engine, whatever the tenant's
+    /// shape — weight and arrival scale the makespan but not the report.
+    #[test]
+    fn single_tenant_sets_are_the_plain_engine(
+        t in tenant_shape(),
+        machines in 1u32..4,
+    ) {
+        prop_assume!(t.weight > 0.0);
+        let shape = SetShape { tenants: vec![t.clone()], machines, ram_gb: 16 };
+        let app = build_app("solo", &t);
+        let plain = Engine::new(&app, cluster(&shape), quiet(t.seed))
+            .run_shared(&cached_parse(), RunOptions::default())
+            .unwrap();
+        let apps = vec![app];
+        let set = build_set(&apps, &shape);
+        let tr = set.run(RunOptions::default()).unwrap();
+        prop_assert_eq!(tr.reports[0].digest(), plain.digest());
+        prop_assert_eq!(&tr.reports[0], &plain);
+        prop_assert!((tr.makespan_s - (t.arrival_s + plain.total_time_s)).abs() < 1e-12);
+    }
+
+    /// Reruns of the same set are bit-identical: the interleaved
+    /// scheduler has no hidden state.
+    #[test]
+    fn tenancy_runs_are_deterministic(shape in set_shape()) {
+        let apps: Vec<Application> = shape
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| build_app(&format!("t{i}"), t))
+            .collect();
+        let set = build_set(&apps, &shape);
+        let first = set.run(RunOptions::default()).unwrap();
+        let second = set.run(RunOptions::default()).unwrap();
+        for (a, b) in first.reports.iter().zip(&second.reports) {
+            prop_assert_eq!(a.digest(), b.digest());
+        }
+        prop_assert_eq!(first.makespan_s.to_bits(), second.makespan_s.to_bits());
+    }
+}

@@ -48,6 +48,16 @@ pub struct HotspotConfig {
     /// Relative tolerance when comparing schedule memory budgets for the
     /// equal-cost discard rule.
     pub cost_tolerance: f64,
+    /// Cache-contention pressure factor (≥ 0). Under multi-tenant
+    /// contention a cached block's expected residency shrinks with its
+    /// size — bigger blocks attract eviction pressure sooner — so each
+    /// candidate's benefit is discounted by `1 / (1 + pressure ×
+    /// size_d / Σ candidate-pool sizes)` before pruning and BCR
+    /// ranking. Zero (the default) reproduces the single-tenant
+    /// algorithm bit-for-bit; the reported cumulative schedule benefits
+    /// are never discounted, so schedules stay monotone either way.
+    #[serde(default)]
+    pub pressure: f64,
 }
 
 impl Default for HotspotConfig {
@@ -55,6 +65,7 @@ impl Default for HotspotConfig {
         HotspotConfig {
             min_benefit_s: 0.005,
             cost_tolerance: 1e-6,
+            pressure: 0.0,
         }
     }
 }
@@ -176,6 +187,10 @@ pub struct HotspotAudit {
     pub bcr_evaluations: u64,
     /// Re-evaluation pull-backs (Algorithm 1 lines 16–20).
     pub reevaluations: u32,
+    /// The contention-pressure factor the detection ran under (see
+    /// [`HotspotConfig::pressure`]); zero for single-tenant runs.
+    #[serde(default)]
+    pub pressure: f64,
 }
 
 /// Per-dataset bookkeeping while the ranking loop runs.
@@ -238,17 +253,32 @@ pub fn detect_hotspots_audited(
         rounds += 1;
         let cached_set: BTreeSet<DatasetId> = cached.iter().copied().collect();
         let pulls = la.pulls(&cached_set);
+        // Expected-residency discount base: a candidate's share of the
+        // current pool's bytes approximates how much eviction pressure
+        // its blocks would attract from co-tenants.
+        let pool_bytes: f64 = if config.pressure > 0.0 {
+            pool.iter()
+                .map(|&d| metrics.size[d.index()] as f64)
+                .sum::<f64>()
+                .max(1.0)
+        } else {
+            0.0
+        };
 
         // Rank the pool by BCR; drop dead candidates.
         let mut best: Option<(f64, f64, DatasetId)> = None; // (bcr, benefit, id)
         let mut dead: Vec<DatasetId> = Vec::new();
         for &d in &pool {
             let n = pulls[d.index()];
-            let benefit: f64 = if n <= 1 {
+            let mut benefit: f64 = if n <= 1 {
                 0.0
             } else {
                 (n - 1) as f64 * la.chain_cost(d, &cached_set, &metrics.et)
             };
+            if config.pressure > 0.0 && benefit > 0.0 {
+                let share = metrics.size[d.index()] as f64 / pool_bytes;
+                benefit /= 1.0 + config.pressure * share;
+            }
             bcr_evaluations += 1;
             let cell = audit.get_mut(&d).expect("pool members are audited");
             cell.evaluations += 1;
@@ -348,6 +378,7 @@ pub fn detect_hotspots_audited(
             rounds,
             bcr_evaluations,
             reevaluations,
+            pressure: config.pressure,
         },
     )
 }
@@ -675,6 +706,122 @@ mod tests {
     fn schedules_are_monotone() {
         let (app, metrics) = paper_lor();
         let schedules = detect_hotspots(&app, &metrics, &HotspotConfig::default());
+        for w in schedules.windows(2) {
+            assert!(w[1].benefit_s >= w[0].benefit_s);
+            assert!(w[1].budget_bytes >= w[0].budget_bytes);
+        }
+    }
+
+    /// Two shared intermediates off one source: `big` (10 MB, 10 s) and
+    /// `small` (1 MB, 0.9 s), each recomputed by two jobs.
+    fn contended_pair() -> (Application, DatasetMetricsView) {
+        let mut b = AppBuilder::new("contended");
+        let s = b.source("in", SourceFormat::DistributedFs, 10, 1_000, 2);
+        let big = b.narrow(
+            "big",
+            NarrowKind::Map,
+            &[s],
+            10,
+            10_000_000,
+            ComputeCost::FREE,
+        );
+        let small = b.narrow(
+            "small",
+            NarrowKind::Map,
+            &[s],
+            10,
+            1_000_000,
+            ComputeCost::FREE,
+        );
+        for (i, &d) in [big, small].iter().enumerate() {
+            for j in 0..2 {
+                let leaf = b.narrow(
+                    format!("leaf{i}{j}"),
+                    NarrowKind::Map,
+                    &[d],
+                    1,
+                    8,
+                    ComputeCost::FREE,
+                );
+                b.job("count", leaf);
+            }
+        }
+        let app = b.build().unwrap();
+        let mut et = vec![0.0; app.dataset_count()];
+        et[big.index()] = 10.0;
+        et[small.index()] = 0.9;
+        let size: Vec<u64> = app.datasets().iter().map(|d| d.bytes).collect();
+        (app, DatasetMetricsView { et, size })
+    }
+
+    /// An explicit `pressure: 0.0` is the single-tenant algorithm — the
+    /// full audited output is identical to the default configuration.
+    #[test]
+    fn zero_pressure_is_identity() {
+        let (app, metrics) = paper_lor();
+        let base = detect_hotspots_audited(&app, &metrics, &HotspotConfig::default());
+        let zero = detect_hotspots_audited(
+            &app,
+            &metrics,
+            &HotspotConfig {
+                pressure: 0.0,
+                ..HotspotConfig::default()
+            },
+        );
+        assert_eq!(base.0, zero.0);
+        assert_eq!(base.1, zero.1);
+        assert_eq!(base.1.pressure, 0.0);
+    }
+
+    /// Pressure discounts large candidates harder: `big` wins the first
+    /// round on raw BCR, but under contention its expected residency
+    /// shrinks and `small` overtakes it.
+    #[test]
+    fn pressure_discounts_large_candidates() {
+        let (app, metrics) = contended_pair();
+        let calm = detect_hotspots(&app, &metrics, &HotspotConfig::default());
+        assert_eq!(
+            calm[0].schedule.persisted(),
+            vec![DatasetId(1)],
+            "big first"
+        );
+
+        let config = HotspotConfig {
+            pressure: 10.0,
+            ..HotspotConfig::default()
+        };
+        let (pressed, audit) = detect_hotspots_audited(&app, &metrics, &config);
+        assert_eq!(
+            pressed[0].schedule.persisted(),
+            vec![DatasetId(2)],
+            "small overtakes under pressure"
+        );
+        assert_eq!(audit.pressure, 10.0);
+    }
+
+    /// Extreme pressure drives every candidate's discounted benefit under
+    /// the pruning floor: nothing is worth caching when residency is nil.
+    #[test]
+    fn extreme_pressure_prunes_everything() {
+        let (app, metrics) = contended_pair();
+        let config = HotspotConfig {
+            pressure: 1e9,
+            ..HotspotConfig::default()
+        };
+        assert!(detect_hotspots(&app, &metrics, &config).is_empty());
+    }
+
+    /// The reported cumulative benefits are never discounted, so the
+    /// schedule family stays monotone under pressure too.
+    #[test]
+    fn pressured_schedules_stay_monotone() {
+        let (app, metrics) = paper_lor();
+        let config = HotspotConfig {
+            pressure: 0.6,
+            ..HotspotConfig::default()
+        };
+        let schedules = detect_hotspots(&app, &metrics, &config);
+        assert!(!schedules.is_empty());
         for w in schedules.windows(2) {
             assert!(w[1].benefit_s >= w[0].benefit_s);
             assert!(w[1].budget_bytes >= w[0].budget_bytes);

@@ -48,6 +48,7 @@ pub mod pipeline;
 pub mod provenance;
 pub mod recommend;
 pub mod summary;
+pub mod tenants;
 pub mod time_model;
 pub mod transfer;
 pub mod watchtower;
@@ -71,6 +72,9 @@ pub use provenance::{
 };
 pub use recommend::{CostModel, MachineMinutes, Recommendation, RecommendationMenu, TieredHourly};
 pub use summary::model_card;
+pub use tenants::{
+    run_tenants, workload_by_name, TenantSpec, TenantsOutcome, TenantsSpec, DRILL_RAM_BYTES,
+};
 pub use time_model::TimeModel;
 pub use transfer::{select_probes, InstanceCatalog, InstanceType, TransferModel};
 pub use watchtower::{

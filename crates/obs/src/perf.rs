@@ -418,6 +418,17 @@ pub fn default_checks(bench: &str) -> Option<Vec<Check>> {
             // (like trace_overhead's jittery engine batch).
             Check::new("armed_idle.overhead_pct", CheckOp::Max(5.0)),
         ]),
+        // Tenancy machinery for a lone application: the single-tenant
+        // fast path is the path every one-entry spec takes, so it is
+        // gated to the 5 % budget. The interleaved lone-active row
+        // (weightless ghost) is opt-in and reported but not gated.
+        "tenants_overhead" => Some(vec![
+            Check::new("workload", CheckOp::Equals),
+            Check::new("reps", CheckOp::Equals),
+            Check::new("budget_pct", CheckOp::Equals),
+            Check::new("within_budget", CheckOp::Equals),
+            Check::new("single_tenant.overhead_pct", CheckOp::Max(5.0)),
+        ]),
         // Phase-profiler tax on the training pipeline. The scope call
         // sites are always compiled in, so the measurable contrast is
         // recording on vs off: gate the *enabled* overhead to the

@@ -28,6 +28,8 @@ pub mod lir;
 pub mod lor;
 pub mod pca;
 pub mod rfc;
+pub mod sqljoin;
+pub mod stream;
 pub mod svm;
 pub mod validate;
 
@@ -37,6 +39,8 @@ pub use lir::LinearRegression;
 pub use lor::LogisticRegression;
 pub use pca::Pca;
 pub use rfc::RandomForest;
+pub use sqljoin::SqlStarJoin;
+pub use stream::MicroBatchStream;
 pub use svm::SupportVectorMachine;
 pub use validate::{validate_workload, WorkloadIssue};
 

@@ -47,6 +47,15 @@ cargo bench --offline -p bench --bench chaos_overhead
 echo "== sim throughput (hot-path speedup vs frozen pre-rework constants; records results/BENCH_sim_throughput.json) =="
 cargo bench --offline -p bench --bench sim_throughput
 
+echo "== tenants matrix (workload pair x weight ratio x memory pressure x seed invariants) =="
+cargo test -q --offline --test tenants
+
+echo "== tenants golden (two-tenant contention drill report is byte-stable) =="
+cargo test -q --offline --test tenants_golden
+
+echo "== tenants overhead (<5% single-tenant budget; records results/BENCH_tenants_overhead.json) =="
+cargo bench --offline -p bench --bench tenants_overhead
+
 echo "== profile determinism (call-tree structure digest is thread-count-stable) =="
 cargo test -q --offline --test profile_determinism
 

@@ -28,7 +28,7 @@ use juggler_suite::juggler::provenance::{DiffTolerances, ManifestDiff, RunManife
 use juggler_suite::juggler::watchtower::{load_history, Watchtower};
 use juggler_suite::obs;
 use juggler_suite::obs::health::{SloSpec, Verdict};
-use juggler_suite::workloads::{all_workloads, KMeans, Workload};
+use juggler_suite::workloads::{all_workloads, KMeans, MicroBatchStream, SqlStarJoin, Workload};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +52,7 @@ fn main() -> ExitCode {
         "profile" => done(cmd_profile(rest)),
         "doctor" => done(cmd_doctor(rest)),
         "chaos" => done(cmd_chaos(rest)),
+        "tenants" => cmd_tenants(rest),
         "metrics" => done(cmd_metrics(rest)),
         "runs" => cmd_runs(rest),
         "health" => cmd_health(rest),
@@ -94,6 +95,7 @@ USAGE:
   juggler doctor <WORKLOAD> [--threads N] [--timings] [--format text|json]
   juggler chaos <WORKLOAD> [--plan loss|slow|flaky|pressure|combo|drill]
                  [--machines N] [--seed S]
+  juggler tenants [SPEC.json]
   juggler metrics <WORKLOAD> [--format prom|json] [--output FILE]
                  [--timings] [--threads N]
   juggler runs record <WORKLOAD> [--threads N] [--store DIR]
@@ -105,7 +107,7 @@ USAGE:
   juggler watch [--slo FILE] [--store DIR]
   juggler perf-report [--results DIR] [--baselines DIR] [--write-baselines]
 
-WORKLOAD: KMEANS | LIR | LOR | PCA | RFC | SVM
+WORKLOAD: KMEANS | LIR | LOR | PCA | RFC | SQLJOIN | STREAM | SVM
 
 `profile` trains the workload with the hierarchical phase profiler
 enabled and prints the merged self/total-time call tree (--format tree),
@@ -136,6 +138,18 @@ memory pressure, or combinations) injected at fractions of the measured
 baseline, reporting retry/speculation/blacklist activity and whether
 lineage restored the cache. Both runs are noise-free, so the report is
 deterministic.
+
+`tenants` runs a multi-tenant contention drill: several workloads share
+one cluster under FAIR weights and a block-store pool sized so they
+evict each other's cached blocks. Without a SPEC.json it runs the
+built-in two-tenant drill (LOR incumbent, an SQL star join arriving 5 s
+later with double weight). The spec is a JSON object — machines, seed,
+ram_bytes, pressure, and a `tenants` array of {workload, weight,
+arrival_offset_s} — with drill defaults for every absent field. The
+report covers per-tenant wall clock, slot waits, cross-tenant eviction
+attribution, residency half-life and the contention-aware (pressured)
+hotspot audit; the command exits 1 when any tenancy invariant fails, so
+it doubles as a CI gate.
 
 `runs record` performs the doctor flow and files the resulting manifest
 (content-addressed by SHA-256) in the run ledger (default store:
@@ -169,10 +183,7 @@ JUGGLER_THREADS environment variable or the machine's parallelism;
 way.";
 
 fn find_workload(name: &str) -> Result<Box<dyn Workload>, String> {
-    let mut pool = all_workloads();
-    pool.push(Box::new(KMeans::default()));
-    pool.into_iter()
-        .find(|w| w.name().eq_ignore_ascii_case(name))
+    juggler_suite::juggler::tenants::workload_by_name(name)
         .ok_or_else(|| format!("unknown workload `{name}` (try `juggler list`)"))
 }
 
@@ -195,6 +206,8 @@ fn cmd_list() -> Result<(), String> {
     );
     let mut pool = all_workloads();
     pool.push(Box::new(KMeans::default()));
+    pool.push(Box::new(SqlStarJoin));
+    pool.push(Box::new(MicroBatchStream));
     for w in pool {
         let p = w.paper_params();
         println!(
@@ -737,6 +750,30 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     let outcome = juggler_suite::juggler::run_chaos(w.as_ref(), &cfg).map_err(|e| e.to_string())?;
     print!("{}", outcome.render());
     Ok(())
+}
+
+fn cmd_tenants(args: &[String]) -> Result<ExitCode, String> {
+    use juggler_suite::juggler::tenants::{run_tenants, TenantsSpec};
+    let spec = match args.first() {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read spec `{path}`: {e}"))?;
+            TenantsSpec::from_json(&text)?
+        }
+        None => TenantsSpec::drill(),
+    };
+    obs::log_info!(
+        "tenants: running {} tenants on {} machines...",
+        spec.tenants.len(),
+        spec.machines
+    );
+    let outcome = run_tenants(&spec)?;
+    print!("{}", outcome.render());
+    Ok(if outcome.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }
 
 fn cmd_metrics(args: &[String]) -> Result<(), String> {

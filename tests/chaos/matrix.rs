@@ -9,7 +9,10 @@ use juggler_suite::cluster_sim::{
 use juggler_suite::juggler::chaos::{build_plan, run_chaos, ChaosConfig, PlanKind};
 use juggler_suite::juggler::pipeline::{OfflineTraining, TrainingConfig};
 use juggler_suite::juggler::RecommendationMenu;
-use juggler_suite::workloads::{all_workloads, LogisticRegression, SupportVectorMachine, Workload};
+use juggler_suite::workloads::{
+    all_workloads, LogisticRegression, MicroBatchStream, SqlStarJoin, SupportVectorMachine,
+    Workload,
+};
 
 /// Every cell of the (workload × plan × seed) matrix terminates, restores
 /// cache residency through lineage, accounts for every task attempt, and
@@ -175,6 +178,49 @@ fn executor_loss_keeps_prediction_error_in_band() {
                 base.total_time_s,
                 chaos.total_time_s,
                 predicted
+            );
+        }
+    }
+}
+
+/// The extension workload families (the SQL star join and the
+/// micro-batch stream) hold the same chaos-matrix invariants as the five
+/// paper workloads: a tenancy-capable generator earns no exemption from
+/// fault recovery.
+#[test]
+fn extension_families_survive_the_chaos_matrix() {
+    for w in [
+        &SqlStarJoin as &dyn Workload,
+        &MicroBatchStream as &dyn Workload,
+    ] {
+        for kind in PlanKind::ALL {
+            let cfg = ChaosConfig {
+                kind,
+                machines: 3,
+                seed: 0xC4A05,
+            };
+            let cell = format!("{} × {}", w.name(), kind.name());
+            let out =
+                run_chaos(w, &cfg).unwrap_or_else(|e| panic!("cell {cell} failed to run: {e}"));
+            assert!(
+                out.chaos.total_time_s.is_finite() && out.chaos.total_time_s > 0.0,
+                "cell {cell} did not terminate cleanly"
+            );
+            assert!(
+                out.residency_restored(),
+                "cell {cell} lost cache residency: {:#?}",
+                out.residency
+            );
+            assert!(
+                out.attempts_consistent(),
+                "cell {cell}: {} attempts for {} tasks",
+                out.chaos.task_attempts,
+                out.chaos.total_tasks
+            );
+            assert!(
+                out.slowdown() >= 1.0 - 1e-9,
+                "cell {cell}: chaos run faster than fault-free ({:.4})",
+                out.slowdown()
             );
         }
     }

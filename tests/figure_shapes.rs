@@ -3,7 +3,9 @@
 
 use juggler_suite::cluster_sim::{ClusterConfig, Engine, MachineSpec, RunOptions};
 use juggler_suite::dagflow::{DatasetId, Schedule};
-use juggler_suite::workloads::{LinearRegression, SupportVectorMachine, Workload, WorkloadParams};
+use juggler_suite::workloads::{
+    LinearRegression, MicroBatchStream, SqlStarJoin, SupportVectorMachine, Workload, WorkloadParams,
+};
 
 fn run(
     w: &dyn Workload,
@@ -111,5 +113,89 @@ fn recompute_dominates_evicted_iterations() {
         "starved {} vs fit {}",
         per_machine(&starved),
         per_machine(&fit)
+    );
+}
+
+/// The SQL star join family: the fan-in join chain is the reuse hotspot.
+/// Caching the star output (its developer default) must beat running
+/// cold, and once the cluster holds the star no partition is evicted.
+#[test]
+fn sqljoin_star_caching_pays_off() {
+    let w = SqlStarJoin;
+    let params = WorkloadParams::auto(30_000, 15_000, 8);
+    let spec = MachineSpec::private_cluster();
+    let app = w.build(&params);
+    let star = DatasetId(7);
+    assert_eq!(
+        app.dataset(star).parents.len(),
+        2,
+        "the star is a two-parent join"
+    );
+    assert_eq!(
+        app.jobs().len(),
+        params.iterations as usize,
+        "one job per query"
+    );
+
+    let schedule = app.default_schedule().clone();
+    for machines in [3u32, 6] {
+        let cold = run(&w, &params, &Schedule::empty(), machines, spec);
+        let hot = run(&w, &params, &schedule, machines, spec);
+        let ratio = hot.total_time_s / cold.total_time_s;
+        assert!(
+            ratio < 0.9,
+            "{machines} machines: caching the star must pay off, ratio {ratio}"
+        );
+        let evicted = hot
+            .cache
+            .evicted_fraction(star, app.dataset(star).partitions);
+        assert!(
+            evicted < 0.02,
+            "{machines} machines: star evicted {evicted}"
+        );
+    }
+}
+
+/// The micro-batch stream family: every batch joins the same static
+/// state table, so caching it (the developer default) must pay off and
+/// steady-state batches must run in near-constant time — the streaming
+/// shape, not the iterative-convergence shape.
+#[test]
+fn stream_batches_are_flat_with_cached_state() {
+    let w = MicroBatchStream;
+    let params = WorkloadParams::auto(40_000, 10_000, 10);
+    let spec = MachineSpec::private_cluster();
+    let app = w.build(&params);
+    let state = DatasetId(1);
+
+    let schedule = app.default_schedule().clone();
+    let cold = run(&w, &params, &Schedule::empty(), 3, spec);
+    let hot = run(&w, &params, &schedule, 3, spec);
+    assert!(
+        hot.total_time_s < cold.total_time_s,
+        "caching the state table must pay off: {} vs {}",
+        hot.total_time_s,
+        cold.total_time_s
+    );
+    let evicted = hot
+        .cache
+        .evicted_fraction(state, app.dataset(state).partitions);
+    assert!(evicted < 0.02, "state evicted {evicted}");
+
+    // After the first batch warms the state, batch times are flat — the
+    // streaming shape. Checked on a noise-free run so the bound is about
+    // the workload's structure, not straggler luck.
+    let mut quiet_sim = w.sim_params();
+    quiet_sim.noise = juggler_suite::cluster_sim::NoiseParams::NONE;
+    quiet_sim.cluster_jitter_s = 0.0;
+    let quiet = Engine::new(&app, ClusterConfig::new(3, spec), quiet_sim)
+        .run(&schedule, RunOptions::default())
+        .unwrap();
+    let steady = &quiet.job_times_s[1..];
+    let fastest = steady.iter().cloned().fold(f64::INFINITY, f64::min);
+    let slowest = steady.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        slowest <= 1.1 * fastest,
+        "steady-state batches not flat: {steady:?}"
     );
 }

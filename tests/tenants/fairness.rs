@@ -1,0 +1,114 @@
+//! FAIR slot-sharing bounds, pinned with *twin* tenants: two copies of
+//! the same drill-scale application with the same seed, so every
+//! difference between their reports is the scheduler's doing and every
+//! assertion is exact.
+
+use std::sync::Arc;
+
+use juggler_suite::cluster_sim::{Engine, RunOptions, TenancyReport, Tenant, TenantSet};
+use juggler_suite::workloads::LogisticRegression;
+
+use crate::support;
+
+/// Runs LOR against an identical LOR twin, both arriving at 0, with the
+/// given weights on an ample-memory cluster.
+fn twins(weight_a: f64, weight_b: f64) -> TenancyReport {
+    let w = LogisticRegression;
+    let app = support::drill_app(&w);
+    let schedule = Arc::new(app.default_schedule().clone());
+    let set = TenantSet {
+        cluster: support::cluster(support::AMPLE_RAM),
+        tenants: vec![
+            Tenant {
+                weight: weight_a,
+                ..Tenant::new(&app, schedule.clone(), support::quiet_sim(&w, 0xFA1))
+            },
+            Tenant {
+                weight: weight_b,
+                ..Tenant::new(&app, schedule.clone(), support::quiet_sim(&w, 0xFA1))
+            },
+        ],
+    };
+    set.run(RunOptions::default()).expect("twin run succeeds")
+}
+
+#[test]
+fn equal_weights_share_equally() {
+    let tr = twins(1.0, 1.0);
+    let [a, b] = &tr.reports[..] else {
+        panic!("two reports")
+    };
+    // Identical tenants at identical weights run in lockstep: every job
+    // takes exactly as long for both — until the tie-broken-first tenant
+    // departs and frees its share, which can only *help* the survivor's
+    // tail. So the per-job times match on all but the last job, and the
+    // second tenant never finishes more than one job-duration later.
+    let n = a.job_times_s.len();
+    assert_eq!(n, b.job_times_s.len());
+    assert_eq!(
+        a.job_times_s[..n - 1],
+        b.job_times_s[..n - 1],
+        "equal-weight twins must progress in lockstep"
+    );
+    assert!(
+        b.total_time_s <= a.total_time_s + 1e-9,
+        "the surviving twin inherits the departed one's share: {} > {}",
+        b.total_time_s,
+        a.total_time_s
+    );
+    let gap = (a.total_time_s - b.total_time_s).abs();
+    assert!(
+        gap <= a.job_times_s[n - 1] + 1e-9,
+        "equal weights drifted by more than one job: gap {gap}"
+    );
+}
+
+#[test]
+fn heavier_weight_never_finishes_later() {
+    // Within one run: at 2:1 the heavy twin holds the larger share at
+    // every instant, so it finishes no later than the light twin.
+    let skewed = twins(2.0, 1.0);
+    assert!(
+        skewed.reports[0].total_time_s <= skewed.reports[1].total_time_s + 1e-9,
+        "heavy twin finished later than its light sibling: {} > {}",
+        skewed.reports[0].total_time_s,
+        skewed.reports[1].total_time_s
+    );
+    // Across runs: upgrading a tenant's weight (everything else fixed)
+    // never slows that tenant down.
+    let fair = twins(1.0, 1.0);
+    assert!(
+        skewed.reports[0].total_time_s <= fair.reports[0].total_time_s + 1e-9,
+        "a weight upgrade slowed the tenant: {} > {}",
+        skewed.reports[0].total_time_s,
+        fair.reports[0].total_time_s
+    );
+    // The light twin queues at least as much as the heavy one.
+    assert!(
+        skewed.reports[1].contention.slot_wait_s + 1e-9 >= skewed.reports[0].contention.slot_wait_s,
+        "light twin waited less than the heavy one"
+    );
+}
+
+#[test]
+fn sharing_never_beats_running_alone() {
+    let w = LogisticRegression;
+    let app = support::drill_app(&w);
+    let schedule = Arc::new(app.default_schedule().clone());
+    let solo = Engine::new(
+        &app,
+        support::cluster(support::AMPLE_RAM),
+        support::quiet_sim(&w, 0xFA1),
+    )
+    .run_shared(&schedule, RunOptions::default())
+    .expect("solo run succeeds");
+    let shared = twins(1.0, 1.0);
+    for (ti, r) in shared.reports.iter().enumerate() {
+        assert!(
+            solo.total_time_s <= r.total_time_s + 1e-9,
+            "tenant {ti} ran faster sharing the cluster than owning it: {} < {}",
+            r.total_time_s,
+            solo.total_time_s
+        );
+    }
+}

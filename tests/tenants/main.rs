@@ -1,0 +1,119 @@
+//! The tenancy test harness: a deterministic matrix of multi-tenant
+//! simulations through the whole stack.
+//!
+//! `matrix` sweeps (workload pair × weight ratio × memory pressure ×
+//! seed) through [`TenantSet`] runs and asserts the invariants every
+//! cell must hold: both tenants terminate, task-attempt accounting
+//! balances, cross-tenant eviction attribution conserves events, and
+//! the global makespan is exactly the last active departure. `fairness`
+//! pins the FAIR slot-sharing contract with twin tenants (equal weights
+//! share equally, heavier weights never finish later, sharing never
+//! beats running alone), and `isolation` proves the single-tenant path
+//! is byte-identical to the plain engine while ample memory keeps each
+//! tenant's cache behaviour indistinguishable from its solo run.
+//!
+//! Everything here runs `NoiseParams::NONE` with zero cluster jitter:
+//! tenancy (weights, arrivals, the shared pool) is the *only*
+//! difference between cells, so every assertion is exact, not
+//! statistical.
+
+mod fairness;
+mod isolation;
+mod matrix;
+
+/// Shared fixtures: quiet (noise-free) sim parameters, drill-scale
+/// applications, and a two-tenant runner mirroring the shapes
+/// `juggler::tenants::run_tenants` drives in production.
+mod support {
+    use std::sync::Arc;
+
+    use juggler_suite::cluster_sim::{
+        ClusterConfig, MachineSpec, NoiseParams, RunOptions, SimParams, TenancyReport, Tenant,
+        TenantSet,
+    };
+    use juggler_suite::dagflow::Application;
+    use juggler_suite::juggler::chaos::drill_params;
+    use juggler_suite::juggler::tenants::DRILL_RAM_BYTES;
+    use juggler_suite::workloads::Workload;
+
+    /// Cluster size used by every tenancy fixture.
+    pub const MACHINES: u32 = 3;
+
+    /// Per-machine RAM that holds every cell's cached datasets with room
+    /// to spare: the "no memory pressure" arm of the matrix.
+    pub const AMPLE_RAM: u64 = 16_000_000_000;
+
+    /// Per-machine RAM sized so drill-scale tenants overflow the shared
+    /// pool and evict each other: the "tight memory" arm.
+    pub const TIGHT_RAM: u64 = DRILL_RAM_BYTES;
+
+    /// Seconds the second tenant of [`pair_run`] arrives after the first
+    /// — long enough for the incumbent to populate the shared pool.
+    pub const LATE_ARRIVAL_S: f64 = 5.0;
+
+    /// Noise-free sim parameters for a workload.
+    pub fn quiet_sim(w: &dyn Workload, seed: u64) -> SimParams {
+        let mut sim = w.sim_params();
+        sim.noise = NoiseParams::NONE;
+        sim.cluster_jitter_s = 0.0;
+        sim.seed = seed;
+        sim
+    }
+
+    /// Builds the drill-scale application for a workload.
+    pub fn drill_app(w: &dyn Workload) -> Application {
+        w.build(&drill_params(w))
+    }
+
+    /// The shared cluster with the given per-machine RAM.
+    pub fn cluster(ram_bytes: u64) -> ClusterConfig {
+        ClusterConfig::new(
+            MACHINES,
+            MachineSpec {
+                ram_bytes,
+                ..MachineSpec::private_cluster()
+            },
+        )
+    }
+
+    /// Runs `a` (weight `weight_a`, arriving at 0) against `b` (weight
+    /// `weight_b`, arriving [`LATE_ARRIVAL_S`] later) on a shared
+    /// cluster, each under its developer-default schedule and a
+    /// tenant-indexed seed — the same recipe as the `juggler tenants`
+    /// drill.
+    pub fn pair_run(
+        a: &dyn Workload,
+        b: &dyn Workload,
+        weight_a: f64,
+        weight_b: f64,
+        ram_bytes: u64,
+        seed: u64,
+    ) -> TenancyReport {
+        let app_a = drill_app(a);
+        let app_b = drill_app(b);
+        let set = TenantSet {
+            cluster: cluster(ram_bytes),
+            tenants: vec![
+                Tenant {
+                    weight: weight_a,
+                    ..Tenant::new(
+                        &app_a,
+                        Arc::new(app_a.default_schedule().clone()),
+                        quiet_sim(a, seed),
+                    )
+                },
+                Tenant {
+                    weight: weight_b,
+                    arrival_offset_s: LATE_ARRIVAL_S,
+                    ..Tenant::new(
+                        &app_b,
+                        Arc::new(app_b.default_schedule().clone()),
+                        quiet_sim(b, seed.wrapping_add(1)),
+                    )
+                },
+            ],
+        };
+        set.run(RunOptions::default())
+            .expect("tenancy run succeeds")
+    }
+}

@@ -1,0 +1,149 @@
+//! The tenancy matrix: (workload pair × weight ratio × memory pressure
+//! × seed) cells, each asserting the invariants a multi-tenant run must
+//! never lose, plus a thread-count stability sweep proving tenancy
+//! digests are bit-identical under any `JUGGLER_THREADS` setting.
+
+use juggler_suite::cluster_sim::TenancyReport;
+use juggler_suite::juggler::parallel::THREADS_ENV;
+use juggler_suite::workloads::{
+    KMeans, LogisticRegression, MicroBatchStream, SqlStarJoin, Workload,
+};
+
+use crate::support;
+
+/// The two pairs under test: the heavyweight contention pair the drill
+/// golden pins (iterative ML incumbent vs SQL star join) and the two
+/// extension families against each other (micro-batch streaming vs
+/// k-means), so both new workload generators get a tenancy row.
+fn pairs() -> Vec<(Box<dyn Workload>, Box<dyn Workload>)> {
+    vec![
+        (Box::new(LogisticRegression), Box::new(SqlStarJoin)),
+        (Box::new(MicroBatchStream), Box::new(KMeans::default())),
+    ]
+}
+
+/// Everything a cell must satisfy regardless of where it sits in the
+/// grid. `cell` carries the coordinates into every panic message.
+fn assert_cell_invariants(tr: &TenancyReport, jobs: &[usize; 2], cell: &str) {
+    assert_eq!(tr.reports.len(), 2, "{cell}: one report per tenant");
+    assert!(
+        tr.cross_evictions_balance(),
+        "{cell}: eviction attribution lost an event"
+    );
+    let mut last_departure: f64 = 0.0;
+    for (ti, r) in tr.reports.iter().enumerate() {
+        assert!(
+            r.total_time_s.is_finite() && r.total_time_s > 0.0,
+            "{cell}: tenant {ti} did not terminate cleanly"
+        );
+        assert_eq!(
+            r.job_times_s.len(),
+            jobs[ti],
+            "{cell}: tenant {ti} skipped jobs"
+        );
+        // Attempt accounting: every launched attempt is a first run, a
+        // retry, or a speculative copy — even though these cells are
+        // fault-free, the general ledger must balance.
+        assert_eq!(
+            r.task_attempts,
+            r.total_tasks + r.faults.retried_attempts + r.faults.speculative_launched,
+            "{cell}: tenant {ti} attempt accounting broken"
+        );
+        assert_eq!(r.contention.tenant, ti as u32, "{cell}");
+        assert_eq!(r.contention.tenants, 2, "{cell}");
+        assert!(
+            !r.contention.is_quiet(),
+            "{cell}: tenant {ti} must be marked as a multi-tenant run"
+        );
+        assert!(r.contention.slot_wait_s >= 0.0, "{cell}");
+        last_departure = last_departure.max(r.contention.arrival_offset_s + r.total_time_s);
+    }
+    assert!(
+        (tr.makespan_s - last_departure).abs() < 1e-9,
+        "{cell}: makespan {} is not the last departure {}",
+        tr.makespan_s,
+        last_departure
+    );
+}
+
+#[test]
+fn tenancy_matrix_holds_invariants_in_every_cell() {
+    for (a, b) in &pairs() {
+        let jobs = [
+            support::drill_app(a.as_ref()).jobs().len(),
+            support::drill_app(b.as_ref()).jobs().len(),
+        ];
+        for &(wa, wb) in &[(1.0, 1.0), (1.0, 2.0)] {
+            for &(ram, ram_name) in &[(support::AMPLE_RAM, "ample"), (support::TIGHT_RAM, "tight")]
+            {
+                for &seed in &[0xA1_u64, 0x5EED] {
+                    let cell = format!(
+                        "{}+{} weights {wa}:{wb} ram {ram_name} seed {seed:#x}",
+                        a.name(),
+                        b.name()
+                    );
+                    let tr = support::pair_run(a.as_ref(), b.as_ref(), wa, wb, ram, seed);
+                    assert_cell_invariants(&tr, &jobs, &cell);
+
+                    let suffered: u64 = tr
+                        .reports
+                        .iter()
+                        .map(|r| r.contention.cross_evictions_suffered)
+                        .sum();
+                    if ram == support::AMPLE_RAM {
+                        // A pool that fits everything never cross-evicts.
+                        assert_eq!(suffered, 0, "{cell}: ample memory must not cross-evict");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tight_memory_forces_cross_tenant_evictions() {
+    // The drill pair's cached datasets overflow the tight pool by
+    // construction, so contention must be real — in every weight ratio
+    // and for every seed, not just the golden drill's.
+    let (a, b) = (LogisticRegression, SqlStarJoin);
+    for &(wa, wb) in &[(1.0, 1.0), (1.0, 2.0)] {
+        for &seed in &[0xA1_u64, 0x5EED] {
+            let tr = support::pair_run(&a, &b, wa, wb, support::TIGHT_RAM, seed);
+            let suffered: u64 = tr
+                .reports
+                .iter()
+                .map(|r| r.contention.cross_evictions_suffered)
+                .sum();
+            assert!(
+                suffered > 0,
+                "weights {wa}:{wb} seed {seed:#x}: tight pool produced no cross-tenant evictions"
+            );
+        }
+    }
+}
+
+/// Worker-pool sizes must not leak into tenancy results: the interleaved
+/// scheduler is strictly sequential, so per-tenant digests and the
+/// makespan are bit-identical at every `JUGGLER_THREADS` setting.
+///
+/// One test function (not a matrix of them): the env var is
+/// process-wide, so the sweep must own it for its whole duration.
+#[test]
+fn tenancy_digests_are_stable_across_thread_counts() {
+    let (a, b) = (LogisticRegression, SqlStarJoin);
+    let mut baseline: Option<(Vec<String>, u64)> = None;
+    for threads in [1_usize, 2, 8] {
+        std::env::set_var(THREADS_ENV, threads.to_string());
+        let tr = support::pair_run(&a, &b, 1.0, 2.0, support::TIGHT_RAM, 0xA1);
+        let digests: Vec<String> = tr.reports.iter().map(|r| r.digest()).collect();
+        let fingerprint = (digests, tr.makespan_s.to_bits());
+        match &baseline {
+            None => baseline = Some(fingerprint),
+            Some(base) => assert_eq!(
+                *base, fingerprint,
+                "tenancy result drifted at JUGGLER_THREADS={threads}"
+            ),
+        }
+    }
+    std::env::remove_var(THREADS_ENV);
+}

@@ -1,0 +1,72 @@
+//! Golden test for `juggler tenants`'s rendered drill report: the
+//! built-in two-tenant contention drill (LOR incumbent, an SQL star join
+//! arriving 5 s later with double weight, RAM sized so the tenants evict
+//! each other's blocks) is fully deterministic — `NoiseParams::NONE`,
+//! zero jitter, fixed seeds — so the render must be byte-for-byte the
+//! committed golden file. Any drift is a real behaviour or formatting
+//! change in the tenancy machinery. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test tenants_golden` and review the diff.
+
+use juggler_suite::juggler::tenants::{run_tenants, TenantsSpec};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/tenants_drill.txt")
+}
+
+#[test]
+fn tenants_drill_report_matches_golden_file() {
+    let outcome = run_tenants(&TenantsSpec::drill()).expect("drill succeeds");
+    let got = outcome.render();
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test tenants_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "tenancy drill report drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn tenants_drill_report_covers_the_contract() {
+    let outcome = run_tenants(&TenantsSpec::drill()).expect("drill succeeds");
+    let text = outcome.render();
+    // Both tenants, with their FAIR weights and arrivals.
+    assert!(text.contains("LOR"), "{text}");
+    assert!(text.contains("SQLJOIN"), "{text}");
+    assert!(text.contains("weight 2.0"), "{text}");
+    assert!(text.contains("arrival    5.0 s"), "{text}");
+    // The contention summary and the pressured hotspot audit.
+    assert!(text.contains("slot wait"), "{text}");
+    assert!(text.contains("residency half-life"), "{text}");
+    assert!(text.contains("pressure 0.60"), "{text}");
+    // Every invariant verdict present and green.
+    assert!(text.contains("every tenant terminated"), "{text}");
+    assert!(text.contains("cross-tenant evictions balance"), "{text}");
+    assert!(text.contains("single-tenant parity"), "{text}");
+    assert!(text.contains("pressured schedules monotone"), "{text}");
+    assert!(!text.contains("FAIL"), "{text}");
+    assert!(outcome.all_ok(), "{text}");
+    // The drill actually produces contention: the incumbent suffers
+    // cross-tenant evictions while the newcomer inflicts them.
+    let suffered: u64 = outcome
+        .tenancy
+        .reports
+        .iter()
+        .map(|r| r.contention.cross_evictions_suffered)
+        .sum();
+    assert!(
+        suffered > 0,
+        "drill produced no cross-tenant evictions:\n{text}"
+    );
+}
